@@ -1,0 +1,46 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Heavy simulations run once per session and are shared by the figures that
+the paper derives from the same experiment (16/17/18 share the scaling run;
+21 feeds 22). Every benchmark uses ``benchmark.pedantic(..., rounds=1)``:
+these are reproduction drivers, not micro-benchmarks.
+"""
+
+import pytest
+
+from repro.experiments import fig13, fig14, fig15, fig16, fig19, fig21
+
+
+@pytest.fixture(scope="session")
+def fig13_result():
+    return fig13.run(data_bytes=32 << 20)
+
+
+@pytest.fixture(scope="session")
+def fig14_result():
+    return fig14.run()
+
+
+@pytest.fixture(scope="session")
+def scaling_result():
+    return fig16.run()
+
+
+@pytest.fixture(scope="session")
+def fig19_result():
+    return fig19.run()
+
+
+@pytest.fixture(scope="session")
+def fig21_result():
+    return fig21.run()
+
+
+@pytest.fixture(scope="session")
+def psf_rates():
+    return fig15.measure_psf_rates()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

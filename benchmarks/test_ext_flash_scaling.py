@@ -1,0 +1,27 @@
+"""Extension bench: ASSASIN's advantage grows with flash bandwidth.
+
+Not a paper figure — it quantifies the motivating trend of Sections I/III:
+as flash generations scale channel bandwidth, the DRAM-staged baseline
+stays pinned at the memory wall while ASSASIN follows the flash.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ext_flash
+
+
+def test_flash_bandwidth_scaling(benchmark):
+    result = run_once(benchmark, ext_flash.run, 16 << 20)
+    print("\n" + ext_flash.render(result))
+
+    # At 0.5 GB/s channels, flash binds everyone: no ASSASIN advantage.
+    assert 0.9 <= result.advantage(0.5) <= 1.1
+    # At the paper's 1 GB/s channels the memory wall bites: ~2x.
+    assert 1.6 <= result.advantage(1.0) <= 2.2
+    # Future flash widens the gap until ASSASIN's cores bind.
+    assert result.advantage(1.6) > result.advantage(1.0)
+    assert result.advantage(3.2) >= result.advantage(1.6) * 0.98
+    # The baseline never escapes the DRAM wall (~4 GB/s at 2 B per byte).
+    for bw in (1.0, 1.6, 2.4, 3.2):
+        base, _ = result.results[bw]
+        assert base <= 4.1

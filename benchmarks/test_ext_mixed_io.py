@@ -1,0 +1,30 @@
+"""Extension bench: conventional host I/O interleaved with an offload.
+
+Quantifies the Section V-A generality property: regular reads coexist with
+scomp work, the aggregate respecting the flash array's bandwidth.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ext_mixed
+
+
+def test_mixed_io_interleaving(benchmark):
+    result = run_once(benchmark, ext_mixed.run)
+    print("\n" + ext_mixed.render(result))
+
+    baseline = result.offload_gbps(0.0)
+    # Offload throughput degrades gracefully, by roughly the host rate
+    # (both share the same 8 GB/s flash array).
+    for rate in (0.5, 1.0, 2.0):
+        offload = result.offload_gbps(rate)
+        assert offload <= baseline
+        assert offload >= baseline - rate - 0.4, (rate, offload)
+    # The aggregate stays within the flash array's capability.
+    for rate, (offload, _, _) in result.results.items():
+        assert offload + rate <= 8.3
+    # Host reads remain serviceable (sub-millisecond) during the offload.
+    for rate in (0.5, 1.0, 2.0):
+        _, mean_us, p99_us = result.results[rate]
+        assert mean_us < 500
+        assert p99_us < 1000

@@ -1,0 +1,21 @@
+"""Extension bench: write-path scomp ingest across architectures."""
+
+from conftest import run_once
+
+from repro.experiments import ext_writepath
+
+
+def test_write_path_ingest(benchmark):
+    result = run_once(benchmark, ext_writepath.run)
+    print("\n" + ext_writepath.render(result))
+
+    # The memory wall hits the write path too: ASSASIN wins on the
+    # memory-intensive ingest kernels...
+    assert result.speedup("raid4") >= 1.5
+    assert result.speedup("raid6") >= 1.4
+    # ...and is neutral on compute-bound encryption.
+    assert 0.9 <= result.speedup("aes") <= 1.2
+    # No configuration exceeds the host link on ingest.
+    for kernel, per_config in result.results.items():
+        for config, (gbps, _) in per_config.items():
+            assert gbps <= 8.01, (kernel, config)

@@ -1,0 +1,43 @@
+"""Figure 13: standalone offloaded function throughput across configs."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig13
+from repro.utils.stats import geomean
+
+
+def test_fig13_standalone(benchmark, fig13_result):
+    result = run_once(benchmark, lambda: fig13_result)
+    print("\n" + fig13.render(result))
+
+    # ASSASIN delivers 1.3x-2.0x on the memory-intensive functions
+    # (Stat, RAID4, RAID6) by bypassing the SSD DRAM.
+    for kernel in ("stat", "raid4", "raid6"):
+        for config in ("AssasinSp", "AssasinSb"):
+            assert 1.25 <= result.speedup(kernel, config) <= 2.6, (kernel, config)
+
+    # Prefetching alone cannot beat the memory wall on Stat/RAID4.
+    assert result.speedup("stat", "Prefetch") < 1.15
+    assert result.speedup("raid4", "Prefetch") < 1.15
+
+    # AssasinSb edges out AssasinSp via the stream ISA (paper: ~10% GeoMean).
+    ratios = [
+        result.throughput(k, "AssasinSb") / result.throughput(k, "AssasinSp")
+        for k in ("stat", "raid4", "raid6")
+    ]
+    assert 1.0 <= geomean(ratios) <= 1.25
+
+    # The cache adds nothing when state fits the scratchpad.
+    for kernel in fig13.KERNELS:
+        assert result.throughput(kernel, "AssasinSb$") == pytest.approx(
+            result.throughput(kernel, "AssasinSb"), rel=0.02
+        )
+
+    # AES is compute-bound: every configuration lands within ~10%.
+    aes = [result.speedup("aes", c) for c in ("Prefetch", "AssasinSp", "AssasinSb")]
+    assert all(0.9 <= s <= 1.15 for s in aes)
+
+    # Compute intensity ordering bounds throughput: stat fastest, AES slowest.
+    assert result.throughput("stat", "AssasinSb") > result.throughput("raid6", "AssasinSb")
+    assert result.throughput("raid6", "AssasinSb") > result.throughput("aes", "AssasinSb")

@@ -1,0 +1,34 @@
+"""Figure 14: offloaded Parse-Select-Filter pipeline across configs."""
+
+from conftest import run_once
+
+from repro.experiments import fig14
+
+
+def test_fig14_psf_pipeline(benchmark, fig14_result):
+    result = run_once(benchmark, lambda: fig14_result)
+    print("\n" + fig14.render(result))
+
+    prefetch = result.geomean_speedup("Prefetch")
+    udp = result.geomean_speedup("UDP")
+    sp = result.geomean_speedup("AssasinSp")
+    sb = result.geomean_speedup("AssasinSb")
+    sbc = result.geomean_speedup("AssasinSb$")
+
+    # Paper: Prefetch ~+15% by hiding DRAM latency.
+    assert 1.03 <= prefetch <= 1.25
+    # Paper: UDP ~1.3x via its multiway-dispatch ISA on unstructured data.
+    assert 1.15 <= udp <= 1.45
+    # Paper: AssasinSb reaches 1.5-1.8x Baseline; here the pre-timing-
+    # adjustment run sits at the low end, with Sb > Sp via the stream ISA.
+    assert 1.25 <= sb <= 1.85
+    assert sb > sp * 1.1  # the +18% stream-ISA effect (paper Section VI-C)
+    assert abs(sbc - sb) < 0.05
+    # Ordering: Baseline < Prefetch <= Sp < UDP <= Sb.
+    assert 1.0 < prefetch <= sp * 1.05 < udp * 1.05
+    assert sb >= udp
+
+    # The per-query view covers every lineitem-scanning query (17 of 22).
+    per_query = fig14.per_query_speedups(result, "AssasinSb")
+    assert len(per_query) == 17
+    assert all(1.2 <= s <= 1.9 for s in per_query.values())

@@ -1,0 +1,20 @@
+"""Figure 15: end-to-end TPC-H latency with computational-SSD offload."""
+
+from conftest import run_once
+
+from repro.experiments import fig15
+
+
+def test_fig15_tpch_end_to_end(benchmark, psf_rates):
+    result = run_once(benchmark, fig15.run, psf_rates=psf_rates)
+    print("\n" + fig15.render(result))
+
+    # Paper: offloading to even the Baseline CSD is ~1.9x over pure CPU.
+    assert 1.5 <= result.baseline_over_pure <= 2.4
+    # Paper: AssasinSb adds 1.1-1.5x end-to-end, GeoMean ~1.3x.
+    assert 1.15 <= result.sb_over_baseline <= 1.5
+    per_query = result.speedups("Baseline", "AssasinSb")
+    assert all(1.0 <= s <= 1.6 for s in per_query)
+    assert len(per_query) == 22
+    # Every query at least ties pure CPU under offload.
+    assert all(s >= 0.99 for s in result.speedups("PureCPU", "AssasinSb"))

@@ -1,0 +1,27 @@
+"""Figure 16: compute throughput scaling with ASSASIN core count."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig16
+
+
+def test_fig16_scalability(benchmark, scaling_result):
+    result = run_once(benchmark, lambda: scaling_result)
+    print("\n" + fig16.render(result))
+
+    # ~1 GB/s per core on the byte-scan dummy (paper Section VI-D).
+    assert 0.85 <= result.per_core_peak_gbps <= 1.05
+
+    # Linear scaling while under the flash bound...
+    for n in (2, 4, 8):
+        assert result.throughput(n) == pytest.approx(
+            n * result.throughput(1), rel=0.06
+        )
+    # ...then bounded by the 8 GB/s flash array.
+    for n in (10, 12, 16):
+        assert 7.0 <= result.throughput(n) <= 8.01
+    # Monotone non-decreasing within tolerance.
+    counts = sorted(result.results)
+    for a, b in zip(counts, counts[1:]):
+        assert result.throughput(b) >= result.throughput(a) * 0.97

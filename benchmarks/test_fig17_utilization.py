@@ -1,0 +1,19 @@
+"""Figure 17: core utilisation stays high while scaling."""
+
+from conftest import run_once
+
+from repro.experiments import fig16
+
+
+def test_fig17_utilization(benchmark, scaling_result):
+    result = run_once(benchmark, lambda: scaling_result)
+    rows = [(n, result.utilisation(n)) for n in sorted(result.results)]
+    print("\nFigure 17: core utilisation vs ideal")
+    for n, util in rows:
+        print(f"  {n:3d} cores: {util:.3f}")
+    # Paper: >98% while the interconnect and flash keep cores fed.
+    for n in (1, 2, 4, 8):
+        assert result.utilisation(n) > 0.98, n
+    # Even past the flash bound, normalised utilisation stays high.
+    for n in (10, 12, 16):
+        assert result.utilisation(n) > 0.90, n

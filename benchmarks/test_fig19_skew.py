@@ -1,0 +1,28 @@
+"""Figure 19: sensitivity to flash data layout skew (crossbar vs local)."""
+
+from conftest import run_once
+
+from repro.experiments import fig19
+
+
+def test_fig19_skew(benchmark, fig19_result):
+    result = run_once(benchmark, lambda: fig19_result)
+    print("\n" + fig19.render(result))
+
+    # At even layout the two architectures are equivalent.
+    for kernel in result.results:
+        assert 0.9 <= result.advantage(kernel, 0.0) <= 1.1, kernel
+
+    # Under skew the crossbar pools all cores against the hot channels;
+    # the effect grows with compute intensity (raid6 >> scan).
+    for skew in (0.25, 0.5, 0.75, 1.0):
+        assert result.advantage("raid6", skew) >= 1.4, skew
+        assert result.advantage("scan", skew) >= 1.0, skew
+
+    # Throughput degrades monotonically with skew for both architectures
+    # (physics: the heaviest channel binds), but ASSASIN degrades less.
+    for kernel, sweep in result.results.items():
+        xbars = [sweep[s][0] for s in sorted(sweep)]
+        locals_ = [sweep[s][1] for s in sorted(sweep)]
+        assert xbars == sorted(xbars, reverse=True)
+        assert locals_ == sorted(locals_, reverse=True)

@@ -1,0 +1,25 @@
+"""Figure 20: synthesised timing of stream buffers vs scratchpads."""
+
+from conftest import run_once
+
+from repro.experiments import fig20
+from repro.utils.units import KIB
+
+
+def test_fig20_timing(benchmark):
+    result = run_once(benchmark, fig20.run)
+    print("\n" + fig20.render(result))
+
+    # Paper anchors: SB head FIFO ~0.5 ns even with a 64 B interface.
+    assert 0.4 <= result.streambuffer_ns[64] <= 0.6
+    # A 64 KB scratchpad with an 8 B port cannot make a 1 ns cycle.
+    assert result.scratchpad_ns[(64 * KIB, 8)] > 1.0
+    # Wider ports are slower at every size.
+    for size in (8 * KIB, 16 * KIB, 32 * KIB, 64 * KIB):
+        assert result.scratchpad_ns[(size, 64)] > result.scratchpad_ns[(size, 8)]
+    # AssasinSb's clock period shrinks ~11% (critical path moves to IF).
+    assert 0.08 <= result.sb_cycle_reduction <= 0.14
+    assert result.clocks["AssasinSb"].critical_stage == "IF"
+    # Scratchpad configurations keep the base period and pay 2-cycle access.
+    assert result.clocks["AssasinSp"].period_ns == 1.0
+    assert result.clocks["AssasinSp"].scratchpad_cycles == 2

@@ -1,0 +1,32 @@
+"""Figure 22: speedup, power efficiency, and area efficiency vs Baseline."""
+
+from conftest import run_once
+
+from repro.experiments import fig13 as fig13_mod
+from repro.experiments import fig22
+from repro.utils.stats import geomean
+
+
+def test_fig22_efficiency(benchmark, fig21_result):
+    # Feed Figure 22 with the timing-adjusted speedups (as the paper does),
+    # using the memory-bound workloads ASSASIN targets.
+    memory_bound = ("stat", "raid4", "raid6")
+    sb_speedup = geomean(
+        [fig21_result.standalone.speedup(k, "AssasinSb") for k in memory_bound]
+        + [fig21_result.psf.geomean_speedup("AssasinSb")]
+    )
+    udp_speedup = fig21_result.psf.geomean_speedup("UDP")
+    speedups = {"Baseline": 1.0, "UDP": udp_speedup, "AssasinSb": sb_speedup}
+
+    result = run_once(benchmark, fig22.run, speedups=speedups)
+    print("\n" + fig22.render(result))
+
+    sb = result.row("AssasinSb")
+    udp = result.row("UDP")
+    # Paper: ~2.0x power efficiency and ~3.2x area efficiency for ASSASIN.
+    assert 1.6 <= sb.power_efficiency <= 2.6
+    assert 2.0 <= sb.area_efficiency <= 4.0
+    # General-purpose ASSASIN beats the exotic-ISA accelerator on both.
+    assert sb.power_efficiency > udp.power_efficiency
+    assert sb.area_efficiency > udp.area_efficiency
+    assert result.row("Baseline").power_efficiency == 1.0

@@ -1,0 +1,16 @@
+"""Figure 5 + Section III-A: Filter on one Baseline core hits the memory wall."""
+
+from conftest import run_once
+
+from repro.experiments import fig05
+
+
+def test_fig5_cycle_decomposition(benchmark):
+    result = run_once(benchmark, fig05.run)
+    print("\n" + fig05.render(result))
+    # Section III-A anchor: ~0.63 GB/s, far below the 1.6+ GB/s channel.
+    assert 0.45 <= result.throughput_gbps <= 0.85
+    # Figure 5's message: memory stalls dominate; removing them would give
+    # a multi-x speedup (paper: ~3x even with a perfect L1).
+    assert 2.5 <= result.memory_slowdown <= 6.0
+    assert result.buckets["dram_stall"] > result.buckets["compute"]

@@ -1,0 +1,17 @@
+"""Table I: the 22-study computational-storage survey."""
+
+from conftest import run_once
+
+from repro.experiments import tables
+from repro.survey.functions import STUDIES, Domain, domain_counts
+
+
+def test_table1_survey(benchmark):
+    rendered = run_once(benchmark, tables.render_table1)
+    print("\n" + rendered)
+    assert len(STUDIES) == 22
+    counts = domain_counts()
+    # The paper's reading of the survey: database offloads are the most
+    # common, and every domain is represented.
+    assert counts[Domain.DATABASE] >= counts[Domain.FILE_SYSTEM]
+    assert all(counts[d] > 0 for d in Domain)

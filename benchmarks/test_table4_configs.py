@@ -1,0 +1,18 @@
+"""Table IV: the six computational-SSD configurations."""
+
+from conftest import run_once
+
+from repro.config import CONFIG_NAMES, all_configs
+from repro.experiments import tables
+
+
+def test_table4_configs(benchmark):
+    rendered = run_once(benchmark, tables.render_table4)
+    print("\n" + rendered)
+    configs = all_configs()
+    assert tuple(configs) == CONFIG_NAMES
+    for cfg in configs.values():
+        assert cfg.num_cores == 8
+        assert cfg.core.frequency_ghz == 1.0
+        assert cfg.flash.array_bandwidth_bytes_per_ns == 8.0  # 8 x 1 GB/s
+        assert cfg.dram.bandwidth_bytes_per_ns == 8.0  # LPDDR5 effective

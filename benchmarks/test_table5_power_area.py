@@ -1,0 +1,30 @@
+"""Table V: power and area of subcomponents and configurations."""
+
+from conftest import run_once
+
+from repro.experiments import fig22
+from repro.power.models import CORE_LOGIC_AREA_MM2, CORE_LOGIC_POWER_MW
+
+
+def test_table5_power_area(benchmark):
+    result = run_once(benchmark, fig22.run)
+    print("\n" + fig22.render(result))
+
+    base = result.costs["Baseline"]
+    sb = result.costs["AssasinSb"]
+    udp = result.costs["UDP"]
+
+    # Paper's observation: an L1-class SRAM is on the same order of
+    # magnitude as the core logic in both area and power.
+    l1 = next(c for c in base.components if c.name.startswith("L1D"))
+    assert 0.3 < l1.area_mm2 / CORE_LOGIC_AREA_MM2 < 10
+    assert 0.3 < l1.power_mw / CORE_LOGIC_POWER_MW < 10
+
+    # ASSASIN's streaming hierarchy is cheaper than the cache hierarchy.
+    assert sb.total_area_mm2 < base.total_area_mm2
+    assert sb.total_power_mw < base.total_power_mw
+    # The L2 dominates Baseline's silicon (256 KB per core).
+    l2 = next(c for c in base.components if c.name.startswith("L2"))
+    assert l2.area_mm2 > 0.5 * base.per_core_area_mm2
+    # The UDP lane's big scratchpad keeps it from being cheap either.
+    assert udp.total_area_mm2 > sb.total_area_mm2

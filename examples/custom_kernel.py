@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Writing a custom offload kernel against the ASSASIN programming model.
+
+Implements a new storage function end to end — a newline counter ("wc -l"
+in-SSD) — showing the three pieces every kernel provides:
+
+1. a Python reference (ground truth),
+2. a stream program using the stream ISA (paper Listing 1 style),
+3. a memory program for the DRAM/scratchpad architectures,
+
+then validates them against each other and simulates the offload at device
+level on two architectures.
+
+    python examples/custom_kernel.py
+"""
+
+import random
+from typing import List
+
+from repro.config import assasin_sb_config, assasin_sb_core, baseline_config
+from repro.core.core import CoreModel
+from repro.isa.program import Asm, Program
+from repro.kernels.api import Kernel
+from repro.kernels.registry import register_kernel
+from repro.mem.memory import FlatMemory
+from repro.ssd import simulate_offload
+
+
+class LineCountKernel(Kernel):
+    """Count newline bytes; the count is scratchpad-resident function state."""
+
+    name = "linecount"
+    num_inputs = 1
+    num_outputs = 0
+    block_bytes = 1
+    state_bytes = 4
+
+    def reference(self, inputs: List[bytes]) -> List[bytes]:
+        self.check_inputs(inputs)
+        self._expected_state = inputs[0].count(b"\n").to_bytes(4, "little")
+        return []
+
+    def reference_state(self, inputs: List[bytes]) -> bytes:
+        self.reference(inputs)
+        return self._expected_state
+
+    def make_inputs(self, total_bytes: int, seed: int = 1) -> List[bytes]:
+        rng = random.Random(seed)
+        out = bytearray()
+        while len(out) < total_bytes:
+            out += bytes(rng.randrange(32, 127) for _ in range(rng.randint(5, 80)))
+            out += b"\n"
+        return [bytes(out[:total_bytes])]
+
+    def _build_stream_program(self, state_base: int) -> Program:
+        # while True: c = StreamLoad(0, 1); if c == '\n': count += 1
+        a = Asm("linecount-stream")
+        a.li("t6", state_base)
+        a.li("t3", 0x0A)
+        a.lw("s1", "t6", 0)
+        a.label("loop")
+        a.sload("t0", 0, 1)
+        a.bne("t0", "t3", "loop")
+        a.addi("s1", "s1", 1)
+        a.sw("s1", "t6", 0)
+        a.j("loop")
+        return a.build()
+
+    def _build_memory_program(self, state_base: int) -> Program:
+        a = Asm("linecount-memory")
+        a.li("t6", state_base)
+        a.li("t3", 0x0A)
+        a.lw("s1", "t6", 0)
+        a.add("t2", "a0", "a1")
+        a.label("loop")
+        a.bgeu("a0", "t2", "done")
+        a.lbu("t0", "a0", 0)
+        a.addi("a0", "a0", 1)
+        a.bne("t0", "t3", "loop")
+        a.addi("s1", "s1", 1)
+        a.j("loop")
+        a.label("done")
+        a.sw("s1", "t6", 0)
+        a.li("a0", 0)
+        a.halt()
+        return a.build()
+
+    def init_state(self, mem: FlatMemory, state_base: int) -> None:
+        mem.store_u32(state_base, 0)
+
+
+def main() -> None:
+    kernel = LineCountKernel()
+    register_kernel("linecount", LineCountKernel)
+
+    print("Validating the two program forms against the reference...")
+    inputs = kernel.make_inputs(8192)
+    expected = kernel.reference_state(inputs)
+    stream = CoreModel(assasin_sb_core()).run(kernel, inputs)
+    memory = CoreModel(baseline_config().core).run(kernel, inputs)
+    assert stream.final_state == expected, "stream form disagrees"
+    assert memory.final_state == expected, "memory form disagrees"
+    lines = int.from_bytes(expected, "little")
+    print(f"  OK: all three implementations count {lines} lines")
+    print(f"  stream form: {stream.cycles_per_byte:.2f} cycles/byte")
+    print(f"  memory form: {memory.cycles_per_byte:.2f} cycles/byte (baseline core)")
+
+    print("\nDevice-level offload of the new kernel:")
+    for config in (baseline_config(), assasin_sb_config()):
+        result = simulate_offload(config, LineCountKernel(), data_bytes=16 << 20)
+        print(
+            f"  {config.name:10s}: {result.throughput_gbps:.2f} GB/s "
+            f"(limited by {result.limiter})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: offload one function to a computational SSD and compare
+architectures.
+
+Runs the Stat kernel (sum a column — the paper's least compute-intensive
+offload) on the state-of-the-art Baseline architecture and on ASSASIN,
+showing the memory wall and how stream computing removes it.
+
+    python examples/quickstart.py
+"""
+
+from repro.config import assasin_sb_config, baseline_config
+from repro.kernels import get_kernel
+from repro.ssd import simulate_offload
+
+DATA_BYTES = 32 << 20  # logical dataset per run
+
+
+def main() -> None:
+    kernel = get_kernel("stat")
+
+    print(f"Offloading '{kernel.name}' over {DATA_BYTES >> 20} MiB on two SSDs...\n")
+    for config in (baseline_config(), assasin_sb_config()):
+        result = simulate_offload(config, kernel, data_bytes=DATA_BYTES)
+        traffic = result.dram_traffic
+        print(f"[{config.name}]")
+        print(f"  throughput      : {result.throughput_gbps:.2f} GB/s")
+        print(f"  limited by      : {result.limiter}")
+        print(f"  core utilisation: {result.mean_utilisation:.1%}")
+        print(
+            "  SSD-DRAM traffic: "
+            f"{traffic.total:.2f} bytes per input byte "
+            f"(staging {traffic.staging_in:.2f}, core {traffic.core_reads:.2f})"
+        )
+        print()
+
+    base = simulate_offload(baseline_config(), kernel, data_bytes=DATA_BYTES)
+    sb = simulate_offload(assasin_sb_config(), kernel, data_bytes=DATA_BYTES)
+    print(
+        f"ASSASIN speedup: {sb.throughput_gbps / base.throughput_gbps:.2f}x "
+        "(paper Figure 13: 1.3x-2.0x on memory-intensive offloads)"
+    )
+
+
+if __name__ == "__main__":
+    main()

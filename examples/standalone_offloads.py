@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Standalone function offloads: the paper's Figure 5 and Figure 13 story.
+
+First reproduces the motivating example (Section III-A): one baseline core
+running Filter is stuck well under the flash channel bandwidth because of
+SSD-DRAM stalls. Then sweeps the four standalone functions across all six
+Table IV configurations.
+
+    python examples/standalone_offloads.py
+"""
+
+from repro.experiments import fig05, fig13
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Motivating example: why computational SSDs hit a memory wall")
+    print("=" * 72)
+    print(fig05.render(fig05.run()))
+
+    print()
+    print("=" * 72)
+    print("Standalone offloads across the six configurations (Figure 13)")
+    print("=" * 72)
+    result = fig13.run(data_bytes=16 << 20)
+    print(fig13.render(result))
+
+    print()
+    print("Reading the table:")
+    print(" * Stat/RAID4 demand more DRAM bandwidth than LPDDR5 offers, so")
+    print("   Baseline and Prefetch cap out at ~4 GB/s (the memory wall);")
+    print("   ASSASIN streams directly from flash and reaches ~7 GB/s.")
+    print(" * RAID6 adds Galois-field math: compute starts to matter.")
+    print(" * AES is compute-bound, so every architecture looks the same —")
+    print("   exactly the trend of the paper's Figure 13.")
+
+
+if __name__ == "__main__":
+    main()

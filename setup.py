@@ -1,0 +1,8 @@
+"""Thin setup.py shim: the offline environment lacks the `wheel` package, so
+modern PEP-660 editable installs fail; `python setup.py develop` (used by
+`pip install -e .` on legacy paths) still works. All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""ASSASIN reproduction: stream computing for computational storage.
+
+A pure-Python reproduction of "ASSASIN: Architecture Support for Stream
+Computing to Accelerate Computational Storage" (Zou & Chien, MICRO 2022):
+an ISA-level core simulator with the stream ISA extension, an event-driven
+flash/SSD simulator with FTL and crossbar, the offloaded kernels, a TPC-H
+analytics substrate, and power/area/timing models — everything needed to
+regenerate the paper's tables and figures.
+
+Quickstart::
+
+    from repro import assasin_sb_config
+    from repro.ssd import simulate_offload
+    from repro.kernels import get_kernel
+
+    result = simulate_offload(assasin_sb_config(), get_kernel("stat"),
+                              data_bytes=64 << 20)
+    print(result.throughput_gbps)
+"""
+
+from repro.config import (
+    CONFIG_NAMES,
+    all_configs,
+    assasin_sb_cache_config,
+    assasin_sb_config,
+    assasin_sp_config,
+    baseline_config,
+    named_config,
+    prefetch_config,
+    udp_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CONFIG_NAMES",
+    "all_configs",
+    "named_config",
+    "baseline_config",
+    "udp_config",
+    "prefetch_config",
+    "assasin_sp_config",
+    "assasin_sb_config",
+    "assasin_sb_cache_config",
+    "__version__",
+]

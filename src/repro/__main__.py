@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                      — kernels and configurations available
+* ``offload``                   — simulate one kernel offload on one config
+* ``figure {5,13,14,15,16,19,20,21,22}`` — regenerate a paper figure
+* ``table {1,2,4,5}``           — regenerate a paper table
+* ``tpch``                      — run TPC-H queries on the mini engine
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(args) -> int:
+    from repro.config import CONFIG_NAMES
+    from repro.kernels import KERNEL_NAMES
+
+    print("kernels :", ", ".join(KERNEL_NAMES))
+    print("configs :", ", ".join(CONFIG_NAMES))
+    return 0
+
+
+def _cmd_offload(args) -> int:
+    from repro.config import named_config
+    from repro.kernels import get_kernel
+    from repro.ssd import simulate_offload
+
+    config = named_config(args.config)
+    kernel = get_kernel(args.kernel)
+    result = simulate_offload(
+        config, kernel, data_bytes=args.data_mib << 20, layout_skew=args.skew
+    )
+    print(f"kernel        : {result.kernel_name}")
+    print(f"config        : {result.config_name} ({result.num_cores} cores)")
+    print(f"data          : {result.bytes_in >> 20} MiB in, {result.bytes_out >> 20} MiB out")
+    print(f"throughput    : {result.throughput_gbps:.2f} GB/s")
+    print(f"limited by    : {result.limiter}")
+    print(f"utilisation   : {result.mean_utilisation:.1%}")
+    print(f"DRAM traffic  : {result.dram_traffic.total:.2f} B per input byte")
+    return 0
+
+
+_FIGURES = {
+    "5": ("repro.experiments.fig05", {}),
+    "13": ("repro.experiments.fig13", {"data_bytes": 32 << 20}),
+    "14": ("repro.experiments.fig14", {}),
+    "15": ("repro.experiments.fig15", {}),
+    "16": ("repro.experiments.fig16", {}),
+    "17": ("repro.experiments.fig16", {}),
+    "18": ("repro.experiments.fig16", {}),
+    "19": ("repro.experiments.fig19", {}),
+    "20": ("repro.experiments.fig20", {}),
+    "21": ("repro.experiments.fig21", {}),
+    "22": ("repro.experiments.fig22", {}),
+    "flash-scaling": ("repro.experiments.ext_flash", {}),
+    "mixed-io": ("repro.experiments.ext_mixed", {}),
+    "write-path": ("repro.experiments.ext_writepath", {}),
+}
+
+
+def _cmd_figure(args) -> int:
+    import importlib
+
+    try:
+        module_name, kwargs = _FIGURES[args.number]
+    except KeyError:
+        print(f"unknown figure {args.number}; known: {', '.join(sorted(_FIGURES))}")
+        return 2
+    module = importlib.import_module(module_name)
+    result = module.run(**kwargs)
+    print(module.render(result))
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro.experiments import fig22, tables
+
+    if args.number == "1":
+        print(tables.render_table1())
+    elif args.number == "2":
+        print(tables.render_table2())
+    elif args.number == "3":
+        print(tables.render_table3())
+    elif args.number == "4":
+        print(tables.render_table4())
+    elif args.number == "5":
+        print(fig22.render(fig22.run()))
+    else:
+        print("unknown table; known: 1, 2, 3, 4, 5")
+        return 2
+    return 0
+
+
+def _cmd_tpch(args) -> int:
+    from repro.analytics.engine import AnalyticsEngine
+    from repro.analytics.queries import query_numbers, run_query
+
+    engine = AnalyticsEngine(gen_scale_factor=args.scale_factor)
+    numbers = args.queries or query_numbers()
+    for n in numbers:
+        result = run_query(engine.db, n)
+        print(f"Q{n:2d}: {result.nrows:6d} rows  columns={tuple(result.columns)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ASSASIN (MICRO 2022) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list kernels and configurations").set_defaults(
+        fn=_cmd_list
+    )
+
+    offload = sub.add_parser("offload", help="simulate one offload")
+    offload.add_argument("--kernel", default="stat")
+    offload.add_argument("--config", default="AssasinSb")
+    offload.add_argument("--data-mib", type=int, default=32)
+    offload.add_argument("--skew", type=float, default=0.0)
+    offload.set_defaults(fn=_cmd_offload)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", choices=sorted(_FIGURES))
+    figure.set_defaults(fn=_cmd_figure)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", choices=["1", "2", "3", "4", "5"])
+    table.set_defaults(fn=_cmd_table)
+
+    tpch = sub.add_parser("tpch", help="run TPC-H queries")
+    tpch.add_argument("queries", nargs="*", type=int)
+    tpch.add_argument("--scale-factor", type=float, default=0.004)
+    tpch.set_defaults(fn=_cmd_tpch)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="run every table and figure; write one report"
+    )
+    reproduce.add_argument("--out", default="reproduction_report.txt")
+    reproduce.add_argument("--fast", action="store_true", help="smaller datasets")
+    reproduce.set_defaults(fn=_cmd_reproduce)
+    return parser
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.experiments.runner import reproduce_all
+
+    report = reproduce_all(fast=args.fast)
+    with open(args.out, "w") as handle:
+        handle.write(report)
+    print(f"report written to {args.out} ({len(report.splitlines())} lines)")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

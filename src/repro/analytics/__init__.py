@@ -1,0 +1,28 @@
+"""TPC-H analytics substrate for the end-to-end evaluation (Figures 14/15).
+
+A from-scratch mini data-analytics stack: schema-faithful TPC-H data
+generation, a relational-algebra engine expressive enough for all 22
+queries, a calibrated host cost model, and the datasource-style offload
+split that pushes Parse/Select/Filter down into the computational SSD.
+"""
+
+from repro.analytics.schema import SCHEMA, TableSchema
+from repro.analytics.datagen import generate_database
+from repro.analytics.relalg import Table
+from repro.analytics.queries import QUERIES, QueryMeta, query_meta, run_query
+from repro.analytics.cost import HostCostModel
+from repro.analytics.engine import AnalyticsEngine, QueryLatency
+
+__all__ = [
+    "SCHEMA",
+    "TableSchema",
+    "generate_database",
+    "Table",
+    "QUERIES",
+    "QueryMeta",
+    "query_meta",
+    "run_query",
+    "HostCostModel",
+    "AnalyticsEngine",
+    "QueryLatency",
+]

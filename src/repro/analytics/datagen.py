@@ -1,0 +1,194 @@
+"""dbgen-lite: deterministic TPC-H data with referentially intact keys.
+
+Generates all eight tables at a given scale factor with the value domains
+the queries rely on (market segments, order priorities, ship modes, brand
+and type vocabularies, the 7-year date window). Values are drawn from a
+seeded RNG, so runs are reproducible; monetary values are integer cents.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.analytics.relalg import Table
+from repro.analytics.schema import DATE_DAYS, SCHEMA, date_to_day
+from repro.errors import AnalyticsError
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+]
+MKT_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"]
+SHIP_INSTRUCTS = ["COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN"]
+BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+TYPE_SYLL1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLL2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+CONTAINERS = [f"{a} {b}" for a in ("SM", "MED", "LG", "JUMBO", "WRAP")
+              for b in ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")]
+_WORDS = ("special", "pending", "unusual", "express", "furious", "sly", "careful",
+          "blithe", "quick", "deposits", "packages", "foxes", "accounts", "requests")
+
+
+def _comment(rng: random.Random, words: int = 4) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(words))
+
+
+def _phone(rng: random.Random, nationkey: int) -> str:
+    return f"{nationkey + 10}-{rng.randint(100, 999)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}"
+
+
+def generate_database(scale_factor: float = 0.01, seed: int = 7) -> Dict[str, Table]:
+    """Generate all eight tables; keys are referentially consistent."""
+    if scale_factor <= 0:
+        raise AnalyticsError("scale factor must be positive")
+    rng = random.Random(seed)
+    db: Dict[str, Table] = {}
+
+    db["region"] = Table(
+        "region",
+        {
+            "r_regionkey": list(range(5)),
+            "r_name": list(REGIONS),
+            "r_comment": [_comment(rng) for _ in range(5)],
+        },
+    )
+    db["nation"] = Table(
+        "nation",
+        {
+            "n_nationkey": list(range(25)),
+            "n_name": [n for n, _ in NATIONS],
+            "n_regionkey": [r for _, r in NATIONS],
+            "n_comment": [_comment(rng) for _ in range(25)],
+        },
+    )
+
+    n_supp = SCHEMA["supplier"].rows_at(scale_factor)
+    db["supplier"] = Table(
+        "supplier",
+        {
+            "s_suppkey": list(range(1, n_supp + 1)),
+            "s_name": [f"Supplier#{i:09d}" for i in range(1, n_supp + 1)],
+            "s_address": [_comment(rng, 2) for _ in range(n_supp)],
+            "s_nationkey": [rng.randrange(25) for _ in range(n_supp)],
+            "s_phone": [_phone(rng, rng.randrange(25)) for _ in range(n_supp)],
+            "s_acctbal": [rng.randint(-99_999, 999_999) for _ in range(n_supp)],
+            "s_comment": [
+                (_comment(rng) + (" Customer Complaints" if rng.random() < 0.01 else ""))
+                for _ in range(n_supp)
+            ],
+        },
+    )
+
+    n_cust = SCHEMA["customer"].rows_at(scale_factor)
+    db["customer"] = Table(
+        "customer",
+        {
+            "c_custkey": list(range(1, n_cust + 1)),
+            "c_name": [f"Customer#{i:09d}" for i in range(1, n_cust + 1)],
+            "c_address": [_comment(rng, 2) for _ in range(n_cust)],
+            "c_nationkey": [rng.randrange(25) for _ in range(n_cust)],
+            "c_phone": [_phone(rng, rng.randrange(25)) for _ in range(n_cust)],
+            "c_acctbal": [rng.randint(-99_999, 999_999) for _ in range(n_cust)],
+            "c_mktsegment": [rng.choice(MKT_SEGMENTS) for _ in range(n_cust)],
+            "c_comment": [_comment(rng) for _ in range(n_cust)],
+        },
+    )
+
+    n_part = SCHEMA["part"].rows_at(scale_factor)
+    part_types = [
+        f"{rng.choice(TYPE_SYLL1)} {rng.choice(TYPE_SYLL2)} {rng.choice(TYPE_SYLL3)}"
+        for _ in range(n_part)
+    ]
+    db["part"] = Table(
+        "part",
+        {
+            "p_partkey": list(range(1, n_part + 1)),
+            "p_name": [
+                " ".join(rng.sample(("lace", "green", "ivory", "navy", "forest",
+                                     "chocolate", "metallic", "almond"), 3))
+                for _ in range(n_part)
+            ],
+            "p_mfgr": [f"Manufacturer#{rng.randint(1, 5)}" for _ in range(n_part)],
+            "p_brand": [rng.choice(BRANDS) for _ in range(n_part)],
+            "p_type": part_types,
+            "p_size": [rng.randint(1, 50) for _ in range(n_part)],
+            "p_container": [rng.choice(CONTAINERS) for _ in range(n_part)],
+            "p_retailprice": [rng.randint(90_000, 210_000) for _ in range(n_part)],
+            "p_comment": [_comment(rng, 2) for _ in range(n_part)],
+        },
+    )
+
+    # partsupp: 4 suppliers per part.
+    ps_part: List[int] = []
+    ps_supp: List[int] = []
+    for pk in range(1, n_part + 1):
+        for j in range(4):
+            ps_part.append(pk)
+            ps_supp.append((pk + j * (n_supp // 4 + 1)) % n_supp + 1)
+    n_ps = len(ps_part)
+    db["partsupp"] = Table(
+        "partsupp",
+        {
+            "ps_partkey": ps_part,
+            "ps_suppkey": ps_supp,
+            "ps_availqty": [rng.randint(1, 9999) for _ in range(n_ps)],
+            "ps_supplycost": [rng.randint(100, 100_000) for _ in range(n_ps)],
+            "ps_comment": [_comment(rng) for _ in range(n_ps)],
+        },
+    )
+
+    n_orders = SCHEMA["orders"].rows_at(scale_factor)
+    order_dates = [rng.randrange(DATE_DAYS - 151) for _ in range(n_orders)]
+    db["orders"] = Table(
+        "orders",
+        {
+            "o_orderkey": list(range(1, n_orders + 1)),
+            "o_custkey": [rng.randint(1, n_cust) for _ in range(n_orders)],
+            "o_orderstatus": [rng.choice("OFP") for _ in range(n_orders)],
+            "o_totalprice": [rng.randint(100_000, 50_000_000) for _ in range(n_orders)],
+            "o_orderdate": order_dates,
+            "o_orderpriority": [rng.choice(ORDER_PRIORITIES) for _ in range(n_orders)],
+            "o_clerk": [f"Clerk#{rng.randint(1, 1000):09d}" for _ in range(n_orders)],
+            "o_shippriority": [0] * n_orders,
+            "o_comment": [_comment(rng) for _ in range(n_orders)],
+        },
+    )
+
+    # lineitem: 1..7 lines per order (avg 4).
+    cols: Dict[str, List] = {name: [] for name in SCHEMA["lineitem"].columns}
+    for okey, odate in zip(db["orders"].column("o_orderkey"), order_dates):
+        for line in range(1, rng.randint(1, 7) + 1):
+            shipdate = min(odate + rng.randint(1, 121), DATE_DAYS - 31)
+            commitdate = min(odate + rng.randint(30, 90), DATE_DAYS - 1)
+            receiptdate = min(shipdate + rng.randint(1, 30), DATE_DAYS - 1)
+            quantity = rng.randint(1, 50)
+            cols["l_orderkey"].append(okey)
+            cols["l_partkey"].append(rng.randint(1, n_part))
+            cols["l_suppkey"].append(rng.randint(1, n_supp))
+            cols["l_linenumber"].append(line)
+            cols["l_quantity"].append(quantity)
+            cols["l_extendedprice"].append(quantity * rng.randint(90_000, 210_000) // 100)
+            cols["l_discount"].append(rng.randint(0, 10))
+            cols["l_tax"].append(rng.randint(0, 8))
+            cols["l_returnflag"].append(
+                "R" if receiptdate <= date_to_day(1995, 6, 17) and rng.random() < 0.5
+                else rng.choice("AN")
+            )
+            cols["l_linestatus"].append("F" if shipdate <= date_to_day(1995, 6, 17) else "O")
+            cols["l_shipdate"].append(shipdate)
+            cols["l_commitdate"].append(commitdate)
+            cols["l_receiptdate"].append(receiptdate)
+            cols["l_shipinstruct"].append(rng.choice(SHIP_INSTRUCTS))
+            cols["l_shipmode"].append(rng.choice(SHIP_MODES))
+            cols["l_comment"].append(_comment(rng, 2))
+    db["lineitem"] = Table("lineitem", cols)
+    return db

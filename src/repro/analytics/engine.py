@@ -1,0 +1,159 @@
+"""End-to-end analytics engine: host + computational SSD (Figure 15).
+
+For every TPC-H query the engine produces latencies for:
+
+* **pure-CPU** (disaggregated storage): every scanned table crosses the
+  PCIe link as text and the host parses and executes everything;
+* **offloaded** on a given computational-SSD configuration: the lineitem
+  scan's Parse/Select/Filter runs inside the device at that configuration's
+  measured PSF throughput, only the projected+filtered binary columns cross
+  the link, and the host executes the remaining operators.
+
+Operator work is measured by actually running the query on generated data
+at a small scale factor, then scaled linearly to the target SF (the paper
+uses SF 10). Device PSF throughput comes from the SSD simulator
+(:func:`repro.ssd.simulate_offload` of the ``psf`` kernel), passed in per
+configuration so this module stays independent of simulation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analytics.cost import HostCostModel
+from repro.analytics.datagen import generate_database
+from repro.analytics.queries import query_meta, query_numbers, run_query
+from repro.analytics.relalg import ExecutionStats, Table
+from repro.analytics.schema import SCHEMA
+from repro.errors import AnalyticsError
+
+#: PCIe Gen4 x4, one direction.
+LINK_BYTES_PER_NS = 8.0
+#: Binary output width of the pushed projection, relative to text (parsed
+#: u32 fields are denser than their decimal text form).
+BINARY_DENSITY = 0.6
+#: Width fraction kept by the pushed projection on non-lineitem tables
+#: (queries typically need about half of each dimension table's columns).
+OTHER_TABLE_COL_FRACTION = 0.5
+
+
+@dataclass
+class QueryLatency:
+    """Latency decomposition for one query on one path."""
+
+    query: int
+    total_ns: float
+    storage_ns: float  # device compute or link transfer of the scan
+    host_parse_ns: float
+    host_ops_ns: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_ns / 1e6
+
+
+@dataclass
+class _QueryProfile:
+    stats: ExecutionStats
+    result_rows: int
+
+
+class AnalyticsEngine:
+    """Measured-then-scaled TPC-H execution with optional PSF pushdown."""
+
+    def __init__(
+        self,
+        gen_scale_factor: float = 0.005,
+        target_scale_factor: float = 10.0,
+        cost_model: Optional[HostCostModel] = None,
+        seed: int = 7,
+    ) -> None:
+        if target_scale_factor < gen_scale_factor:
+            raise AnalyticsError("target SF must be >= generation SF")
+        self.gen_sf = gen_scale_factor
+        self.target_sf = target_scale_factor
+        self.scale_ratio = target_scale_factor / gen_scale_factor
+        self.cost = cost_model or HostCostModel()
+        self.db: Dict[str, Table] = generate_database(gen_scale_factor, seed=seed)
+        self._profiles: Dict[int, _QueryProfile] = {}
+
+    # -- measurement --------------------------------------------------------------
+
+    def profile(self, number: int) -> _QueryProfile:
+        """Run the query once on generated data; cache its operator stats."""
+        if number not in self._profiles:
+            result = run_query(self.db, number)
+            self._profiles[number] = _QueryProfile(stats=result.stats, result_rows=result.nrows)
+        return self._profiles[number]
+
+    def scanned_text_bytes(self, number: int, table: Optional[str] = None) -> float:
+        """Text bytes of the query's scanned tables at the target SF."""
+        meta = query_meta(number)
+        tables = [table] if table else list(meta.tables)
+        return float(
+            sum(SCHEMA[t].bytes_at(self.target_sf) for t in tables if t in meta.tables)
+        )
+
+    # -- latency models ---------------------------------------------------------------
+
+    def pure_cpu_latency(self, number: int) -> QueryLatency:
+        """Disaggregated storage: ship text, parse and execute on host."""
+        profile = self.profile(number)
+        scan_bytes = self.scanned_text_bytes(number)
+        transfer = scan_bytes / LINK_BYTES_PER_NS
+        parse = self.cost.parse_text_ns(scan_bytes)
+        ops = self.cost.relational_ns(profile.stats, self.scale_ratio)
+        # Transfer overlaps compute; parsing + operators serialise on the host.
+        total = max(transfer, parse + ops)
+        return QueryLatency(number, total, transfer, parse, ops)
+
+    def offloaded_latency(self, number: int, device_psf_bytes_per_ns: float) -> QueryLatency:
+        """PSF pushed into the computational SSD for every scanned table.
+
+        The datasource API pushes the parse + projection (+ filter where the
+        query has a device-evaluable predicate, i.e. on lineitem) down per
+        table; the host only ingests reduced binary columns and runs the
+        remaining operators.
+        """
+        if device_psf_bytes_per_ns <= 0:
+            raise AnalyticsError("device PSF throughput must be positive")
+        profile = self.profile(number)
+        meta = query_meta(number)
+        ops = self.cost.relational_ns(profile.stats, self.scale_ratio)
+        all_bytes = self.scanned_text_bytes(number)
+        lineitem_bytes = (
+            self.scanned_text_bytes(number, "lineitem") if meta.uses_lineitem else 0.0
+        )
+        other_bytes = all_bytes - lineitem_bytes
+        device = all_bytes / device_psf_bytes_per_ns
+        reduced = other_bytes * OTHER_TABLE_COL_FRACTION * BINARY_DENSITY
+        reduced += (
+            lineitem_bytes
+            * meta.lineitem_row_selectivity
+            * meta.lineitem_col_fraction
+            * BINARY_DENSITY
+        )
+        transfer = reduced / LINK_BYTES_PER_NS
+        ingest = self.cost.ingest_binary_ns(reduced)
+        storage = max(device, transfer)
+        total = storage + ingest + ops
+        return QueryLatency(number, total, storage, 0.0, ingest + ops)
+
+    # -- sweeps -----------------------------------------------------------------------
+
+    def figure15(
+        self, psf_rates: Dict[str, float], queries: Optional[List[int]] = None
+    ) -> Dict[str, Dict[int, QueryLatency]]:
+        """Per-query end-to-end latencies: pure CPU + each configuration.
+
+        ``psf_rates`` maps configuration name -> device PSF throughput in
+        bytes/ns (from the SSD simulator).
+        """
+        numbers = queries or query_numbers()
+        out: Dict[str, Dict[int, QueryLatency]] = {"PureCPU": {}}
+        for n in numbers:
+            out["PureCPU"][n] = self.pure_cpu_latency(n)
+        for config, rate in psf_rates.items():
+            out[config] = {n: self.offloaded_latency(n, rate) for n in numbers}
+        return out

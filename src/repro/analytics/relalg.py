@@ -1,0 +1,222 @@
+"""Mini relational-algebra engine: columnar tables + the operators the
+22 TPC-H queries need (scan/filter/project/hash-join/group-aggregate/sort).
+
+Every operator records how many rows and bytes it touched in a shared
+:class:`ExecutionStats`, which is what the host cost model prices when
+estimating query CPU time (Figure 15).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalyticsError
+
+
+@dataclass
+class ExecutionStats:
+    """Operator-level work counters for one query execution."""
+
+    rows_scanned: int = 0
+    rows_filtered_in: int = 0
+    rows_joined: int = 0
+    rows_aggregated: int = 0
+    rows_sorted: int = 0
+    build_rows: int = 0
+
+    def merge(self, other: "ExecutionStats") -> None:
+        self.rows_scanned += other.rows_scanned
+        self.rows_filtered_in += other.rows_filtered_in
+        self.rows_joined += other.rows_joined
+        self.rows_aggregated += other.rows_aggregated
+        self.rows_sorted += other.rows_sorted
+        self.build_rows += other.build_rows
+
+
+class Table:
+    """A columnar table: named columns of equal length."""
+
+    def __init__(self, name: str, columns: Dict[str, List[Any]]) -> None:
+        lengths = {len(col) for col in columns.values()}
+        if len(lengths) > 1:
+            raise AnalyticsError(f"table {name}: ragged columns {lengths}")
+        self.name = name
+        self.columns = columns
+        self.nrows = lengths.pop() if lengths else 0
+        self.stats = ExecutionStats()
+
+    # -- basics ------------------------------------------------------------------
+
+    def column(self, name: str) -> List[Any]:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise AnalyticsError(
+                f"table {self.name} has no column {name!r}; has {tuple(self.columns)}"
+            ) from None
+
+    def row(self, i: int) -> Dict[str, Any]:
+        return {name: col[i] for name, col in self.columns.items()}
+
+    def iter_rows(self) -> Iterable[Dict[str, Any]]:
+        names = list(self.columns)
+        cols = [self.columns[n] for n in names]
+        for values in zip(*cols):
+            yield dict(zip(names, values))
+
+    def _derive(self, name: str, columns: Dict[str, List[Any]]) -> "Table":
+        out = Table(name, columns)
+        out.stats.merge(self.stats)
+        return out
+
+    # -- operators -----------------------------------------------------------------
+
+    def filter(self, predicate: Callable[[Dict[str, Any]], bool]) -> "Table":
+        """Row-wise selection; predicate sees a dict of column values."""
+        keep: List[int] = []
+        names = list(self.columns)
+        cols = [self.columns[n] for n in names]
+        for i, values in enumerate(zip(*cols)):
+            if predicate(dict(zip(names, values))):
+                keep.append(i)
+        out_cols = {n: [self.columns[n][i] for i in keep] for n in self.columns}
+        out = self._derive(self.name, out_cols)
+        out.stats.rows_scanned += self.nrows
+        out.stats.rows_filtered_in += len(keep)
+        return out
+
+    def filter_eq(self, column: str, value: Any) -> "Table":
+        return self.filter(lambda r: r[column] == value)
+
+    def project(self, columns: Sequence[str]) -> "Table":
+        out = self._derive(self.name, {c: list(self.column(c)) for c in columns})
+        out.stats.rows_scanned += self.nrows
+        return out
+
+    def extend(self, name: str, fn: Callable[[Dict[str, Any]], Any]) -> "Table":
+        """Add a computed column."""
+        values = [fn(row) for row in self.iter_rows()]
+        cols = {c: list(v) for c, v in self.columns.items()}
+        cols[name] = values
+        out = self._derive(self.name, cols)
+        out.stats.rows_scanned += self.nrows
+        return out
+
+    def join(
+        self,
+        other: "Table",
+        left_key: str,
+        right_key: str,
+        how: str = "inner",
+    ) -> "Table":
+        """Hash equi-join. Column name collisions keep the left value."""
+        if how not in ("inner", "semi", "anti"):
+            raise AnalyticsError(f"unsupported join type {how!r}")
+        index: Dict[Any, List[int]] = defaultdict(list)
+        for i, key in enumerate(other.column(right_key)):
+            index[key].append(i)
+        left_names = list(self.columns)
+        right_names = (
+            [] if how in ("semi", "anti") else [n for n in other.columns if n not in self.columns]
+        )
+        out_cols: Dict[str, List[Any]] = {n: [] for n in left_names + right_names}
+        matched = 0
+        for i, key in enumerate(self.column(left_key)):
+            hits = index.get(key, [])
+            if how == "semi":
+                if hits:
+                    matched += 1
+                    for n in left_names:
+                        out_cols[n].append(self.columns[n][i])
+                continue
+            if how == "anti":
+                if not hits:
+                    for n in left_names:
+                        out_cols[n].append(self.columns[n][i])
+                continue
+            for j in hits:
+                matched += 1
+                for n in left_names:
+                    out_cols[n].append(self.columns[n][i])
+                for n in right_names:
+                    out_cols[n].append(other.columns[n][j])
+        out = Table(f"{self.name}*{other.name}", {n: out_cols[n] for n in out_cols})
+        out.stats.merge(self.stats)
+        out.stats.merge(other.stats)
+        out.stats.build_rows += other.nrows
+        out.stats.rows_joined += self.nrows + matched
+        return out
+
+    def group_by(
+        self,
+        keys: Sequence[str],
+        aggregates: Dict[str, Tuple[str, Optional[Callable[[Dict[str, Any]], Any]]]],
+    ) -> "Table":
+        """Group + aggregate.
+
+        ``aggregates`` maps output column -> (op, row_fn) with op in
+        {sum, min, max, count, avg}; ``row_fn`` computes the aggregated
+        expression per row (None means count).
+        """
+        groups: Dict[Tuple[Any, ...], List[Dict[str, Any]]] = defaultdict(list)
+        for row in self.iter_rows():
+            groups[tuple(row[k] for k in keys)].append(row)
+        out_cols: Dict[str, List[Any]] = {k: [] for k in keys}
+        for out_name in aggregates:
+            out_cols[out_name] = []
+        for key, rows in groups.items():
+            for k, v in zip(keys, key):
+                out_cols[k].append(v)
+            for out_name, (op, fn) in aggregates.items():
+                if op == "count":
+                    out_cols[out_name].append(len(rows))
+                    continue
+                values = [fn(r) for r in rows]
+                if op == "sum":
+                    out_cols[out_name].append(sum(values))
+                elif op == "min":
+                    out_cols[out_name].append(min(values))
+                elif op == "max":
+                    out_cols[out_name].append(max(values))
+                elif op == "avg":
+                    out_cols[out_name].append(sum(values) / len(values))
+                else:
+                    raise AnalyticsError(f"unknown aggregate op {op!r}")
+        out = self._derive(f"{self.name}#g", out_cols)
+        out.stats.rows_aggregated += self.nrows
+        return out
+
+    def order_by(self, keys: Sequence[Tuple[str, bool]]) -> "Table":
+        """Sort by [(column, descending)] pairs."""
+        indices = list(range(self.nrows))
+        for column, descending in reversed(list(keys)):
+            col = self.column(column)
+            indices.sort(key=lambda i: col[i], reverse=descending)
+        out_cols = {n: [col[i] for i in indices] for n, col in self.columns.items()}
+        out = self._derive(self.name, out_cols)
+        out.stats.rows_sorted += self.nrows
+        return out
+
+    def limit(self, n: int) -> "Table":
+        return self._derive(self.name, {c: col[:n] for c, col in self.columns.items()})
+
+    def distinct(self, columns: Sequence[str]) -> "Table":
+        seen = set()
+        keep: List[int] = []
+        cols = [self.column(c) for c in columns]
+        for i in range(self.nrows):
+            key = tuple(col[i] for col in cols)
+            if key not in seen:
+                seen.add(key)
+                keep.append(i)
+        out = self._derive(self.name, {c: [col[i] for i in keep] for c, col in self.columns.items()})
+        out.stats.rows_aggregated += self.nrows
+        return out
+
+    def __len__(self) -> int:
+        return self.nrows
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Table({self.name!r}, rows={self.nrows}, cols={tuple(self.columns)})"

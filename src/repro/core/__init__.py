@@ -1,0 +1,24 @@
+"""Cycle-approximate core timing: pipeline model, kernel runner, UDP lane.
+
+This package plays the role of Gem5 in the paper's hybrid methodology
+(Figure 11): it executes kernels instruction by instruction, charges cycles
+through the per-config memory hierarchy, and emits the timed page-level I/O
+trace that the flash simulator retimes.
+"""
+
+from repro.core.pipeline import PipelineModel, PipelineParams
+from repro.core.core import CoreModel, CoreRunResult, PageTouch
+from repro.core.udp import UDPLaneModel, UDP_ISA_FACTORS
+from repro.core.timing import ClockModel, clock_period_ns
+
+__all__ = [
+    "PipelineModel",
+    "PipelineParams",
+    "CoreModel",
+    "CoreRunResult",
+    "PageTouch",
+    "UDPLaneModel",
+    "UDP_ISA_FACTORS",
+    "ClockModel",
+    "clock_period_ns",
+]

@@ -1,0 +1,90 @@
+"""In-order 5-stage pipeline timing model (ibex-class RV32IM core).
+
+Every instruction costs one base cycle; the model adds:
+
+* multiplier/divider occupancy for M-extension ops,
+* a taken-branch redirect penalty (branch resolved in EX),
+* data-side stalls from the memory hierarchy for loads/stores,
+* stream-head FIFO latency for stream instructions (0 extra when the
+  prefetched head FIFO has the data, which is the common case).
+
+The model is deliberately scalar and in-order: that is the compute-engine
+class every configuration in Table IV uses (8x in-order RISC-V @ 1 GHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa.instructions import InstrKind
+from repro.isa.interpreter import StepInfo
+from repro.mem.hierarchy import AccessType, MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class PipelineParams:
+    """Latency knobs of the in-order pipeline."""
+
+    mul_extra_cycles: int = 2  # 3-cycle multiplier
+    div_extra_cycles: int = 11  # 12-cycle iterative divider
+    taken_branch_penalty: int = 1  # redirect bubble
+    jump_penalty: int = 1
+    stream_head_extra: int = 0  # prefetched head FIFO: no stall when ready
+
+
+@dataclass
+class PipelineStats:
+    """Where cycles went, by instruction kind."""
+
+    cycles_by_kind: Dict[InstrKind, float] = field(default_factory=dict)
+    branch_penalty_cycles: float = 0.0
+    muldiv_extra_cycles: float = 0.0
+
+    def add(self, kind: InstrKind, cycles: float) -> None:
+        self.cycles_by_kind[kind] = self.cycles_by_kind.get(kind, 0.0) + cycles
+
+
+class PipelineModel:
+    """Charges cycles for interpreter steps through a memory hierarchy."""
+
+    def __init__(self, hierarchy: MemoryHierarchy, params: PipelineParams = PipelineParams()) -> None:
+        self.hierarchy = hierarchy
+        self.params = params
+        self.stats = PipelineStats()
+
+    def cost(self, info: StepInfo, cycle: float) -> float:
+        """Cycles consumed by this step (>= 1 for executed instructions)."""
+        p = self.params
+        cycles = 1.0
+        kind = info.kind
+        if kind is InstrKind.MUL:
+            cycles += p.mul_extra_cycles
+            self.stats.muldiv_extra_cycles += p.mul_extra_cycles
+        elif kind is InstrKind.DIV:
+            cycles += p.div_extra_cycles
+            self.stats.muldiv_extra_cycles += p.div_extra_cycles
+        elif kind is InstrKind.BRANCH:
+            if info.branch_taken:
+                cycles += p.taken_branch_penalty
+                self.stats.branch_penalty_cycles += p.taken_branch_penalty
+        elif kind is InstrKind.JUMP:
+            cycles += p.jump_penalty
+            self.stats.branch_penalty_cycles += p.jump_penalty
+        elif kind in (InstrKind.LOAD, InstrKind.STORE) and info.mem_addr is not None:
+            access = AccessType.STORE if info.mem_is_write else AccessType.LOAD
+            result = self.hierarchy.access(
+                pc=info.pc, addr=info.mem_addr, size=info.mem_size, access=access, cycle=cycle
+            )
+            cycles += result.stall_cycles
+        elif kind in (InstrKind.STREAM_LOAD, InstrKind.STREAM_STORE):
+            cycles += p.stream_head_extra
+        # The base cycle is 'compute'; extra stall cycles were already booked
+        # into the hierarchy's buckets for memory ops. Book the compute cycle:
+        self.hierarchy.add_compute_cycles(1.0)
+        non_mem_extra = cycles - 1.0
+        if kind in (InstrKind.MUL, InstrKind.DIV, InstrKind.BRANCH, InstrKind.JUMP):
+            # Occupancy/redirect bubbles are compute-side cycles, not memory.
+            self.hierarchy.add_compute_cycles(non_mem_extra)
+        self.stats.add(kind, cycles)
+        return cycles

@@ -1,0 +1,126 @@
+"""Clock-period model for the Table IV cores (paper Figure 20/21).
+
+The anchor design is a classical five-stage in-order pipeline (IF, DE/RR,
+EX, MEM, WB) synthesised at a 14 nm-class node. The MEM stage holds the
+data-side memory structure; its access time (from the cacti-lite SRAM
+model) determines whether the structure fits in one cycle, needs two, or —
+for the stream buffer's small prefetched head FIFO — is so fast that the
+critical path shifts to instruction fetch, shortening the whole cycle.
+
+Paper findings reproduced here:
+
+* stream buffer head FIFO reaches ~0.5 ns even with a 64 B interface, so
+  the ``AssasinSb`` clock period drops ~11 % (critical path becomes IF);
+* a 64 KiB scratchpad with an 8 B port needs 2 cycles at 1 GHz, and the
+  two-cycle split brings no cycle-time benefit (``AssasinSp`` keeps the
+  1 ns period and pays the extra access cycle);
+* cache-fronted configurations keep the 1 ns period (the pipelined L1
+  access bounds MEM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import CoreConfig
+from repro.power.cacti import (
+    SRAMSpec,
+    scratchpad_spec,
+    sram_access_time_ns,
+    streambuffer_head_fifo_spec,
+)
+
+# Synthesised stage delays excluding the data-memory structure (ns).
+STAGE_DELAYS_NS: Dict[str, float] = {
+    "IF": 0.89,
+    "DE": 0.80,
+    "EX": 0.85,
+    "WB": 0.62,
+}
+
+BASE_PERIOD_NS = 1.0  # the 1 GHz design point of Table IV
+
+
+@dataclass(frozen=True)
+class ClockResult:
+    """Clock period plus any multi-cycle access requirement."""
+
+    period_ns: float
+    scratchpad_cycles: int  # cycles per scratchpad access at this period
+    critical_stage: str
+
+
+def mem_stage_structure(core: CoreConfig) -> SRAMSpec:
+    """The structure sitting in the MEM stage for this core."""
+    if core.streambuffer is not None:
+        return streambuffer_head_fifo_spec(width=core.streambuffer.max_access_bytes)
+    if core.l1d is not None:
+        return SRAMSpec(
+            size_bytes=core.l1d.size_bytes,
+            port_width_bytes=8,
+            ways=core.l1d.ways,
+            name="L1D",
+        )
+    if core.scratchpad is not None:
+        return scratchpad_spec(core.scratchpad.size_bytes, core.scratchpad.port_width_bytes)
+    if core.pingpong is not None:
+        return scratchpad_spec(core.pingpong.size_bytes, core.pingpong.port_width_bytes)
+    return SRAMSpec(size_bytes=1024, name="regfile-only")
+
+
+def clock_period_ns(core: CoreConfig) -> ClockResult:
+    """Clock period and scratchpad multi-cycle requirement for a core."""
+    other_stages = max(STAGE_DELAYS_NS.values())
+    structure = mem_stage_structure(core)
+    access_ns = sram_access_time_ns(structure)
+
+    if core.streambuffer is not None and core.l1d is None:
+        # Pure stream configuration: MEM holds only the fast head FIFO, the
+        # critical path shifts to IF.
+        period = max(other_stages, access_ns)
+        critical = "IF" if period == other_stages else "MEM"
+        sp_cycles = _scratchpad_cycles(core, period)
+        return ClockResult(period_ns=period, scratchpad_cycles=sp_cycles, critical_stage=critical)
+
+    if core.l1d is not None:
+        # Pipelined cache access bounds MEM at the base period.
+        period = BASE_PERIOD_NS
+        return ClockResult(
+            period_ns=period,
+            scratchpad_cycles=_scratchpad_cycles(core, period),
+            critical_stage="MEM",
+        )
+
+    # Scratchpad-fronted core (AssasinSp, UDP lane): the large random-access
+    # scratchpad cannot be usefully split, so the period stays at the base
+    # 1 ns and accesses that exceed it become 2-cycle (paper Section VI-F).
+    period = BASE_PERIOD_NS
+    return ClockResult(
+        period_ns=period,
+        scratchpad_cycles=_scratchpad_cycles(core, period),
+        critical_stage="MEM",
+    )
+
+
+def _scratchpad_cycles(core: CoreConfig, period_ns: float) -> int:
+    pad = core.scratchpad or core.pingpong
+    if pad is None:
+        return 1
+    access = sram_access_time_ns(scratchpad_spec(pad.size_bytes, pad.port_width_bytes))
+    return max(1, -(-int(access * 1000) // int(period_ns * 1000)))
+
+
+class ClockModel:
+    """Per-config clock results, memoised."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[str, ClockResult] = {}
+
+    def result(self, core: CoreConfig) -> ClockResult:
+        if core.name not in self._cache:
+            self._cache[core.name] = clock_period_ns(core)
+        return self._cache[core.name]
+
+    def frequency_ghz(self, core: CoreConfig) -> float:
+        return 1.0 / self.result(core).period_ns

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ASSASIN reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause while still
+being able to distinguish subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An architecture or device configuration is inconsistent."""
+
+
+class AssemblyError(ReproError):
+    """The ISA assembler rejected a program."""
+
+
+class ExecutionError(ReproError):
+    """The ISA interpreter hit an illegal state (bad opcode, trap, ...)."""
+
+
+class MemoryError_(ReproError):
+    """A memory-system component was used outside its contract."""
+
+
+class StreamError(ReproError):
+    """Stream buffer misuse (bad stream id, overflow, underflow on store)."""
+
+
+class FlashError(ReproError):
+    """Flash array misuse (bad address, program-before-erase, ...)."""
+
+
+class FTLError(ReproError):
+    """Flash translation layer error (unmapped LPA, capacity exceeded)."""
+
+
+class DeviceError(ReproError):
+    """SSD device-level protocol error (bad scomp request, ...)."""
+
+
+class KernelError(ReproError):
+    """An offloaded kernel was invoked with invalid parameters or data."""
+
+
+class AnalyticsError(ReproError):
+    """TPC-H substrate error (unknown table/column, malformed plan)."""

@@ -1,0 +1,21 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every module exposes ``run(...)`` returning a structured result and
+``render(result)`` producing the rows/series the paper reports. The
+benchmarks under ``benchmarks/`` execute these and assert the paper's
+qualitative shape; the examples print them.
+"""
+
+from repro.experiments.common import (
+    EVAL_CONFIG_NAMES,
+    adjusted_config,
+    offload_throughputs,
+    render_table,
+)
+
+__all__ = [
+    "EVAL_CONFIG_NAMES",
+    "adjusted_config",
+    "offload_throughputs",
+    "render_table",
+]

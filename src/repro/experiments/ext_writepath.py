@@ -1,0 +1,64 @@
+"""Extension experiment: write-path scomp (paper Section V-D).
+
+Erasure coding, encryption, and compression applied inline to data being
+*written*: host pages stream through the compute engines and the results
+(plus the source data, for parity kernels) land on flash. DRAM-staged
+engines shuttle every byte through the SSD DRAM before it even reaches the
+flash, so the memory wall hits the write path just as hard as the read
+path — and ASSASIN removes it the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.config import all_configs
+from repro.experiments.common import render_table
+from repro.kernels import get_kernel
+from repro.ssd.device import ComputationalSSD
+
+DATA_BYTES = 16 << 20
+KERNELS = ("raid4", "raid6", "aes", "compress")
+CONFIGS = ("Baseline", "AssasinSp", "AssasinSb")
+
+
+@dataclass
+class WritePathResult:
+    # kernel -> config -> (GB/s, limiter)
+    results: Dict[str, Dict[str, Tuple[float, str]]]
+
+    def throughput(self, kernel: str, config: str) -> float:
+        return self.results[kernel][config][0]
+
+    def speedup(self, kernel: str, config: str = "AssasinSb") -> float:
+        return self.throughput(kernel, config) / self.throughput(kernel, "Baseline")
+
+
+def run(data_bytes: int = DATA_BYTES, kernels=KERNELS, config_names=CONFIGS) -> WritePathResult:
+    configs = all_configs()
+    results: Dict[str, Dict[str, Tuple[float, str]]] = {}
+    for kernel_name in kernels:
+        per_kernel: Dict[str, Tuple[float, str]] = {}
+        for name in config_names:
+            device = ComputationalSSD(configs[name])
+            result = device.offload_write_path(get_kernel(kernel_name), data_bytes)
+            per_kernel[name] = (result.throughput_gbps, result.limiter)
+        results[kernel_name] = per_kernel
+    return WritePathResult(results=results)
+
+
+def render(result: WritePathResult) -> str:
+    configs = list(next(iter(result.results.values())))
+    rows = []
+    for kernel, per_config in result.results.items():
+        row = [kernel]
+        for config in configs:
+            gbps, limiter = per_config[config]
+            row.append(f"{gbps:.2f} ({limiter})")
+        rows.append(row)
+    return render_table(
+        ("kernel",) + tuple(configs),
+        rows,
+        title="Extension: write-path scomp ingest throughput (GB/s)",
+    )

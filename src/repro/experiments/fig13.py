@@ -1,0 +1,78 @@
+"""Figure 13: throughput of standalone offloaded functions.
+
+Stat, RAID4, RAID6 and AES over an 8 GiB array (64 MiB simulated — the
+streaming kernels are size-invariant past startup) across the six Table IV
+configurations. Expected shape: AssasinSp/Sb 1.3-2.0x over Baseline on the
+first three (memory-intensive) functions, Sb ~= Sp + ~10%, AES flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.experiments.common import (
+    DEFAULT_DATA_BYTES,
+    EVAL_CONFIG_NAMES,
+    offload_throughputs,
+    render_table,
+)
+from repro.ssd.firmware import OffloadResult
+
+KERNELS = ("stat", "raid4", "raid6", "aes")
+
+
+@dataclass
+class Fig13Result:
+    results: Dict[str, Dict[str, OffloadResult]]  # kernel -> config -> result
+
+    def throughput(self, kernel: str, config: str) -> float:
+        return self.results[kernel][config].throughput_gbps
+
+    def speedup(self, kernel: str, config: str, baseline: str = "Baseline") -> float:
+        return self.throughput(kernel, config) / self.throughput(kernel, baseline)
+
+
+def run(data_bytes: int = DEFAULT_DATA_BYTES, adjusted: bool = False) -> Fig13Result:
+    results = {
+        kernel: offload_throughputs(kernel, data_bytes=data_bytes, adjusted=adjusted)
+        for kernel in KERNELS
+    }
+    return Fig13Result(results=results)
+
+
+def render(result: Fig13Result) -> str:
+    from repro.utils.charts import grouped_bar_chart
+
+    rows = []
+    for kernel in KERNELS:
+        row = [kernel]
+        for config in EVAL_CONFIG_NAMES:
+            row.append(result.throughput(kernel, config))
+        rows.append(row)
+    table = render_table(
+        ("function",) + EVAL_CONFIG_NAMES,
+        rows,
+        title="Figure 13: standalone offload throughput (GB/s, device-level)",
+    )
+    chart = grouped_bar_chart(
+        [
+            (kernel, [(c, result.throughput(kernel, c)) for c in EVAL_CONFIG_NAMES])
+            for kernel in KERNELS
+        ],
+        unit=" GB/s",
+    )
+    table = table + "\n\n" + chart
+    notes = [
+        "",
+        "speedups over Baseline:",
+    ]
+    for kernel in KERNELS:
+        notes.append(
+            f"  {kernel:6s}: "
+            + " ".join(
+                f"{config}={result.speedup(kernel, config):.2f}x"
+                for config in ("Prefetch", "AssasinSp", "AssasinSb")
+            )
+        )
+    return table + "\n" + "\n".join(notes)

@@ -1,0 +1,83 @@
+"""Figure 15: end-to-end TPC-H latency (host + computational SSD).
+
+For all 22 queries: pure-CPU (disaggregated storage), Baseline offload, and
+AssasinSb offload. Paper shape: Baseline ~1.9x over pure CPU (GeoMean);
+AssasinSb a further 1.1-1.5x (GeoMean ~1.3x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analytics.engine import AnalyticsEngine, QueryLatency
+from repro.config import all_configs
+from repro.experiments.common import adjusted_config, render_table
+from repro.kernels import get_kernel
+from repro.ssd.device import simulate_offload
+from repro.utils.stats import geomean
+
+PSF_DATA_BYTES = 32 << 20
+DEFAULT_CONFIGS = ("Baseline", "UDP", "Prefetch", "AssasinSp", "AssasinSb")
+
+
+def measure_psf_rates(
+    config_names=DEFAULT_CONFIGS, data_bytes: int = PSF_DATA_BYTES, adjusted: bool = True
+) -> Dict[str, float]:
+    """Device PSF throughput (bytes/ns) per configuration."""
+    configs = all_configs()
+    rates = {}
+    for name in config_names:
+        cfg = adjusted_config(configs[name]) if adjusted else configs[name]
+        kernel = get_kernel("psf", filter_lo=0, filter_hi=3_000_000)
+        rates[name] = simulate_offload(cfg, kernel, data_bytes=data_bytes).throughput_bytes_per_ns
+    return rates
+
+
+@dataclass
+class Fig15Result:
+    latencies: Dict[str, Dict[int, QueryLatency]]
+    psf_rates: Dict[str, float]
+
+    def speedups(self, over: str, under: str) -> List[float]:
+        return [
+            self.latencies[over][n].total_ns / self.latencies[under][n].total_ns
+            for n in sorted(self.latencies[over])
+        ]
+
+    @property
+    def baseline_over_pure(self) -> float:
+        return geomean(self.speedups("PureCPU", "Baseline"))
+
+    @property
+    def sb_over_baseline(self) -> float:
+        return geomean(self.speedups("Baseline", "AssasinSb"))
+
+
+def run(
+    gen_scale_factor: float = 0.004,
+    target_scale_factor: float = 10.0,
+    psf_rates: Optional[Dict[str, float]] = None,
+    queries: Optional[List[int]] = None,
+) -> Fig15Result:
+    rates = psf_rates or measure_psf_rates()
+    engine = AnalyticsEngine(gen_scale_factor, target_scale_factor)
+    latencies = engine.figure15(rates, queries=queries)
+    return Fig15Result(latencies=latencies, psf_rates=rates)
+
+
+def render(result: Fig15Result) -> str:
+    series = list(result.latencies)
+    rows = []
+    for n in sorted(result.latencies["PureCPU"]):
+        rows.append([f"Q{n}"] + [result.latencies[s][n].total_ms for s in series])
+    table = render_table(
+        ("query",) + tuple(series),
+        rows,
+        title="Figure 15: end-to-end TPC-H latency (ms, SF10 model)",
+    )
+    footer = (
+        f"\nGeoMean Baseline over PureCPU: {result.baseline_over_pure:.2f}x (paper ~1.9x)"
+        f"\nGeoMean AssasinSb over Baseline: {result.sb_over_baseline:.2f}x (paper ~1.3x)"
+    )
+    return table + footer

@@ -1,0 +1,82 @@
+"""Figure 20: synthesised timing of the ASSASIN memory-architecture options.
+
+Access times for scratchpads of varied size and port width versus the
+stream buffer's prefetched head FIFO, plus the resulting core clock period
+per configuration. Anchors from the paper: the SB head reaches ~0.5 ns even
+with a 64 B interface; a 64 KB scratchpad with an 8 B port needs 2 cycles
+at 1 GHz; the AssasinSb core's clock period shrinks ~11 % (critical path
+moves to IF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.config import CONFIG_NAMES, all_configs
+from repro.core.timing import BASE_PERIOD_NS, ClockResult, clock_period_ns
+from repro.experiments.common import render_table
+from repro.power.cacti import (
+    scratchpad_spec,
+    sram_access_time_ns,
+    streambuffer_head_fifo_spec,
+)
+from repro.utils.units import KIB
+
+SP_SIZES = (8 * KIB, 16 * KIB, 32 * KIB, 64 * KIB)
+SP_WIDTHS = (8, 64)
+SB_WIDTHS = (1, 8, 64)
+
+
+@dataclass
+class Fig20Result:
+    scratchpad_ns: Dict[Tuple[int, int], float]  # (size, width) -> access ns
+    streambuffer_ns: Dict[int, float]  # width -> access ns
+    clocks: Dict[str, ClockResult]  # config -> clock result
+
+    @property
+    def sb_cycle_reduction(self) -> float:
+        sb = self.clocks["AssasinSb"].period_ns
+        return 1.0 - sb / BASE_PERIOD_NS
+
+
+def run() -> Fig20Result:
+    scratchpad = {
+        (size, width): sram_access_time_ns(scratchpad_spec(size, width))
+        for size in SP_SIZES
+        for width in SP_WIDTHS
+    }
+    streambuffer = {
+        width: sram_access_time_ns(streambuffer_head_fifo_spec(width))
+        for width in SB_WIDTHS
+    }
+    clocks = {name: clock_period_ns(cfg.core) for name, cfg in all_configs().items()}
+    return Fig20Result(scratchpad_ns=scratchpad, streambuffer_ns=streambuffer, clocks=clocks)
+
+
+def render(result: Fig20Result) -> str:
+    sp_rows: List[List[object]] = []
+    for size in SP_SIZES:
+        sp_rows.append(
+            [f"SP {size // KIB}KB"]
+            + [result.scratchpad_ns[(size, w)] for w in SP_WIDTHS]
+        )
+    sp_table = render_table(
+        ("structure",) + tuple(f"{w}B port (ns)" for w in SP_WIDTHS),
+        sp_rows,
+        title="Figure 20: SRAM access times (scratchpads)",
+    )
+    sb_rows = [[f"SB head FIFO {w}B", t] for w, t in result.streambuffer_ns.items()]
+    sb_table = render_table(("structure", "access (ns)"), sb_rows)
+    clock_rows = [
+        [name, result.clocks[name].period_ns, result.clocks[name].scratchpad_cycles,
+         result.clocks[name].critical_stage]
+        for name in CONFIG_NAMES
+        if name in result.clocks
+    ]
+    clock_table = render_table(
+        ("config", "clock period (ns)", "SP cycles", "critical stage"),
+        clock_rows,
+        title=f"Clock periods (AssasinSb cycle reduction: {result.sb_cycle_reduction:.0%})",
+    )
+    return "\n\n".join([sp_table, sb_table, clock_table])

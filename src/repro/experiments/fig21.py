@@ -1,0 +1,63 @@
+"""Figure 21: throughput after the Figure 20 timing adjustment.
+
+Standalone functions and the PSF pipeline re-run with each configuration's
+achievable clock (AssasinSb at ~1.12 GHz, scratchpad configs paying the
+2-cycle access). Paper: AssasinSb improves to 1.5-2.4x over Baseline;
+AssasinSp degrades to 1.1-1.4x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import fig13, fig14
+from repro.experiments.common import EVAL_CONFIG_NAMES, render_table
+from repro.utils.stats import geomean
+
+
+@dataclass
+class Fig21Result:
+    standalone: fig13.Fig13Result
+    psf: fig14.Fig14Result
+
+    def speedup(self, workload: str, config: str) -> float:
+        if workload in fig13.KERNELS:
+            return self.standalone.speedup(workload, config)
+        return self.psf.geomean_speedup(config)
+
+    def speedup_range(self, config: str):
+        speedups = [self.standalone.speedup(k, config) for k in fig13.KERNELS]
+        speedups.append(self.psf.geomean_speedup(config))
+        return min(speedups), max(speedups), geomean(speedups)
+
+
+def run(data_bytes: int = 32 << 20) -> Fig21Result:
+    return Fig21Result(
+        standalone=fig13.run(data_bytes=data_bytes, adjusted=True),
+        psf=fig14.run(adjusted=True),
+    )
+
+
+def render(result: Fig21Result) -> str:
+    workloads = list(fig13.KERNELS) + ["psf (GeoMean)"]
+    rows = []
+    for workload in fig13.KERNELS:
+        rows.append(
+            [workload]
+            + [result.standalone.speedup(workload, c) for c in EVAL_CONFIG_NAMES]
+        )
+    rows.append(
+        ["psf (GeoMean)"] + [result.psf.geomean_speedup(c) for c in EVAL_CONFIG_NAMES]
+    )
+    table = render_table(
+        ("workload",) + EVAL_CONFIG_NAMES,
+        rows,
+        title="Figure 21: timing-adjusted speedup over Baseline",
+    )
+    sp = result.speedup_range("AssasinSp")
+    sb = result.speedup_range("AssasinSb")
+    footer = (
+        f"\nAssasinSp range: {sp[0]:.2f}-{sp[1]:.2f}x (paper 1.1-1.4x)"
+        f"\nAssasinSb range: {sb[0]:.2f}-{sb[1]:.2f}x (paper 1.5-2.4x)"
+    )
+    return table + footer

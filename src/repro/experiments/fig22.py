@@ -1,0 +1,69 @@
+"""Table V + Figure 22: silicon cost and efficiency of the configurations.
+
+Table V lists per-subcomponent power/area; Figure 22 turns the timing-
+adjusted speedups into power efficiency (paper: ~2.0x for ASSASIN) and area
+efficiency (~3.2x) relative to the Baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import all_configs
+from repro.experiments.common import render_table
+from repro.power.models import ConfigCost, EfficiencyRow, efficiency_table, table5_components
+
+#: Configurations Table V itemises (Baseline, the accelerator, ASSASIN).
+TABLE5_CONFIGS = ("Baseline", "UDP", "AssasinSb")
+
+
+@dataclass
+class Fig22Result:
+    costs: Dict[str, ConfigCost]
+    efficiency: List[EfficiencyRow]
+
+    def row(self, name: str) -> EfficiencyRow:
+        for row in self.efficiency:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+
+def run(speedups: Optional[Dict[str, float]] = None) -> Fig22Result:
+    """``speedups`` come from Figure 21; sensible defaults otherwise."""
+    configs = all_configs()
+    costs = table5_components(configs)
+    speedups = speedups or {"Baseline": 1.0, "UDP": 1.3, "AssasinSb": 1.9}
+    rows = efficiency_table(configs, speedups)
+    return Fig22Result(costs=costs, efficiency=rows)
+
+
+def render(result: Fig22Result) -> str:
+    sections = []
+    for name in TABLE5_CONFIGS:
+        cost = result.costs[name]
+        rows = [[c.name, c.area_mm2, c.power_mw] for c in cost.components]
+        rows.append(["TOTAL per core", cost.per_core_area_mm2, cost.per_core_power_mw])
+        rows.append(
+            [f"TOTAL x{cost.num_cores} cores", cost.total_area_mm2, cost.total_power_mw]
+        )
+        sections.append(
+            render_table(
+                ("component", "area (mm^2)", "power (mW)"),
+                rows,
+                title=f"Table V ({name})",
+            )
+        )
+    eff_rows = [
+        [r.name, r.speedup, r.power_ratio, r.area_ratio, r.power_efficiency, r.area_efficiency]
+        for r in result.efficiency
+    ]
+    sections.append(
+        render_table(
+            ("config", "speedup", "power ratio", "area ratio", "power eff", "area eff"),
+            eff_rows,
+            title="Figure 22: efficiency vs Baseline (paper: ASSASIN 2.0x power, 3.2x area)",
+        )
+    )
+    return "\n\n".join(sections)

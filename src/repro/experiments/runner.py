@@ -1,0 +1,67 @@
+"""Run the full reproduction and emit one consolidated report.
+
+``python -m repro reproduce [--out report.txt] [--fast]`` executes every
+table and figure driver in paper order and concatenates their rendered
+output — the whole evaluation in one file.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from typing import Callable, List, Tuple
+
+from repro.experiments import (
+    ext_flash,
+    ext_mixed,
+    ext_writepath,
+    fig05,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig19,
+    fig20,
+    fig21,
+    fig22,
+    tables,
+)
+
+
+def _steps(fast: bool) -> List[Tuple[str, Callable[[], str]]]:
+    data = 8 << 20 if fast else 32 << 20
+    return [
+        ("Table I", tables.render_table1),
+        ("Table II", tables.render_table2),
+        ("Table III", tables.render_table3),
+        ("Figure 5 / §III-A", lambda: fig05.render(fig05.run())),
+        ("Table IV", tables.render_table4),
+        ("Figure 13", lambda: fig13.render(fig13.run(data_bytes=data))),
+        ("Figure 14", lambda: fig14.render(fig14.run(data_bytes=data))),
+        ("Figure 15", lambda: fig15.render(fig15.run())),
+        ("Figures 16-18", lambda: fig16.render(fig16.run(data_bytes=data))),
+        ("Figure 19", lambda: fig19.render(fig19.run(data_bytes=data))),
+        ("Figure 20", lambda: fig20.render(fig20.run())),
+        ("Figure 21", lambda: fig21.render(fig21.run(data_bytes=data))),
+        ("Table V + Figure 22", lambda: fig22.render(fig22.run())),
+        ("Extension: flash scaling", lambda: ext_flash.render(ext_flash.run(data))),
+        ("Extension: mixed I/O", lambda: ext_mixed.render(ext_mixed.run(data))),
+        ("Extension: write path", lambda: ext_writepath.render(ext_writepath.run(data))),
+    ]
+
+
+def reproduce_all(fast: bool = False, progress: bool = True) -> str:
+    """Run every experiment; returns the consolidated report text."""
+    out = io.StringIO()
+    out.write("ASSASIN (MICRO 2022) reproduction — consolidated report\n")
+    out.write("=" * 72 + "\n")
+    for title, step in _steps(fast):
+        start = time.time()
+        if progress:
+            print(f"[reproduce] {title} ...", flush=True)
+        rendered = step()
+        elapsed = time.time() - start
+        out.write(f"\n\n### {title}  ({elapsed:.1f}s)\n\n")
+        out.write(rendered)
+        out.write("\n")
+    return out.getvalue()

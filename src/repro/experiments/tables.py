@@ -1,0 +1,123 @@
+"""Tables I, II and IV: the survey and configuration tables."""
+
+from __future__ import annotations
+
+from repro.config import all_configs
+from repro.experiments.common import render_table
+from repro.survey.functions import (
+    FUNCTIONS,
+    STUDIES,
+    Domain,
+    domain_counts,
+    streaming_fraction,
+)
+
+
+def render_table1() -> str:
+    rows = []
+    for study in STUDIES:
+        rows.append(
+            [
+                study.name,
+                "x" if Domain.FILE_SYSTEM in study.domains else "",
+                "x" if Domain.DATABASE in study.domains else "",
+                "x" if Domain.OTHER in study.domains else "",
+            ]
+        )
+    counts = domain_counts()
+    rows.append(
+        ["TOTAL", counts[Domain.FILE_SYSTEM], counts[Domain.DATABASE], counts[Domain.OTHER]]
+    )
+    return render_table(
+        ("study", "file system", "database", "other"),
+        rows,
+        title="Table I: functions proposed for computational storage (22 studies)",
+    )
+
+
+def render_table2() -> str:
+    rows = [
+        [f.name, f.streaming_data, f.function_state,
+         "yes" if f.streaming else "no", f.kernel or "-"]
+        for f in FUNCTIONS
+    ]
+    table = render_table(
+        ("function", "streaming", "function state", "streamable", "kernel"),
+        rows,
+        title="Table II: stream-computing implementations of storage functions",
+    )
+    return table + f"\nstreaming fraction: {streaming_fraction():.0%}"
+
+
+def render_table3() -> str:
+    """Table III: the stream ISA extension, with its custom-0 encodings."""
+    from repro.isa.instructions import Instr
+    from repro.isa.stream_ext import encode_stream_instr
+
+    rows = [
+        (
+            "sload rd, sid, w",
+            "pop w bytes from input stream head into rd",
+            encode_stream_instr(Instr("sload", rd=10, sid=0, width=4)),
+        ),
+        (
+            "sstore rs2, sid, w",
+            "append low w bytes of rs2 to output stream",
+            encode_stream_instr(Instr("sstore", rs2=10, sid=0, width=4)),
+        ),
+        (
+            "sskip sid, imm",
+            "advance input stream head by imm bytes",
+            encode_stream_instr(Instr("sskip", sid=0, imm=16)),
+        ),
+        (
+            "savail rd, sid",
+            "rd = bytes buffered in the stream (CSR read)",
+            encode_stream_instr(Instr("savail", rd=10, sid=0)),
+        ),
+        (
+            "seos rd, sid",
+            "rd = 1 if the input stream is exhausted",
+            encode_stream_instr(Instr("seos", rd=10, sid=0)),
+        ),
+    ]
+    return render_table(
+        ("instruction", "description", "encoding [31:0] (example)"),
+        [(m, d, f"{w:#010x}") for m, d, w in rows],
+        title="Table III: stream ISA extension (custom-0 opcode space)",
+    )
+
+
+def render_table4() -> str:
+    rows = []
+    for name, cfg in all_configs().items():
+        core = cfg.core
+        mem_parts = []
+        if core.l1d:
+            mem_parts.append(f"L1D {core.l1d.size_bytes // 1024}KB/{core.l1d.ways}w")
+        if core.l2:
+            mem_parts.append(f"L2 {core.l2.size_bytes // 1024}KB/{core.l2.ways}w")
+        if core.prefetcher.value != "none":
+            mem_parts.append(f"{core.prefetcher.value.upper()} prefetcher")
+        if core.scratchpad:
+            mem_parts.append(f"SP {core.scratchpad.size_bytes // 1024}KB")
+        if core.pingpong:
+            mem_parts.append("ping-pong 64KB I + 64KB O")
+        if core.streambuffer:
+            sb = core.streambuffer
+            mem_parts.append(f"SB 64KB I + 64KB O (S={sb.num_streams} P={sb.pages_per_stream})")
+        rows.append(
+            [
+                name,
+                core.data_source.value,
+                cfg.num_cores,
+                f"{core.frequency_ghz:g} GHz",
+                "+stream ISA" if core.stream_isa else core.engine.value,
+                "; ".join(mem_parts),
+            ]
+        )
+    return render_table(
+        ("config", "data source", "cores", "clock", "ISA", "per-core MemArch"),
+        rows,
+        title="Table IV: configurations of in-SSD compute engines",
+    )

@@ -1,0 +1,28 @@
+"""NAND flash array simulator (the MQSim stand-in of the paper's Figure 11).
+
+Deterministic greedy-timeline model: each die tracks when it becomes free,
+each channel bus tracks when its next transfer slot opens, and requests are
+served in issue order — capturing die-level parallelism, channel
+serialisation, and the read/program/erase latency asymmetry of NAND.
+"""
+
+from repro.flash.onfi import ONFI_PROFILES, OnfiTiming
+from repro.flash.chip import FlashChip, PageState
+from repro.flash.channel import ChannelBus
+from repro.flash.array import FlashArray, PhysicalPageAddress, ServiceRecord
+from repro.flash.ecc import ECCStatus, decode_page, encode_page, inject_bit_errors
+
+__all__ = [
+    "ONFI_PROFILES",
+    "OnfiTiming",
+    "FlashChip",
+    "PageState",
+    "ChannelBus",
+    "FlashArray",
+    "PhysicalPageAddress",
+    "ServiceRecord",
+    "ECCStatus",
+    "encode_page",
+    "decode_page",
+    "inject_bit_errors",
+]

@@ -1,0 +1,120 @@
+"""The full flash array: channels x chips, with timed page service.
+
+Physical page addresses decompose hierarchically (channel, chip, die,
+plane, block, page). A read occupies the die for tR, then the page streams
+over the channel bus; a write streams over the bus first and then programs
+the die. The per-channel controllers in :mod:`repro.ssd` issue requests;
+this module owns the raw timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import FlashConfig
+from repro.errors import FlashError
+from repro.flash.channel import ChannelBus
+from repro.flash.chip import FlashChip
+
+
+@dataclass(frozen=True, order=True)
+class PhysicalPageAddress:
+    """A fully decomposed flash page location."""
+
+    channel: int
+    chip: int
+    die: int
+    plane: int
+    block: int
+    page: int
+
+    def flat_index(self, config: FlashConfig) -> int:
+        """Linearise to a unique page number within the array."""
+        c = self
+        idx = c.channel
+        idx = idx * config.chips_per_channel + c.chip
+        idx = idx * config.dies_per_chip + c.die
+        idx = idx * config.planes_per_die + c.plane
+        idx = idx * config.blocks_per_plane + c.block
+        idx = idx * config.pages_per_block + c.page
+        return idx
+
+    @classmethod
+    def from_flat(cls, index: int, config: FlashConfig) -> "PhysicalPageAddress":
+        if not 0 <= index < config.total_pages:
+            raise FlashError(f"flat page index {index} outside array of {config.total_pages}")
+        index, page = divmod(index, config.pages_per_block)
+        index, block = divmod(index, config.blocks_per_plane)
+        index, plane = divmod(index, config.planes_per_die)
+        index, die = divmod(index, config.dies_per_chip)
+        channel, chip = divmod(index, config.chips_per_channel)
+        return cls(channel, chip, die, plane, block, page)
+
+
+@dataclass(frozen=True)
+class ServiceRecord:
+    """Timing of one serviced page operation."""
+
+    ppa: PhysicalPageAddress
+    issue_ns: float
+    array_done_ns: float  # die operation complete
+    done_ns: float  # data fully transferred (read) or programmed (write)
+
+
+class FlashArray:
+    """All channels and chips of the SSD's flash."""
+
+    def __init__(self, config: FlashConfig) -> None:
+        self.config = config
+        self.chips: List[List[FlashChip]] = [
+            [FlashChip(config, ch, i) for i in range(config.chips_per_channel)]
+            for ch in range(config.channels)
+        ]
+        self.channels: List[ChannelBus] = [
+            ChannelBus(config, ch) for ch in range(config.channels)
+        ]
+        self.reads_served = 0
+        self.writes_served = 0
+
+    def _chip(self, ppa: PhysicalPageAddress) -> FlashChip:
+        if not 0 <= ppa.channel < self.config.channels:
+            raise FlashError(f"channel {ppa.channel} outside array")
+        if not 0 <= ppa.chip < self.config.chips_per_channel:
+            raise FlashError(f"chip {ppa.chip} outside channel")
+        return self.chips[ppa.channel][ppa.chip]
+
+    def service_read(self, ppa: PhysicalPageAddress, issue_ns: float) -> ServiceRecord:
+        """Read one page: die tR, then the channel transfer."""
+        chip = self._chip(ppa)
+        array_done = chip.start_read(ppa.die, ppa.plane, ppa.block, ppa.page, issue_ns)
+        done = self.channels[ppa.channel].transfer(self.config.page_bytes, array_done)
+        self.reads_served += 1
+        return ServiceRecord(ppa, issue_ns, array_done, done)
+
+    def service_write(
+        self, ppa: PhysicalPageAddress, issue_ns: float, data: Optional[bytes] = None
+    ) -> ServiceRecord:
+        """Write one page: channel transfer into the register, then program."""
+        chip = self._chip(ppa)
+        transferred = self.channels[ppa.channel].transfer(self.config.page_bytes, issue_ns)
+        done = chip.start_program(ppa.die, ppa.plane, ppa.block, ppa.page, transferred, data)
+        self.writes_served += 1
+        return ServiceRecord(ppa, issue_ns, transferred, done)
+
+    def erase(self, ppa: PhysicalPageAddress, issue_ns: float) -> float:
+        """Erase the block containing ``ppa``."""
+        return self._chip(ppa).erase_block(ppa.die, ppa.plane, ppa.block, issue_ns)
+
+    # -- observability -----------------------------------------------------------
+
+    def channel_bytes(self) -> List[int]:
+        return [bus.bytes_transferred for bus in self.channels]
+
+    def channel_utilisations(self, until_ns: float) -> List[float]:
+        return [bus.utilisation(until_ns) for bus in self.channels]
+
+    @property
+    def horizon_ns(self) -> float:
+        """Latest completion time across all channel buses."""
+        return max((bus.free_at_ns for bus in self.channels), default=0.0)

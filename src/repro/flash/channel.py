@@ -1,0 +1,43 @@
+"""Channel bus: the shared link between one flash controller and its chips.
+
+Chips on a channel operate independently, but their page transfers
+serialise on the bus (paper Section II-A) — the greedy timeline here is
+what bounds a channel to its 1 GB/s and creates the hot-spot when data
+layout is skewed (Section VI-E).
+"""
+
+from __future__ import annotations
+
+from repro.config import FlashConfig
+from repro.errors import FlashError
+
+
+class ChannelBus:
+    """Greedy timeline for one channel's transfer slots."""
+
+    def __init__(self, config: FlashConfig, channel: int) -> None:
+        self.config = config
+        self.channel = channel
+        self.free_at_ns: float = 0.0
+        self.bytes_transferred: int = 0
+        self.busy_ns: float = 0.0
+
+    def transfer(self, nbytes: int, ready_ns: float) -> float:
+        """Schedule a transfer of ``nbytes`` that can start at ``ready_ns``.
+
+        Returns the completion time. Transfers are granted in call order
+        (FIFO arbitration at the flash controller).
+        """
+        if nbytes <= 0:
+            raise FlashError("transfer size must be positive")
+        duration = nbytes / self.config.channel_bandwidth_bytes_per_ns
+        start = max(ready_ns, self.free_at_ns)
+        done = start + duration
+        self.free_at_ns = done
+        self.bytes_transferred += nbytes
+        self.busy_ns += duration
+        return done
+
+    def utilisation(self, until_ns: float) -> float:
+        """Fraction of [0, until_ns] the bus spent transferring."""
+        return min(1.0, self.busy_ns / until_ns) if until_ns > 0 else 0.0

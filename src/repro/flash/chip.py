@@ -1,0 +1,192 @@
+"""One NAND flash chip: dies, planes, blocks, pages (paper Figure 3).
+
+The chip enforces NAND's physical rules — program only into erased pages,
+erase whole blocks, reads/programs occupy a plane — and keeps per-block
+wear counters. Page *contents* are stored sparsely (only programmed pages), so
+multi-GiB arrays cost memory proportional to what was actually written.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.config import FlashConfig
+from repro.errors import FlashError
+
+
+class PageState(enum.Enum):
+    ERASED = "erased"
+    PROGRAMMED = "programmed"
+
+
+@dataclass
+class PlaneTimeline:
+    """When each plane finishes its current array operations.
+
+    Planes within a die operate concurrently (multi-plane read/program with
+    cache operations), the standard technique SSDs use to hide NAND's long
+    tPROG behind channel transfers. Reads and program/erase are tracked
+    separately: modern controllers *suspend* an in-flight program or erase
+    to service a read, so reads only queue behind other reads, while
+    programs/erases queue behind everything.
+    """
+
+    read_busy_until_ns: float = 0.0
+    write_busy_until_ns: float = 0.0
+    reads: int = 0
+    programs: int = 0
+    erases: int = 0
+
+    @property
+    def busy_until_ns(self) -> float:
+        return max(self.read_busy_until_ns, self.write_busy_until_ns)
+
+
+class FlashChip:
+    """Geometry + timing + state for one chip of the array."""
+
+    def __init__(self, config: FlashConfig, channel: int, index: int) -> None:
+        self.config = config
+        self.channel = channel
+        self.index = index
+        self.planes = [
+            [PlaneTimeline() for _ in range(config.planes_per_die)]
+            for _ in range(config.dies_per_chip)
+        ]
+        # Sparse page state: (die, plane, block, page) -> PageState; absent
+        # means erased-from-factory. Contents stored only when provided.
+        self._state: Dict[Tuple[int, int, int, int], PageState] = {}
+        self._data: Dict[Tuple[int, int, int, int], bytes] = {}
+        self._spare: Dict[Tuple[int, int, int, int], bytes] = {}
+        self.erase_counts: Dict[Tuple[int, int, int], int] = {}
+        self.ecc_corrections = 0
+        self.ecc_failures = 0
+
+    # -- address checks --------------------------------------------------------
+
+    def _check(self, die: int, plane: int, block: int, page: int) -> None:
+        c = self.config
+        if not (
+            0 <= die < c.dies_per_chip
+            and 0 <= plane < c.planes_per_die
+            and 0 <= block < c.blocks_per_plane
+            and 0 <= page < c.pages_per_block
+        ):
+            raise FlashError(
+                f"page address (die={die}, plane={plane}, block={block}, page={page}) "
+                "outside chip geometry"
+            )
+
+    def page_state(self, die: int, plane: int, block: int, page: int) -> PageState:
+        self._check(die, plane, block, page)
+        return self._state.get((die, plane, block, page), PageState.ERASED)
+
+    # -- timed operations ------------------------------------------------------
+    # Each returns the time the *array* operation completes (page register
+    # ready for reads); the channel transfer is handled by the array level.
+
+    def start_read(self, die: int, plane: int, block: int, page: int, at_ns: float) -> float:
+        self._check(die, plane, block, page)
+        timeline = self.planes[die][plane]
+        # Reads suspend in-flight programs/erases: queue behind reads only.
+        start = max(at_ns, timeline.read_busy_until_ns)
+        done = start + self.config.read_latency_ns
+        timeline.read_busy_until_ns = done
+        timeline.reads += 1
+        return done
+
+    def start_program(
+        self,
+        die: int,
+        plane: int,
+        block: int,
+        page: int,
+        at_ns: float,
+        data: Optional[bytes] = None,
+    ) -> float:
+        self._check(die, plane, block, page)
+        key = (die, plane, block, page)
+        if self._state.get(key) is PageState.PROGRAMMED:
+            raise FlashError(f"program into non-erased page {key} (erase the block first)")
+        timeline = self.planes[die][plane]
+        start = max(at_ns, timeline.busy_until_ns)
+        done = start + self.config.program_latency_ns
+        timeline.write_busy_until_ns = done
+        timeline.programs += 1
+        self._state[key] = PageState.PROGRAMMED
+        if data is not None:
+            if len(data) > self.config.page_bytes:
+                raise FlashError(f"page data of {len(data)}B exceeds page size")
+            stored = bytes(data)
+            self._data[key] = stored
+            # Spare-area ECC over the 8-byte-aligned prefix of the page.
+            from repro.flash.ecc import encode_page
+
+            aligned = stored + b"\x00" * (-len(stored) % 8)
+            self._spare[key] = encode_page(aligned)
+        return done
+
+    def erase_block(self, die: int, plane: int, block: int, at_ns: float) -> float:
+        self._check(die, plane, block, 0)
+        timeline = self.planes[die][plane]
+        start = max(at_ns, timeline.busy_until_ns)
+        done = start + self.config.erase_latency_ns
+        timeline.write_busy_until_ns = done
+        timeline.erases += 1
+        for page in range(self.config.pages_per_block):
+            self._state.pop((die, plane, block, page), None)
+            self._data.pop((die, plane, block, page), None)
+            self._spare.pop((die, plane, block, page), None)
+        key = (die, plane, block)
+        self.erase_counts[key] = self.erase_counts.get(key, 0) + 1
+        return done
+
+    def read_data(self, die: int, plane: int, block: int, page: int) -> Optional[bytes]:
+        """Functional page contents (None if never written with data)."""
+        self._check(die, plane, block, page)
+        return self._data.get((die, plane, block, page))
+
+    def corrupt_page(self, die: int, plane: int, block: int, page: int,
+                     nbits: int, seed: int = 1) -> None:
+        """Inject raw-NAND bit errors into a programmed page's data."""
+        from repro.flash.ecc import inject_bit_errors
+
+        key = (die, plane, block, page)
+        if key not in self._data:
+            raise FlashError(f"page {key} holds no data to corrupt")
+        self._data[key] = inject_bit_errors(self._data[key], nbits, seed)
+
+    def read_data_checked(self, die: int, plane: int, block: int, page: int):
+        """ECC-checked read: returns (data, status) after correction.
+
+        Models the controller's ECC engine: single-bit upsets per codeword
+        are transparently repaired; multi-bit upsets surface as
+        uncorrectable (the device would retry/recover via RAID).
+        """
+        from repro.flash.ecc import ECCStatus, decode_page
+
+        key = (die, plane, block, page)
+        raw = self._data.get(key)
+        if raw is None:
+            return None, ECCStatus.CLEAN
+        spare = self._spare.get(key)
+        if spare is None:
+            return raw, ECCStatus.CLEAN
+        aligned = raw + b"\x00" * (-len(raw) % 8)
+        decoded, status, corrections = decode_page(aligned, spare)
+        self.ecc_corrections += corrections
+        if status is ECCStatus.UNCORRECTABLE:
+            self.ecc_failures += 1
+        return decoded[: len(raw)], status
+
+    # -- stats -------------------------------------------------------------------
+
+    @property
+    def total_reads(self) -> int:
+        return sum(pl.reads for die in self.planes for pl in die)
+
+    @property
+    def total_programs(self) -> int:
+        return sum(pl.programs for die in self.planes for pl in die)

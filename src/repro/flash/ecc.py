@@ -1,0 +1,167 @@
+"""SECDED ECC for flash pages (Hamming + overall parity per 64-bit word).
+
+Real NAND is unusable without ECC; controllers protect every page with
+per-codeword parity kept in the page's spare area. This module implements
+an extended Hamming (72,64) code — single-error correction, double-error
+detection per 8-byte codeword — plus page-level helpers and error
+injection, so the repository's flash substrate is credible end to end.
+
+Layout: a page of N data bytes (N % 8 == 0) carries N/8 parity bytes in
+the spare area; each parity byte protects one 64-bit little-endian word.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import FlashError
+
+_DATA_BITS = 64
+# Hamming positions: parity bits sit at power-of-two positions of a
+# 1-indexed 71-bit codeword; we store the 7 Hamming bits + 1 overall parity
+# in the spare byte instead of interleaving, which keeps data bytes intact.
+_PARITY_COUNT = 7  # covers up to 127 - 7 = 120 data bits >= 64
+
+
+def _parity_masks() -> List[int]:
+    """Bit masks over the 64 data bits covered by each Hamming parity."""
+    masks = [0] * _PARITY_COUNT
+    position = 1  # 1-indexed codeword position of the next data bit
+    for bit in range(_DATA_BITS):
+        position += 1
+        while position & (position - 1) == 0:  # skip parity positions
+            position += 1
+        for p in range(_PARITY_COUNT):
+            if position & (1 << p):
+                masks[p] |= 1 << bit
+    return masks
+
+
+_MASKS = _parity_masks()
+# Map codeword position -> data bit index, for syndrome decoding.
+_POSITION_OF_BIT: List[int] = []
+_pos = 1
+for _bit in range(_DATA_BITS):
+    _pos += 1
+    while _pos & (_pos - 1) == 0:
+        _pos += 1
+    _POSITION_OF_BIT.append(_pos)
+_BIT_AT_POSITION = {p: i for i, p in enumerate(_POSITION_OF_BIT)}
+
+
+def _parity64(value: int) -> int:
+    value ^= value >> 32
+    value ^= value >> 16
+    value ^= value >> 8
+    value ^= value >> 4
+    value ^= value >> 2
+    value ^= value >> 1
+    return value & 1
+
+
+def encode_word(word: int) -> int:
+    """Compute the 8-bit ECC byte (7 Hamming bits + overall parity)."""
+    if not 0 <= word < (1 << _DATA_BITS):
+        raise FlashError("ECC codeword must be a 64-bit value")
+    ecc = 0
+    for p, mask in enumerate(_MASKS):
+        ecc |= _parity64(word & mask) << p
+    overall = _parity64(word) ^ _parity64(ecc)
+    return ecc | (overall << 7)
+
+
+class ECCStatus(enum.Enum):
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    UNCORRECTABLE = "uncorrectable"
+
+
+@dataclass
+class ECCResult:
+    word: int
+    status: ECCStatus
+    corrected_bit: int = -1
+
+
+def _parity8(value: int) -> int:
+    value ^= value >> 4
+    value ^= value >> 2
+    value ^= value >> 1
+    return value & 1
+
+
+def decode_word(word: int, ecc_byte: int) -> ECCResult:
+    """Check/correct one 64-bit word against its ECC byte.
+
+    SECDED decoding: the syndrome compares recomputed vs *stored* Hamming
+    bits; the overall parity is taken over the received codeword (data +
+    stored Hamming + stored overall bit). An odd total parity means a
+    single flip (correctable); an even total with a nonzero syndrome means
+    a double flip (detected, uncorrectable).
+    """
+    stored_hamming = ecc_byte & 0x7F
+    stored_overall = (ecc_byte >> 7) & 1
+    recomputed = 0
+    for p, mask in enumerate(_MASKS):
+        recomputed |= _parity64(word & mask) << p
+    syndrome = recomputed ^ stored_hamming
+    total_parity = _parity64(word) ^ _parity8(stored_hamming) ^ stored_overall
+    if syndrome == 0 and total_parity == 0:
+        return ECCResult(word, ECCStatus.CLEAN)
+    if total_parity == 1:
+        # Odd number of flips: a single-bit error, correctable.
+        bit = _BIT_AT_POSITION.get(syndrome)
+        if bit is None:
+            # The flip hit the spare byte (a parity bit or the overall
+            # bit itself): data is intact.
+            return ECCResult(word, ECCStatus.CORRECTED, corrected_bit=-1)
+        return ECCResult(word ^ (1 << bit), ECCStatus.CORRECTED, corrected_bit=bit)
+    # Even number of flips with nonzero syndrome: detected, not correctable.
+    return ECCResult(word, ECCStatus.UNCORRECTABLE)
+
+
+# -- page-level helpers ------------------------------------------------------
+
+
+def encode_page(data: bytes) -> bytes:
+    """Spare-area parity bytes for a page (one per 8 data bytes)."""
+    if len(data) % 8:
+        raise FlashError("page length must be a multiple of 8 for ECC")
+    return bytes(
+        encode_word(int.from_bytes(data[i : i + 8], "little"))
+        for i in range(0, len(data), 8)
+    )
+
+
+def decode_page(data: bytes, spare: bytes) -> Tuple[bytes, ECCStatus, int]:
+    """Verify/correct a page; returns (data, worst status, corrections)."""
+    if len(spare) != len(data) // 8:
+        raise FlashError("spare area size mismatch")
+    out = bytearray(data)
+    worst = ECCStatus.CLEAN
+    corrections = 0
+    for i in range(0, len(data), 8):
+        word = int.from_bytes(data[i : i + 8], "little")
+        result = decode_word(word, spare[i // 8])
+        if result.status is ECCStatus.CORRECTED:
+            corrections += 1
+            out[i : i + 8] = result.word.to_bytes(8, "little")
+            if worst is ECCStatus.CLEAN:
+                worst = ECCStatus.CORRECTED
+        elif result.status is ECCStatus.UNCORRECTABLE:
+            worst = ECCStatus.UNCORRECTABLE
+    return bytes(out), worst, corrections
+
+
+def inject_bit_errors(data: bytes, nbits: int, seed: int = 1) -> bytes:
+    """Flip ``nbits`` distinct random bits (raw-NAND error injection)."""
+    if nbits > len(data) * 8:
+        raise FlashError("cannot flip more bits than the page holds")
+    rng = random.Random(seed)
+    flipped = bytearray(data)
+    for index in rng.sample(range(len(data) * 8), nbits):
+        flipped[index // 8] ^= 1 << (index % 8)
+    return bytes(flipped)

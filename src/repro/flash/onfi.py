@@ -1,0 +1,42 @@
+"""ONFI-style flash interface timing profiles (paper Section II-B).
+
+The paper's SSDs use 8 channels of 1 GB/s (Table IV); ONFI 4.2 defines
+1.6/3.2 GB/s channel widths and ONFI 5.0 reaches 2400 MT/s. Profiles here
+bundle the channel transfer rate with representative array latencies so
+alternative SSDs can be modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class OnfiTiming:
+    """Interface + array timing for one flash generation."""
+
+    name: str
+    transfer_bytes_per_ns: float  # channel bus rate
+    read_latency_ns: float  # tR: array -> page register
+    program_latency_ns: float  # tPROG
+    erase_latency_ns: float  # tBERS
+
+    def __post_init__(self) -> None:
+        if self.transfer_bytes_per_ns <= 0:
+            raise ConfigError("transfer rate must be positive")
+        if min(self.read_latency_ns, self.program_latency_ns, self.erase_latency_ns) <= 0:
+            raise ConfigError("latencies must be positive")
+
+    def page_transfer_ns(self, page_bytes: int) -> float:
+        return page_bytes / self.transfer_bytes_per_ns
+
+
+ONFI_PROFILES = {
+    # The paper's Table IV setting: 1 GB/s per channel, fast-read NAND.
+    "paper": OnfiTiming("paper", 1.0, 12_000.0, 200_000.0, 1_500_000.0),
+    "onfi4.2-8b": OnfiTiming("onfi4.2-8b", 1.6, 25_000.0, 300_000.0, 2_000_000.0),
+    "onfi4.2-16b": OnfiTiming("onfi4.2-16b", 3.2, 25_000.0, 300_000.0, 2_000_000.0),
+    "onfi5.0": OnfiTiming("onfi5.0", 2.4, 20_000.0, 250_000.0, 2_000_000.0),
+}

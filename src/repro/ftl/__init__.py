@@ -1,0 +1,14 @@
+"""Flash translation layer: LPA -> PPA mapping, allocation, wear, GC.
+
+ASSASIN's key architectural property (Section V-A) is that the FTL stays
+*independent*: the crossbar lets any core consume pages wherever the FTL
+placed them, so no computational-storage-aware placement is needed. The
+allocator's ``skew`` knob exists purely for the Figure 19 sensitivity study.
+"""
+
+from repro.ftl.allocator import PageAllocator
+from repro.ftl.mapping import PageMapFTL
+from repro.ftl.gc import GarbageCollector
+from repro.ftl.wear import WearTracker
+
+__all__ = ["PageAllocator", "PageMapFTL", "GarbageCollector", "WearTracker"]

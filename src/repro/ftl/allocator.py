@@ -1,0 +1,180 @@
+"""Physical page allocation with channel striping and a skew knob.
+
+Normal operation stripes consecutive writes across channels and chips to
+maximise parallelism (what lets Figure 18 show balanced channels). The
+``skew`` parameter (paper Section VI-E) biases placement toward channel 0:
+
+    Skew = (max_i(D_i) / avg(D_i) - 1) / (n - 1)  in [0, 1]
+
+0 is an even layout; 1 places everything on one channel.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import FlashConfig
+from repro.errors import FTLError
+from repro.flash.array import PhysicalPageAddress
+
+
+def skew_shares(channels: int, skew: float) -> List[float]:
+    """Per-channel data share for a given skew value.
+
+    Channel 0 receives ``avg * (1 + skew*(n-1))``; the remainder spreads
+    evenly over the other channels. skew=0 -> uniform; skew=1 -> all on
+    channel 0.
+    """
+    if not 0.0 <= skew <= 1.0:
+        raise FTLError("skew must be within [0, 1]")
+    if channels == 1:
+        return [1.0]
+    heavy = (1.0 + skew * (channels - 1)) / channels
+    rest = (1.0 - heavy) / (channels - 1)
+    return [heavy] + [rest] * (channels - 1)
+
+
+def measured_skew(channel_bytes: List[float]) -> float:
+    """Invert the share formula from an observed distribution."""
+    n = len(channel_bytes)
+    total = sum(channel_bytes)
+    if n <= 1 or total <= 0:
+        return 0.0
+    avg = total / n
+    return (max(channel_bytes) / avg - 1.0) / (n - 1)
+
+
+class PageAllocator:
+    """Hands out physical pages channel by channel, wear-aware.
+
+    Within a channel, pages are taken from per-chip/die/plane write points
+    in round-robin; when a write point opens a new block it picks the
+    least-erased free block (wear leveling). A block is only reused after
+    the garbage collector erases it.
+    """
+
+    def __init__(self, config: FlashConfig, skew: float = 0.0, wear=None) -> None:
+        self.config = config
+        self.shares = skew_shares(config.channels, skew)
+        self.wear = wear
+        self._deficit: List[float] = [0.0] * config.channels
+        self._cursors: List[_ChannelCursor] = [
+            _ChannelCursor(config, ch, wear) for ch in range(config.channels)
+        ]
+        self.allocated = 0
+
+    def _pick_channel(self) -> int:
+        """Weighted round-robin by share (largest accumulated deficit wins)."""
+        for ch in range(self.config.channels):
+            self._deficit[ch] += self.shares[ch]
+        best = max(range(self.config.channels), key=lambda ch: (self._deficit[ch], -ch))
+        self._deficit[best] -= 1.0
+        return best
+
+    def allocate(self) -> PhysicalPageAddress:
+        """Allocate the next physical page according to the share policy."""
+        first_error = None
+        for _ in range(self.config.channels):
+            channel = self._pick_channel()
+            try:
+                ppa = self._cursors[channel].next_page()
+            except FTLError as exc:
+                first_error = exc
+                continue
+            self.allocated += 1
+            return ppa
+        raise first_error or FTLError("flash array is full")
+
+    def free_block(self, ppa: PhysicalPageAddress) -> None:
+        """Return an erased block to its channel's free pool (GC path)."""
+        self._cursors[ppa.channel].release_block(ppa)
+
+    def open_blocks(self):
+        """Blocks currently serving as write points (GC must skip them)."""
+        blocks = set()
+        for channel, cursor in enumerate(self._cursors):
+            for unit in cursor._units:
+                if unit._current_block >= 0 and unit._next_page < self.config.pages_per_block:
+                    blocks.add(
+                        (channel, unit.chip, unit.die, unit.plane, unit._current_block)
+                    )
+        return blocks
+
+
+class _ChannelCursor:
+    """Round-robin write points across a channel's chips/dies/planes."""
+
+    def __init__(self, config: FlashConfig, channel: int, wear=None) -> None:
+        self.config = config
+        self.channel = channel
+        self._units: List[_UnitCursor] = []
+        for chip in range(config.chips_per_channel):
+            for die in range(config.dies_per_chip):
+                for plane in range(config.planes_per_die):
+                    self._units.append(_UnitCursor(config, channel, chip, die, plane, wear))
+        self._rr = 0
+
+    def next_page(self) -> PhysicalPageAddress:
+        for _ in range(len(self._units)):
+            unit = self._units[self._rr]
+            self._rr = (self._rr + 1) % len(self._units)
+            page = unit.next_page()
+            if page is not None:
+                return page
+        raise FTLError(f"channel {self.channel} has no free pages")
+
+    def release_block(self, ppa: PhysicalPageAddress) -> None:
+        for unit in self._units:
+            if (unit.chip, unit.die, unit.plane) == (ppa.chip, ppa.die, ppa.plane):
+                unit.release_block(ppa.block)
+                return
+        raise FTLError("release_block: unit not found")
+
+
+class _UnitCursor:
+    """Write point within one (chip, die, plane)."""
+
+    def __init__(
+        self, config: FlashConfig, channel: int, chip: int, die: int, plane: int, wear=None
+    ):
+        self.config = config
+        self.channel = channel
+        self.chip = chip
+        self.die = die
+        self.plane = plane
+        self.wear = wear
+        self._free_blocks = list(range(config.blocks_per_plane - 1, -1, -1))
+        self._current_block: int = -1
+        self._next_page = config.pages_per_block  # forces opening a block
+
+    def _pick_block(self) -> int:
+        """Open the least-worn free block (wear leveling)."""
+        if self.wear is None:
+            return self._free_blocks.pop()
+        best_index = min(
+            range(len(self._free_blocks)),
+            key=lambda i: (
+                self.wear.erase_count(
+                    (self.channel, self.chip, self.die, self.plane, self._free_blocks[i])
+                ),
+                -i,  # prefer the natural pop order among equals
+            ),
+        )
+        return self._free_blocks.pop(best_index)
+
+    def next_page(self):
+        if self._next_page >= self.config.pages_per_block:
+            if not self._free_blocks:
+                return None
+            self._current_block = self._pick_block()
+            self._next_page = 0
+        ppa = PhysicalPageAddress(
+            self.channel, self.chip, self.die, self.plane, self._current_block, self._next_page
+        )
+        self._next_page += 1
+        return ppa
+
+    def release_block(self, block: int) -> None:
+        if block == self._current_block:
+            raise FTLError("cannot release the open write block")
+        self._free_blocks.insert(0, block)

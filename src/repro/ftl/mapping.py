@@ -1,0 +1,99 @@
+"""Page-level FTL: logical-to-physical mapping over the allocator.
+
+Implements the mapping responsibilities of Section II-A: page-granular
+LPA -> PPA translation, out-of-place updates (old pages invalidated for the
+garbage collector), and bulk ``populate`` used to mount datasets before an
+offload run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.config import FlashConfig
+from repro.errors import FTLError
+from repro.flash.array import PhysicalPageAddress
+from repro.ftl.allocator import PageAllocator
+from repro.ftl.wear import WearTracker
+
+
+class PageMapFTL:
+    """LPA -> PPA map with out-of-place updates and invalidation tracking."""
+
+    def __init__(self, config: FlashConfig, skew: float = 0.0) -> None:
+        self.config = config
+        self.wear = WearTracker()
+        self.allocator = PageAllocator(config, skew=skew, wear=self.wear)
+        self._map: Dict[int, PhysicalPageAddress] = {}
+        self._invalid: Set[PhysicalPageAddress] = set()
+        self.updates = 0
+
+    # -- translation -------------------------------------------------------------
+
+    def lookup(self, lpa: int) -> PhysicalPageAddress:
+        try:
+            return self._map[lpa]
+        except KeyError:
+            raise FTLError(f"LPA {lpa} is unmapped") from None
+
+    def is_mapped(self, lpa: int) -> bool:
+        return lpa in self._map
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    # -- writes --------------------------------------------------------------------
+
+    def write(self, lpa: int) -> PhysicalPageAddress:
+        """Map ``lpa`` to a fresh physical page (out-of-place update)."""
+        if lpa < 0:
+            raise FTLError("LPA must be non-negative")
+        old = self._map.get(lpa)
+        if old is not None:
+            self._invalid.add(old)
+            self.updates += 1
+        ppa = self.allocator.allocate()
+        self._map[lpa] = ppa
+        return ppa
+
+    def populate(self, lpas: Iterable[int]) -> List[PhysicalPageAddress]:
+        """Mount a dataset: map each LPA to a page per the placement policy."""
+        return [self.write(lpa) for lpa in lpas]
+
+    def trim(self, lpa: int) -> None:
+        """Host discard: unmap and invalidate."""
+        ppa = self._map.pop(lpa, None)
+        if ppa is None:
+            raise FTLError(f"trim of unmapped LPA {lpa}")
+        self._invalid.add(ppa)
+
+    # -- GC interface -----------------------------------------------------------------
+
+    @property
+    def invalid_pages(self) -> Set[PhysicalPageAddress]:
+        return self._invalid
+
+    def remap_for_gc(self, lpa: int, new_ppa_source: Optional[PhysicalPageAddress] = None):
+        """Used by the GC when relocating a still-valid page."""
+        old = self.lookup(lpa)
+        new = self.allocator.allocate()
+        self._map[lpa] = new
+        self._invalid.add(old)
+        return old, new
+
+    def reverse_lookup(self, ppa: PhysicalPageAddress) -> Optional[int]:
+        """Find the LPA mapped to ``ppa`` (linear; GC-path only)."""
+        for lpa, mapped in self._map.items():
+            if mapped == ppa:
+                return lpa
+        return None
+
+    # -- distribution stats -------------------------------------------------------------
+
+    def channel_page_counts(self, lpas: Optional[Iterable[int]] = None) -> List[int]:
+        """How many (of the given) mapped pages sit on each channel."""
+        counts = [0] * self.config.channels
+        source = (self._map[l] for l in lpas) if lpas is not None else self._map.values()
+        for ppa in source:
+            counts[ppa.channel] += 1
+        return counts

@@ -1,0 +1,35 @@
+"""Wear-leveling bookkeeping: per-block erase counts and imbalance metrics."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+BlockKey = Tuple[int, int, int, int, int]  # channel, chip, die, plane, block
+
+
+class WearTracker:
+    """Tracks erase counts; the allocator/GC consult it to even out wear."""
+
+    def __init__(self) -> None:
+        self._erases: Dict[BlockKey, int] = {}
+
+    def record_erase(self, key: BlockKey) -> None:
+        self._erases[key] = self._erases.get(key, 0) + 1
+
+    def erase_count(self, key: BlockKey) -> int:
+        return self._erases.get(key, 0)
+
+    @property
+    def total_erases(self) -> int:
+        return sum(self._erases.values())
+
+    @property
+    def max_erases(self) -> int:
+        return max(self._erases.values(), default=0)
+
+    def imbalance(self) -> float:
+        """max/mean erase ratio (1.0 = perfectly even; 0 if nothing erased)."""
+        if not self._erases:
+            return 0.0
+        mean = self.total_erases / len(self._erases)
+        return self.max_erases / mean if mean else 0.0

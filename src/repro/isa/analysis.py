@@ -1,0 +1,149 @@
+"""Static analysis of ISA programs: instruction mix, registers, structure.
+
+Used by the kernel-validation harness and handy when writing new kernels:
+the instruction mix directly predicts the cycles/byte the timing model will
+charge, and the register summary catches clobbered callee state early.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.isa.instructions import (
+    ALU_I_OPS,
+    BRANCH_OPS,
+    JUMP_OPS,
+    LOAD_OPS,
+    STORE_OPS,
+    STREAM_CTRL_OPS,
+    STREAM_LOAD_OPS,
+    STREAM_STORE_OPS,
+    InstrKind,
+    kind_of,
+)
+from repro.isa.program import Program
+from repro.isa.registers import ABI_NAMES
+
+
+@dataclass
+class ProgramStats:
+    """Static profile of one program."""
+
+    name: str
+    size: int
+    kind_counts: Dict[InstrKind, int]
+    op_counts: Dict[str, int]
+    regs_written: Set[int]
+    regs_read: Set[int]
+    stream_ids_in: Set[int]
+    stream_ids_out: Set[int]
+    branch_targets: Set[int]
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def stream_op_fraction(self) -> float:
+        stream = sum(
+            n for k, n in self.kind_counts.items()
+            if k in (InstrKind.STREAM_LOAD, InstrKind.STREAM_STORE, InstrKind.STREAM_CTRL)
+        )
+        return stream / self.size if self.size else 0.0
+
+    @property
+    def memory_op_fraction(self) -> float:
+        mem = sum(
+            n for k, n in self.kind_counts.items() if k in (InstrKind.LOAD, InstrKind.STORE)
+        )
+        return mem / self.size if self.size else 0.0
+
+    def reg_names(self, regs: Set[int]) -> List[str]:
+        return sorted((ABI_NAMES[r] for r in regs), key=ABI_NAMES.index)
+
+    def render(self) -> str:
+        lines = [f"program {self.name}: {self.size} instructions"]
+        for kind, count in sorted(self.kind_counts.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {kind.value:13s} {count:5d} ({count / self.size:5.1%})")
+        lines.append(f"  regs written : {', '.join(self.reg_names(self.regs_written))}")
+        if self.stream_ids_in or self.stream_ids_out:
+            lines.append(
+                f"  streams      : in={sorted(self.stream_ids_in)} "
+                f"out={sorted(self.stream_ids_out)}"
+            )
+        return "\n".join(lines)
+
+
+def analyze_program(program: Program) -> ProgramStats:
+    """Compute the static profile of ``program``."""
+    kind_counts: Counter = Counter()
+    op_counts: Counter = Counter()
+    regs_written: Set[int] = set()
+    regs_read: Set[int] = set()
+    stream_in: Set[int] = set()
+    stream_out: Set[int] = set()
+    targets: Set[int] = set()
+    for instr in program.instrs:
+        kind = kind_of(instr.op)
+        kind_counts[kind] += 1
+        op_counts[instr.op] += 1
+        op = instr.op
+        if op in BRANCH_OPS or op == "jal":
+            targets.add(instr.imm)
+        if op in STREAM_LOAD_OPS | STREAM_CTRL_OPS:
+            stream_in.add(instr.sid)
+        if op in STREAM_STORE_OPS:
+            stream_out.add(instr.sid)
+        # Register usage by format.
+        writes_rd = op not in STORE_OPS and op not in BRANCH_OPS and op not in ("sstore", "sskip", "halt")
+        if writes_rd and instr.rd != 0:
+            regs_written.add(instr.rd)
+        if op in BRANCH_OPS:
+            regs_read.update((instr.rs1, instr.rs2))
+        elif op in STORE_OPS:
+            regs_read.update((instr.rs1, instr.rs2))
+        elif op == "sstore":
+            regs_read.add(instr.rs2)
+        elif op in LOAD_OPS or op in ALU_I_OPS or op == "jalr":
+            regs_read.add(instr.rs1)
+        elif op in JUMP_OPS or op == "lui" or op in STREAM_LOAD_OPS | STREAM_CTRL_OPS:
+            pass
+        else:  # R-type ALU
+            regs_read.update((instr.rs1, instr.rs2))
+    regs_read.discard(0)
+    return ProgramStats(
+        name=program.name,
+        size=len(program),
+        kind_counts=dict(kind_counts),
+        op_counts=dict(op_counts),
+        regs_written=regs_written,
+        regs_read=regs_read,
+        stream_ids_in=stream_in,
+        stream_ids_out=stream_out,
+        branch_targets=targets,
+        labels=dict(program.labels),
+    )
+
+
+def check_structure(program: Program) -> List[str]:
+    """Structural lints: issues that usually mean a kernel bug.
+
+    Returns a list of human-readable problems (empty = clean).
+    """
+    problems: List[str] = []
+    stats = analyze_program(program)
+    for target in stats.branch_targets:
+        if not 0 <= target < len(program):
+            problems.append(f"branch target {target} outside program of {len(program)}")
+    ends_open = len(program) > 0 and program.instrs[-1].op not in ("halt", "jal", "beq",
+                                                                   "bne", "blt", "bge",
+                                                                   "bltu", "bgeu", "jalr")
+    if ends_open:
+        problems.append(
+            f"program falls off the end (last op {program.instrs[-1].op!r}); "
+            "stream kernels should loop, memory kernels should halt"
+        )
+    has_halt = any(i.op == "halt" for i in program.instrs)
+    uses_streams = bool(stats.stream_ids_in or stats.stream_ids_out)
+    if not has_halt and not uses_streams:
+        problems.append("no halt and no stream instructions: cannot terminate")
+    return problems

@@ -1,0 +1,177 @@
+"""Text assembler: a thin front-end over the :class:`~repro.isa.program.Asm`
+builder so programs can also be written as plain assembly.
+
+Syntax::
+
+    # comments start with '#'
+    loop:
+        sload t0, 0, 4        # rd, stream id, width
+        addi  s1, s1, 1
+        lw    t1, 8(sp)       # loads/stores use off(reg)
+        beq   t0, zero, done
+        j     loop
+    done:
+        halt
+
+Stream ids are plain integers (not registers). The pseudo-instructions
+``li``, ``mv``, ``nop``, ``j``, ``ret``, ``call``, ``beqz``, ``bnez``,
+``bgt``, ``ble``, ``seqz``, ``snez`` and ``not`` are accepted.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import (
+    ALU_I_OPS,
+    ALU_R_OPS,
+    BRANCH_OPS,
+    DIV_OPS,
+    LOAD_OPS,
+    MUL_OPS,
+    STORE_OPS,
+)
+from repro.isa.program import Asm, Program
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+def _parse_int(token: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"expected integer, got {token!r}") from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [t.strip() for t in rest.split(",")] if rest.strip() else []
+
+
+def assemble(text: str, name: str = "program") -> Program:
+    """Assemble ``text`` into a :class:`Program`."""
+    asm = Asm(name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            _assemble_line(asm, line)
+        except AssemblyError as exc:
+            raise AssemblyError(f"line {lineno}: {exc}") from None
+    return asm.build()
+
+
+def _assemble_line(asm: Asm, line: str) -> None:
+    while ":" in line:
+        label, line = line.split(":", 1)
+        asm.label(label.strip())
+        line = line.strip()
+    if not line:
+        return
+    parts = line.split(None, 1)
+    op = parts[0].lower()
+    ops = _split_operands(parts[1]) if len(parts) > 1 else []
+
+    if op in ALU_R_OPS | MUL_OPS | DIV_OPS:
+        _expect(op, ops, 3)
+        asm.alu_r(op, ops[0], ops[1], ops[2])
+    elif op in ALU_I_OPS:
+        _expect(op, ops, 3)
+        asm.alu_i(op, ops[0], ops[1], _parse_int(ops[2]))
+    elif op == "lui":
+        _expect(op, ops, 2)
+        asm.lui(ops[0], _parse_int(ops[1]))
+    elif op in LOAD_OPS:
+        _expect(op, ops, 2)
+        offset, base = _parse_mem(ops[1])
+        asm.load(op, ops[0], base, offset)
+    elif op in STORE_OPS:
+        _expect(op, ops, 2)
+        offset, base = _parse_mem(ops[1])
+        asm.store(op, ops[0], base, offset)
+    elif op in BRANCH_OPS:
+        _expect(op, ops, 3)
+        asm.branch(op, ops[0], ops[1], ops[2])
+    elif op == "jal":
+        if len(ops) == 1:
+            asm.jal("ra", ops[0])
+        else:
+            _expect(op, ops, 2)
+            asm.jal(ops[0], ops[1])
+    elif op == "jalr":
+        if len(ops) == 2:
+            asm.jalr(ops[0], ops[1], 0)
+        else:
+            _expect(op, ops, 3)
+            asm.jalr(ops[0], ops[1], _parse_int(ops[2]))
+    elif op == "halt":
+        asm.halt()
+    elif op == "sload":
+        _expect(op, ops, 3)
+        asm.sload(ops[0], _parse_int(ops[1]), _parse_int(ops[2]))
+    elif op == "sstore":
+        _expect(op, ops, 3)
+        asm.sstore(ops[0], _parse_int(ops[1]), _parse_int(ops[2]))
+    elif op == "sskip":
+        _expect(op, ops, 2)
+        asm.sskip(_parse_int(ops[0]), _parse_int(ops[1]))
+    elif op == "savail":
+        _expect(op, ops, 2)
+        asm.savail(ops[0], _parse_int(ops[1]))
+    elif op == "seos":
+        _expect(op, ops, 2)
+        asm.seos(ops[0], _parse_int(ops[1]))
+    # -- pseudo-instructions ---------------------------------------------------
+    elif op == "li":
+        _expect(op, ops, 2)
+        asm.li(ops[0], _parse_int(ops[1]))
+    elif op == "mv":
+        _expect(op, ops, 2)
+        asm.mv(ops[0], ops[1])
+    elif op == "nop":
+        asm.nop()
+    elif op == "j":
+        _expect(op, ops, 1)
+        asm.j(ops[0])
+    elif op == "ret":
+        asm.ret()
+    elif op == "call":
+        _expect(op, ops, 1)
+        asm.call(ops[0])
+    elif op == "beqz":
+        _expect(op, ops, 2)
+        asm.beqz(ops[0], ops[1])
+    elif op == "bnez":
+        _expect(op, ops, 2)
+        asm.bnez(ops[0], ops[1])
+    elif op == "bgt":
+        _expect(op, ops, 3)
+        asm.bgt(ops[0], ops[1], ops[2])
+    elif op == "ble":
+        _expect(op, ops, 3)
+        asm.ble(ops[0], ops[1], ops[2])
+    elif op == "seqz":
+        _expect(op, ops, 2)
+        asm.seqz(ops[0], ops[1])
+    elif op == "snez":
+        _expect(op, ops, 2)
+        asm.snez(ops[0], ops[1])
+    elif op == "not":
+        _expect(op, ops, 2)
+        asm.not_(ops[0], ops[1])
+    else:
+        raise AssemblyError(f"unknown mnemonic {op!r}")
+
+
+def _expect(op: str, ops: List[str], count: int) -> None:
+    if len(ops) != count:
+        raise AssemblyError(f"{op} expects {count} operands, got {len(ops)}")
+
+
+def _parse_mem(token: str):
+    match = _MEM_OPERAND.match(token)
+    if not match:
+        raise AssemblyError(f"bad memory operand {token!r}; expected off(reg)")
+    return _parse_int(match.group(1)), match.group(2)

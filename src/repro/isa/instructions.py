@@ -1,0 +1,189 @@
+"""Instruction definitions for the RV32IM subset plus the stream extension.
+
+Instructions are kept in a symbolic form (opcode string + register numbers +
+immediate) rather than 32-bit words; the stream-extension encodings of the
+paper's Table III are provided separately in :mod:`repro.isa.stream_ext`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro.errors import AssemblyError
+
+
+class InstrKind(enum.Enum):
+    """Timing class used by the pipeline model."""
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    STREAM_LOAD = "stream_load"
+    STREAM_STORE = "stream_store"
+    STREAM_CTRL = "stream_ctrl"
+    SYSTEM = "system"
+
+
+ALU_R_OPS: FrozenSet[str] = frozenset(
+    "add sub sll slt sltu xor srl sra or and".split()
+)
+MUL_OPS: FrozenSet[str] = frozenset("mul mulh mulhu mulhsu".split())
+DIV_OPS: FrozenSet[str] = frozenset("div divu rem remu".split())
+ALU_I_OPS: FrozenSet[str] = frozenset(
+    "addi slti sltiu xori ori andi slli srli srai".split()
+)
+LOAD_OPS: FrozenSet[str] = frozenset("lb lh lw lbu lhu".split())
+STORE_OPS: FrozenSet[str] = frozenset("sb sh sw".split())
+BRANCH_OPS: FrozenSet[str] = frozenset("beq bne blt bge bltu bgeu".split())
+JUMP_OPS: FrozenSet[str] = frozenset("jal jalr".split())
+UPPER_OPS: FrozenSet[str] = frozenset(["lui"])
+SYSTEM_OPS: FrozenSet[str] = frozenset(["halt"])
+
+# Stream ISA extension (paper Table III):
+#   sload  rd,  sid, width   -- pop `width` bytes from input stream head
+#   sstore rs2, sid, width   -- append low `width` bytes of rs2 to output
+#   sskip  sid, imm          -- advance input head by imm bytes
+#   savail rd, sid           -- bytes currently buffered (non-blocking CSR)
+#   seos   rd, sid           -- 1 if the input stream is exhausted
+STREAM_LOAD_OPS: FrozenSet[str] = frozenset(["sload", "sskip"])
+STREAM_STORE_OPS: FrozenSet[str] = frozenset(["sstore"])
+STREAM_CTRL_OPS: FrozenSet[str] = frozenset(["savail", "seos"])
+
+ALL_OPS: FrozenSet[str] = (
+    ALU_R_OPS
+    | MUL_OPS
+    | DIV_OPS
+    | ALU_I_OPS
+    | LOAD_OPS
+    | STORE_OPS
+    | BRANCH_OPS
+    | JUMP_OPS
+    | UPPER_OPS
+    | SYSTEM_OPS
+    | STREAM_LOAD_OPS
+    | STREAM_STORE_OPS
+    | STREAM_CTRL_OPS
+)
+
+# Register-width-bound stream accesses; the encoding reserves code 3 for a
+# future 8-byte (paired-register / SIMD) form, matching the paper's 1B-64B
+# hardware interface (Section VI-F).
+STREAM_WIDTHS = (1, 2, 4)
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One symbolic instruction.
+
+    Fields are used according to the opcode: ``rd``/``rs1``/``rs2`` are
+    register numbers, ``imm`` the immediate (branch/jump immediates hold the
+    *resolved instruction index* after assembly), ``sid``/``width`` apply to
+    stream instructions, and ``label`` keeps the original branch target for
+    disassembly.
+    """
+
+    op: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    sid: int = 0
+    width: int = 0
+    label: Optional[str] = None
+
+    def __str__(self) -> str:  # compact disassembly for traces
+        if self.op in STREAM_LOAD_OPS | STREAM_STORE_OPS | STREAM_CTRL_OPS:
+            if self.op == "sload":
+                return f"sload x{self.rd}, s{self.sid}, {self.width}"
+            if self.op == "sstore":
+                return f"sstore x{self.rs2}, s{self.sid}, {self.width}"
+            if self.op == "sskip":
+                return f"sskip s{self.sid}, {self.imm}"
+            return f"{self.op} x{self.rd}, s{self.sid}"
+        if self.op in BRANCH_OPS:
+            target = self.label or str(self.imm)
+            return f"{self.op} x{self.rs1}, x{self.rs2}, {target}"
+        if self.op in STORE_OPS:
+            return f"{self.op} x{self.rs2}, {self.imm}(x{self.rs1})"
+        if self.op in LOAD_OPS:
+            return f"{self.op} x{self.rd}, {self.imm}(x{self.rs1})"
+        if self.op in ALU_I_OPS:
+            return f"{self.op} x{self.rd}, x{self.rs1}, {self.imm}"
+        if self.op == "lui":
+            return f"lui x{self.rd}, {self.imm:#x}"
+        if self.op == "jal":
+            return f"jal x{self.rd}, {self.label or self.imm}"
+        if self.op == "jalr":
+            return f"jalr x{self.rd}, x{self.rs1}, {self.imm}"
+        if self.op == "halt":
+            return "halt"
+        return f"{self.op} x{self.rd}, x{self.rs1}, x{self.rs2}"
+
+
+_KIND_TABLE = {}
+for _op in ALU_R_OPS | ALU_I_OPS | UPPER_OPS:
+    _KIND_TABLE[_op] = InstrKind.ALU
+for _op in MUL_OPS:
+    _KIND_TABLE[_op] = InstrKind.MUL
+for _op in DIV_OPS:
+    _KIND_TABLE[_op] = InstrKind.DIV
+for _op in LOAD_OPS:
+    _KIND_TABLE[_op] = InstrKind.LOAD
+for _op in STORE_OPS:
+    _KIND_TABLE[_op] = InstrKind.STORE
+for _op in BRANCH_OPS:
+    _KIND_TABLE[_op] = InstrKind.BRANCH
+for _op in JUMP_OPS:
+    _KIND_TABLE[_op] = InstrKind.JUMP
+for _op in STREAM_LOAD_OPS:
+    _KIND_TABLE[_op] = InstrKind.STREAM_LOAD
+for _op in STREAM_STORE_OPS:
+    _KIND_TABLE[_op] = InstrKind.STREAM_STORE
+for _op in STREAM_CTRL_OPS:
+    _KIND_TABLE[_op] = InstrKind.STREAM_CTRL
+for _op in SYSTEM_OPS:
+    _KIND_TABLE[_op] = InstrKind.SYSTEM
+
+
+def kind_of(op: str) -> InstrKind:
+    """Timing class for an opcode."""
+    try:
+        return _KIND_TABLE[op]
+    except KeyError:
+        raise AssemblyError(f"unknown opcode {op!r}") from None
+
+
+_IMM12_MIN, _IMM12_MAX = -(1 << 11), (1 << 11) - 1
+
+
+def validate_instr(instr: Instr) -> None:
+    """Raise :class:`AssemblyError` if an instruction violates ISA limits."""
+    op = instr.op
+    if op not in ALL_OPS:
+        raise AssemblyError(f"unknown opcode {op!r}")
+    for reg in (instr.rd, instr.rs1, instr.rs2):
+        if not 0 <= reg < 32:
+            raise AssemblyError(f"register x{reg} out of range in {instr}")
+    if op in ALU_I_OPS:
+        if op in ("slli", "srli", "srai"):
+            if not 0 <= instr.imm < 32:
+                raise AssemblyError(f"shift amount {instr.imm} out of range in {instr}")
+        elif not _IMM12_MIN <= instr.imm <= _IMM12_MAX:
+            raise AssemblyError(f"immediate {instr.imm} exceeds 12 bits in {instr}")
+    if op in LOAD_OPS | STORE_OPS and not _IMM12_MIN <= instr.imm <= _IMM12_MAX:
+        raise AssemblyError(f"offset {instr.imm} exceeds 12 bits in {instr}")
+    if op == "lui" and not 0 <= instr.imm <= 0xFFFFF:
+        raise AssemblyError(f"lui immediate {instr.imm:#x} exceeds 20 bits")
+    if op in ("sload", "sstore") and instr.width not in STREAM_WIDTHS:
+        raise AssemblyError(f"stream width {instr.width} not in {STREAM_WIDTHS}")
+    if op in STREAM_LOAD_OPS | STREAM_STORE_OPS | STREAM_CTRL_OPS:
+        if not 0 <= instr.sid < 16:
+            raise AssemblyError(f"stream id {instr.sid} out of range in {instr}")
+    if op == "sskip" and instr.imm <= 0:
+        raise AssemblyError("sskip must advance by a positive byte count")

@@ -1,0 +1,315 @@
+"""Program container and the ``Asm`` builder used to author kernels.
+
+Kernels in this repository are written with the builder rather than raw
+assembly text (the text assembler in :mod:`repro.isa.assembler` accepts the
+same mnemonics). Branch targets are labels, resolved to instruction indices
+at :meth:`Asm.build`; the PC of the interpreter is an instruction index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import (
+    ALU_I_OPS,
+    ALU_R_OPS,
+    BRANCH_OPS,
+    DIV_OPS,
+    LOAD_OPS,
+    MUL_OPS,
+    STORE_OPS,
+    Instr,
+    validate_instr,
+)
+from repro.isa.registers import reg_num
+from repro.utils.bitops import sign_extend
+
+Reg = Union[str, int]
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled program: instructions plus resolved labels."""
+
+    name: str
+    instrs: Tuple[Instr, ...]
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def disassemble(self) -> str:
+        """Human-readable listing with label annotations."""
+        by_index: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines = []
+        for i, instr in enumerate(self.instrs):
+            for label in sorted(by_index.get(i, [])):
+                lines.append(f"{label}:")
+            lines.append(f"  {i:4d}: {instr}")
+        return "\n".join(lines)
+
+
+class Asm:
+    """Incremental program builder with pseudo-instruction support."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._instrs: List[Instr] = []
+        self._labels: Dict[str, int] = {}
+        self._fixups: List[Tuple[int, str]] = []  # (instr index, label)
+
+    # -- label management ------------------------------------------------------
+
+    def label(self, name: str) -> None:
+        if name in self._labels:
+            raise AssemblyError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instrs)
+
+    def _emit(self, instr: Instr, target: Optional[str] = None) -> None:
+        if target is not None:
+            self._fixups.append((len(self._instrs), target))
+        self._instrs.append(instr)
+
+    # -- base instructions --------------------------------------------------------
+
+    def alu_r(self, op: str, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        if op not in ALU_R_OPS | MUL_OPS | DIV_OPS:
+            raise AssemblyError(f"{op!r} is not a register-register ALU op")
+        self._emit(Instr(op, rd=reg_num(rd), rs1=reg_num(rs1), rs2=reg_num(rs2)))
+        return self
+
+    def alu_i(self, op: str, rd: Reg, rs1: Reg, imm: int) -> "Asm":
+        if op not in ALU_I_OPS:
+            raise AssemblyError(f"{op!r} is not an immediate ALU op")
+        self._emit(Instr(op, rd=reg_num(rd), rs1=reg_num(rs1), imm=imm))
+        return self
+
+    def lui(self, rd: Reg, imm20: int) -> "Asm":
+        self._emit(Instr("lui", rd=reg_num(rd), imm=imm20))
+        return self
+
+    def load(self, op: str, rd: Reg, base: Reg, offset: int = 0) -> "Asm":
+        if op not in LOAD_OPS:
+            raise AssemblyError(f"{op!r} is not a load")
+        self._emit(Instr(op, rd=reg_num(rd), rs1=reg_num(base), imm=offset))
+        return self
+
+    def store(self, op: str, rs2: Reg, base: Reg, offset: int = 0) -> "Asm":
+        if op not in STORE_OPS:
+            raise AssemblyError(f"{op!r} is not a store")
+        self._emit(Instr(op, rs2=reg_num(rs2), rs1=reg_num(base), imm=offset))
+        return self
+
+    def branch(self, op: str, rs1: Reg, rs2: Reg, target: str) -> "Asm":
+        if op not in BRANCH_OPS:
+            raise AssemblyError(f"{op!r} is not a branch")
+        self._emit(
+            Instr(op, rs1=reg_num(rs1), rs2=reg_num(rs2), label=target), target=target
+        )
+        return self
+
+    def jal(self, rd: Reg, target: str) -> "Asm":
+        self._emit(Instr("jal", rd=reg_num(rd), label=target), target=target)
+        return self
+
+    def jalr(self, rd: Reg, rs1: Reg, imm: int = 0) -> "Asm":
+        self._emit(Instr("jalr", rd=reg_num(rd), rs1=reg_num(rs1), imm=imm))
+        return self
+
+    def halt(self) -> "Asm":
+        self._emit(Instr("halt"))
+        return self
+
+    # -- stream extension ----------------------------------------------------------
+
+    def sload(self, rd: Reg, sid: int, width: int) -> "Asm":
+        """StreamLoad: pop ``width`` bytes from input stream ``sid`` into rd."""
+        self._emit(Instr("sload", rd=reg_num(rd), sid=sid, width=width))
+        return self
+
+    def sstore(self, rs2: Reg, sid: int, width: int) -> "Asm":
+        """StreamStore: append the low ``width`` bytes of rs2 to stream ``sid``."""
+        self._emit(Instr("sstore", rs2=reg_num(rs2), sid=sid, width=width))
+        return self
+
+    def sskip(self, sid: int, nbytes: int) -> "Asm":
+        """Advance input stream ``sid``'s head by ``nbytes`` without reading."""
+        self._emit(Instr("sskip", sid=sid, imm=nbytes))
+        return self
+
+    def savail(self, rd: Reg, sid: int) -> "Asm":
+        self._emit(Instr("savail", rd=reg_num(rd), sid=sid))
+        return self
+
+    def seos(self, rd: Reg, sid: int) -> "Asm":
+        self._emit(Instr("seos", rd=reg_num(rd), sid=sid))
+        return self
+
+    # -- common mnemonics as thin wrappers -------------------------------------------
+
+    def add(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self.alu_r("add", rd, rs1, rs2)
+
+    def sub(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self.alu_r("sub", rd, rs1, rs2)
+
+    def and_(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self.alu_r("and", rd, rs1, rs2)
+
+    def or_(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self.alu_r("or", rd, rs1, rs2)
+
+    def xor(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self.alu_r("xor", rd, rs1, rs2)
+
+    def sll(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self.alu_r("sll", rd, rs1, rs2)
+
+    def srl(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self.alu_r("srl", rd, rs1, rs2)
+
+    def mul(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self.alu_r("mul", rd, rs1, rs2)
+
+    def divu(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self.alu_r("divu", rd, rs1, rs2)
+
+    def remu(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self.alu_r("remu", rd, rs1, rs2)
+
+    def sltu(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self.alu_r("sltu", rd, rs1, rs2)
+
+    def addi(self, rd: Reg, rs1: Reg, imm: int) -> "Asm":
+        return self.alu_i("addi", rd, rs1, imm)
+
+    def andi(self, rd: Reg, rs1: Reg, imm: int) -> "Asm":
+        return self.alu_i("andi", rd, rs1, imm)
+
+    def ori(self, rd: Reg, rs1: Reg, imm: int) -> "Asm":
+        return self.alu_i("ori", rd, rs1, imm)
+
+    def xori(self, rd: Reg, rs1: Reg, imm: int) -> "Asm":
+        return self.alu_i("xori", rd, rs1, imm)
+
+    def slli(self, rd: Reg, rs1: Reg, imm: int) -> "Asm":
+        return self.alu_i("slli", rd, rs1, imm)
+
+    def srli(self, rd: Reg, rs1: Reg, imm: int) -> "Asm":
+        return self.alu_i("srli", rd, rs1, imm)
+
+    def srai(self, rd: Reg, rs1: Reg, imm: int) -> "Asm":
+        return self.alu_i("srai", rd, rs1, imm)
+
+    def lw(self, rd: Reg, base: Reg, offset: int = 0) -> "Asm":
+        return self.load("lw", rd, base, offset)
+
+    def lbu(self, rd: Reg, base: Reg, offset: int = 0) -> "Asm":
+        return self.load("lbu", rd, base, offset)
+
+    def lhu(self, rd: Reg, base: Reg, offset: int = 0) -> "Asm":
+        return self.load("lhu", rd, base, offset)
+
+    def sw(self, rs2: Reg, base: Reg, offset: int = 0) -> "Asm":
+        return self.store("sw", rs2, base, offset)
+
+    def sb(self, rs2: Reg, base: Reg, offset: int = 0) -> "Asm":
+        return self.store("sb", rs2, base, offset)
+
+    def sh(self, rs2: Reg, base: Reg, offset: int = 0) -> "Asm":
+        return self.store("sh", rs2, base, offset)
+
+    def beq(self, rs1: Reg, rs2: Reg, target: str) -> "Asm":
+        return self.branch("beq", rs1, rs2, target)
+
+    def bne(self, rs1: Reg, rs2: Reg, target: str) -> "Asm":
+        return self.branch("bne", rs1, rs2, target)
+
+    def blt(self, rs1: Reg, rs2: Reg, target: str) -> "Asm":
+        return self.branch("blt", rs1, rs2, target)
+
+    def bge(self, rs1: Reg, rs2: Reg, target: str) -> "Asm":
+        return self.branch("bge", rs1, rs2, target)
+
+    def bltu(self, rs1: Reg, rs2: Reg, target: str) -> "Asm":
+        return self.branch("bltu", rs1, rs2, target)
+
+    def bgeu(self, rs1: Reg, rs2: Reg, target: str) -> "Asm":
+        return self.branch("bgeu", rs1, rs2, target)
+
+    # -- pseudo-instructions ----------------------------------------------------------
+
+    def nop(self) -> "Asm":
+        return self.addi("zero", "zero", 0)
+
+    def mv(self, rd: Reg, rs: Reg) -> "Asm":
+        return self.addi(rd, rs, 0)
+
+    def li(self, rd: Reg, value: int) -> "Asm":
+        """Load a 32-bit constant (expands to lui+addi when needed)."""
+        value = sign_extend(value & 0xFFFFFFFF, 32)
+        if -2048 <= value <= 2047:
+            return self.addi(rd, "zero", value)
+        low = sign_extend(value & 0xFFF, 12)
+        high = ((value - low) >> 12) & 0xFFFFF
+        self.lui(rd, high)
+        if low:
+            self.addi(rd, rd, low)
+        return self
+
+    def j(self, target: str) -> "Asm":
+        return self.jal("zero", target)
+
+    def ret(self) -> "Asm":
+        return self.jalr("zero", "ra", 0)
+
+    def call(self, target: str) -> "Asm":
+        return self.jal("ra", target)
+
+    def beqz(self, rs: Reg, target: str) -> "Asm":
+        return self.beq(rs, "zero", target)
+
+    def bnez(self, rs: Reg, target: str) -> "Asm":
+        return self.bne(rs, "zero", target)
+
+    def bgt(self, rs1: Reg, rs2: Reg, target: str) -> "Asm":
+        return self.blt(rs2, rs1, target)
+
+    def ble(self, rs1: Reg, rs2: Reg, target: str) -> "Asm":
+        return self.bge(rs2, rs1, target)
+
+    def seqz(self, rd: Reg, rs: Reg) -> "Asm":
+        return self.alu_i("sltiu", rd, rs, 1)
+
+    def snez(self, rd: Reg, rs: Reg) -> "Asm":
+        return self.sltu(rd, "zero", rs)
+
+    def not_(self, rd: Reg, rs: Reg) -> "Asm":
+        return self.xori(rd, rs, -1)
+
+    # -- finalisation -------------------------------------------------------------------
+
+    def build(self) -> Program:
+        """Resolve labels and validate every instruction."""
+        instrs = list(self._instrs)
+        for index, label in self._fixups:
+            if label not in self._labels:
+                raise AssemblyError(f"undefined label {label!r} referenced at {index}")
+            old = instrs[index]
+            instrs[index] = Instr(
+                op=old.op,
+                rd=old.rd,
+                rs1=old.rs1,
+                rs2=old.rs2,
+                imm=self._labels[label],
+                sid=old.sid,
+                width=old.width,
+                label=label,
+            )
+        for instr in instrs:
+            validate_instr(instr)
+        return Program(name=self.name, instrs=tuple(instrs), labels=dict(self._labels))

@@ -1,0 +1,59 @@
+"""RV32 register file with ABI names. ``x0`` is hardwired to zero."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.errors import ExecutionError
+
+ABI_NAMES: List[str] = (
+    ["zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1"]
+    + [f"a{i}" for i in range(8)]
+    + [f"s{i}" for i in range(2, 12)]
+    + [f"t{i}" for i in range(3, 7)]
+)
+
+REG_NUMBERS: Dict[str, int] = {name: i for i, name in enumerate(ABI_NAMES)}
+REG_NUMBERS.update({f"x{i}": i for i in range(32)})
+REG_NUMBERS["fp"] = 8  # alias of s0
+
+
+def reg_num(name: Union[str, int]) -> int:
+    """Resolve a register name (ABI or xN) or pass through a valid number."""
+    if isinstance(name, int):
+        if 0 <= name < 32:
+            return name
+        raise ExecutionError(f"register number {name} out of range")
+    try:
+        return REG_NUMBERS[name]
+    except KeyError:
+        raise ExecutionError(f"unknown register {name!r}") from None
+
+
+class RegisterFile:
+    """32 general-purpose 32-bit registers; writes to x0 are discarded."""
+
+    __slots__ = ("_regs",)
+
+    def __init__(self) -> None:
+        self._regs: List[int] = [0] * 32
+
+    def read(self, reg: int) -> int:
+        return self._regs[reg]
+
+    def write(self, reg: int, value: int) -> None:
+        if reg != 0:
+            self._regs[reg] = value & 0xFFFFFFFF
+
+    def read_name(self, name: Union[str, int]) -> int:
+        return self.read(reg_num(name))
+
+    def write_name(self, name: Union[str, int], value: int) -> None:
+        self.write(reg_num(name), value)
+
+    def reset(self) -> None:
+        for i in range(32):
+            self._regs[i] = 0
+
+    def snapshot(self) -> List[int]:
+        return list(self._regs)

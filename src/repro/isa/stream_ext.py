@@ -1,0 +1,82 @@
+"""Binary encodings for the stream ISA extension (paper Table III).
+
+The extension lives in the RISC-V *custom-0* opcode space (``0001011``).
+Field layout (RV32 conventions):
+
+======== ======= ============================================================
+funct3   op      fields
+======== ======= ============================================================
+``000``  sload   rd[11:7], sid in rs1[19:15], log2(width) in funct7[31:25]
+``001``  sstore  rs2[24:20], sid in rs1[19:15], log2(width) in funct7[31:25]
+``010``  sskip   sid in rs1[19:15], imm12[31:20]
+``011``  savail  rd[11:7], sid in rs1[19:15]
+``100``  seos    rd[11:7], sid in rs1[19:15]
+======== ======= ============================================================
+
+The restricted, head-only semantics of these instructions is what allows the
+hardware stream buffer to be a small prefetched FIFO and hit a 0.5 ns cycle
+(paper Section VI-F).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import Instr
+from repro.utils.bitops import bit_select
+
+STREAM_OPCODE = 0b0001011  # RISC-V custom-0
+
+_FUNCT3 = {"sload": 0b000, "sstore": 0b001, "sskip": 0b010, "savail": 0b011, "seos": 0b100}
+_OP_BY_FUNCT3 = {v: k for k, v in _FUNCT3.items()}
+_WIDTH_CODE = {1: 0, 2: 1, 4: 2, 8: 3}
+_WIDTH_BY_CODE = {v: k for k, v in _WIDTH_CODE.items()}
+
+
+def encode_stream_instr(instr: Instr) -> int:
+    """Encode a stream-extension instruction into its 32-bit word."""
+    if instr.op not in _FUNCT3:
+        raise AssemblyError(f"{instr.op!r} is not a stream-extension instruction")
+    funct3 = _FUNCT3[instr.op]
+    word = STREAM_OPCODE | (funct3 << 12) | ((instr.sid & 0x1F) << 15)
+    if instr.op == "sload":
+        word |= (instr.rd & 0x1F) << 7
+        word |= _WIDTH_CODE[instr.width] << 25
+    elif instr.op == "sstore":
+        word |= (instr.rs2 & 0x1F) << 20
+        word |= _WIDTH_CODE[instr.width] << 25
+    elif instr.op == "sskip":
+        if not 0 < instr.imm < (1 << 12):
+            raise AssemblyError(f"sskip immediate {instr.imm} exceeds 12 bits")
+        word |= (instr.imm & 0xFFF) << 20
+    else:  # savail / seos
+        word |= (instr.rd & 0x1F) << 7
+    return word
+
+
+def decode_stream_instr(word: int) -> Instr:
+    """Decode a 32-bit word from the custom-0 space back to an :class:`Instr`."""
+    if bit_select(word, 6, 0) != STREAM_OPCODE:
+        raise AssemblyError(f"word {word:#010x} is not in the stream opcode space")
+    funct3 = bit_select(word, 14, 12)
+    try:
+        op = _OP_BY_FUNCT3[funct3]
+    except KeyError:
+        raise AssemblyError(f"unknown stream funct3 {funct3:#05b}") from None
+    sid = bit_select(word, 19, 15)
+    if op == "sload":
+        return Instr(
+            "sload",
+            rd=bit_select(word, 11, 7),
+            sid=sid,
+            width=_WIDTH_BY_CODE[bit_select(word, 31, 25) & 0x3],
+        )
+    if op == "sstore":
+        return Instr(
+            "sstore",
+            rs2=bit_select(word, 24, 20),
+            sid=sid,
+            width=_WIDTH_BY_CODE[bit_select(word, 31, 25) & 0x3],
+        )
+    if op == "sskip":
+        return Instr("sskip", sid=sid, imm=bit_select(word, 31, 20))
+    return Instr(op, rd=bit_select(word, 11, 7), sid=sid)

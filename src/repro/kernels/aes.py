@@ -1,0 +1,166 @@
+"""AES-128 reference implementation (FIPS-197) and T-tables.
+
+The AES kernel encrypts storage data in ECB fashion, 16-byte block by
+16-byte block — the classic compute-intensive end of the paper's standalone
+function spectrum (Figure 13). This module provides:
+
+* a from-scratch pure-Python AES-128 (S-box, key expansion, rounds),
+  validated against FIPS-197 known-answer vectors in the tests, and
+* the four encryption T-tables the ISA program keeps in the scratchpad
+  (Table II: "Keys & GF table" as function state).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import KernelError
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    return (a ^ 0x11B) & 0xFF if a & 0x100 else a
+
+
+def _gmul(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> Tuple[List[int], List[int]]:
+    # Multiplicative inverse via brute force (domain is only 256 wide),
+    # then the affine transform.
+    inv = [0] * 256
+    for a in range(1, 256):
+        for b in range(1, 256):
+            if _gmul(a, b) == 1:
+                inv[a] = b
+                break
+    sbox = [0] * 256
+    for a in range(256):
+        x = inv[a]
+        y = x
+        for _ in range(4):
+            y = ((y << 1) | (y >> 7)) & 0xFF
+            x ^= y
+        sbox[a] = x ^ 0x63
+    inv_sbox = [0] * 256
+    for i, v in enumerate(sbox):
+        inv_sbox[v] = i
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def expand_key(key: bytes) -> List[List[int]]:
+    """AES-128 key schedule: 11 round keys of four 32-bit words each.
+
+    Words are kept in big-endian byte order (w = b0<<24|b1<<16|b2<<8|b3),
+    matching FIPS-197 notation.
+    """
+    if len(key) != 16:
+        raise KernelError("AES-128 key must be 16 bytes")
+    words = [int.from_bytes(key[4 * i : 4 * i + 4], "big") for i in range(4)]
+    for i in range(4, 44):
+        temp = words[i - 1]
+        if i % 4 == 0:
+            temp = ((temp << 8) | (temp >> 24)) & 0xFFFFFFFF  # RotWord
+            temp = (
+                (SBOX[(temp >> 24) & 0xFF] << 24)
+                | (SBOX[(temp >> 16) & 0xFF] << 16)
+                | (SBOX[(temp >> 8) & 0xFF] << 8)
+                | SBOX[temp & 0xFF]
+            )
+            temp ^= RCON[i // 4 - 1] << 24
+        words.append(words[i - 4] ^ temp)
+    return [words[4 * r : 4 * r + 4] for r in range(11)]
+
+
+def _sub_bytes(state: List[int]) -> None:
+    for i in range(16):
+        state[i] = SBOX[state[i]]
+
+
+def _shift_rows(state: List[int]) -> None:
+    # state is column-major: state[4*c + r].
+    for r in range(1, 4):
+        row = [state[4 * c + r] for c in range(4)]
+        row = row[r:] + row[:r]
+        for c in range(4):
+            state[4 * c + r] = row[c]
+
+
+def _mix_columns(state: List[int]) -> None:
+    for c in range(4):
+        col = state[4 * c : 4 * c + 4]
+        state[4 * c + 0] = _gmul(col[0], 2) ^ _gmul(col[1], 3) ^ col[2] ^ col[3]
+        state[4 * c + 1] = col[0] ^ _gmul(col[1], 2) ^ _gmul(col[2], 3) ^ col[3]
+        state[4 * c + 2] = col[0] ^ col[1] ^ _gmul(col[2], 2) ^ _gmul(col[3], 3)
+        state[4 * c + 3] = _gmul(col[0], 3) ^ col[1] ^ col[2] ^ _gmul(col[3], 2)
+
+
+def _add_round_key(state: List[int], round_key: List[int]) -> None:
+    for c in range(4):
+        word = round_key[c]
+        state[4 * c + 0] ^= (word >> 24) & 0xFF
+        state[4 * c + 1] ^= (word >> 16) & 0xFF
+        state[4 * c + 2] ^= (word >> 8) & 0xFF
+        state[4 * c + 3] ^= word & 0xFF
+
+
+def encrypt_block(block: bytes, round_keys: List[List[int]]) -> bytes:
+    """Encrypt one 16-byte block with pre-expanded round keys."""
+    if len(block) != 16:
+        raise KernelError("AES block must be 16 bytes")
+    state = list(block)
+    _add_round_key(state, round_keys[0])
+    for r in range(1, 10):
+        _sub_bytes(state)
+        _shift_rows(state)
+        _mix_columns(state)
+        _add_round_key(state, round_keys[r])
+    _sub_bytes(state)
+    _shift_rows(state)
+    _add_round_key(state, round_keys[10])
+    return bytes(state)
+
+
+def encrypt_ecb(data: bytes, key: bytes) -> bytes:
+    """ECB-encrypt ``data`` (length must be a multiple of 16)."""
+    if len(data) % 16:
+        raise KernelError("AES input must be a multiple of 16 bytes")
+    round_keys = expand_key(key)
+    out = bytearray()
+    for i in range(0, len(data), 16):
+        out.extend(encrypt_block(data[i : i + 16], round_keys))
+    return bytes(out)
+
+
+def build_t_tables() -> List[List[int]]:
+    """The four 256-entry encryption T-tables (32-bit entries).
+
+    T0[x] packs (2*S[x], S[x], S[x], 3*S[x]) so that a full round collapses
+    into four table lookups and xors per output word; T1..T3 are byte
+    rotations of T0. The ISA kernel stores these 4 KiB in the scratchpad.
+    """
+    t0 = []
+    for x in range(256):
+        s = SBOX[x]
+        t0.append(
+            ((_gmul(s, 2) << 24) | (s << 16) | (s << 8) | _gmul(s, 3)) & 0xFFFFFFFF
+        )
+    tables = [t0]
+    for rot in range(1, 4):
+        tables.append([((v >> (8 * rot)) | (v << (32 - 8 * rot))) & 0xFFFFFFFF for v in t0])
+    return tables
+
+
+T_TABLES = build_t_tables()

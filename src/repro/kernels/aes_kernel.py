@@ -1,0 +1,195 @@
+"""AES-128 encryption kernel: the compute-intensive end of Figure 13.
+
+The ISA program is a T-table implementation operating on little-endian
+state words (tables are derived for the LE convention, so no byte swaps are
+needed on the stream path). Function state: four 1 KiB lookup tables, the
+expanded round keys, and the S-box for the final round — all scratchpad
+resident, ~4.5 KiB (well inside the 64 KiB budget).
+
+Being ~60 cycles/byte, AES is compute-bound on every configuration: the
+paper's observation that ASSASIN's benefit fades as ops/byte grows
+(Section VI-B) emerges directly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.isa.program import Asm, Program
+from repro.kernels.aes import SBOX, _gmul, encrypt_ecb, expand_key
+from repro.kernels.api import Kernel
+from repro.mem.memory import FlatMemory
+
+# State layout (offsets from state_base).
+_LT_OFF = 0  # 4 tables x 1024 B
+_RK_OFF = 4096  # 11 round keys x 16 B, little-endian words
+_SBOX_OFF = 4272  # 256 B
+_STATE_BYTES = 4528
+
+_DEFAULT_KEY = bytes(range(16))
+
+# MixColumns coefficients contributed by the row-r input byte.
+_MC_COLS = [(2, 1, 1, 3), (3, 2, 1, 1), (1, 3, 2, 1), (1, 1, 3, 2)]
+
+
+def build_le_t_tables() -> List[List[int]]:
+    """T-tables for little-endian packed state columns.
+
+    With state word w_c = b0 | b1<<8 | b2<<16 | b3<<24 (row r in byte lane
+    r), a full round is: new_c = LT0[lane0(w_c)] ^ LT1[lane1(w_{c+1})] ^
+    LT2[lane2(w_{c+2})] ^ LT3[lane3(w_{c+3})] ^ rk_c.
+    """
+    tables: List[List[int]] = []
+    for r in range(4):
+        coeffs = _MC_COLS[r]
+        table = []
+        for x in range(256):
+            s = SBOX[x]
+            word = 0
+            for row in range(4):
+                word |= _gmul(s, coeffs[row]) << (8 * row)
+            table.append(word & 0xFFFFFFFF)
+        tables.append(table)
+    return tables
+
+
+LE_T_TABLES = build_le_t_tables()
+
+
+class AESKernel(Kernel):
+    """AES-128 ECB encryption of 16-byte blocks."""
+
+    name = "aes"
+    num_inputs = 1
+    num_outputs = 1
+    output_to_flash = True
+    block_bytes = 16
+    state_bytes = _STATE_BYTES
+    udp_isa_factor = 1.0  # UDP's dispatch tricks do not help block ciphers
+
+    def __init__(self, key: bytes = _DEFAULT_KEY) -> None:
+        self.key = bytes(key)
+        self.round_keys = expand_key(self.key)
+        super().__init__()
+
+    def reference(self, inputs: List[bytes]) -> List[bytes]:
+        self.check_inputs(inputs)
+        return [encrypt_ecb(inputs[0], self.key)]
+
+    def make_inputs(self, total_bytes: int, seed: int = 1) -> List[bytes]:
+        rng = random.Random(seed)
+        return [rng.randbytes(self.pad_to_block(total_bytes))]
+
+    def init_state(self, mem: FlatMemory, state_base: int) -> None:
+        for t, table in enumerate(LE_T_TABLES):
+            for x, word in enumerate(table):
+                mem.store_u32(state_base + _LT_OFF + 1024 * t + 4 * x, word)
+        for r, rk in enumerate(self.round_keys):
+            for c, word_be in enumerate(rk):
+                # LE word = byte-swapped FIPS word (b0 in the low lane).
+                swapped = int.from_bytes(word_be.to_bytes(4, "big"), "little")
+                mem.store_u32(state_base + _RK_OFF + 16 * r + 4 * c, swapped)
+        for x, s in enumerate(SBOX):
+            mem.store_u8(state_base + _SBOX_OFF + x, s)
+
+    # -- code generation -------------------------------------------------------
+
+    def _emit_block_body(self, a: Asm, load_word, store_word) -> None:
+        """Encrypt one block: words arrive via load_word(c, reg)."""
+        src = ["s0", "s1", "s2", "s3"]
+        dst = ["s4", "s5", "s6", "s7"]
+        for c in range(4):
+            load_word(c, src[c])
+        # Round 0: AddRoundKey.
+        for c in range(4):
+            a.lw("t0", "a5", 16 * 0 + 4 * c)
+            a.xor(src[c], src[c], "t0")
+        # Rounds 1..9: T-table rounds, alternating register banks.
+        table_base = ["t4", "t5", "t6", "a4"]
+        for rnd in range(1, 10):
+            s_in, s_out = (src, dst) if rnd % 2 == 1 else (dst, src)
+            for c in range(4):
+                acc = s_out[c]
+                for r in range(4):
+                    word = s_in[(c + r) % 4]
+                    if r == 0:
+                        a.andi("t0", word, 0xFF)
+                    elif r == 3:
+                        a.srli("t0", word, 24)
+                    else:
+                        a.srli("t0", word, 8 * r)
+                        a.andi("t0", "t0", 0xFF)
+                    a.slli("t0", "t0", 2)
+                    a.add("t0", "t0", table_base[r])
+                    a.lw("t0", "t0", 0)
+                    if r == 0:
+                        a.mv(acc, "t0")
+                    else:
+                        a.xor(acc, acc, "t0")
+                a.lw("t0", "a5", 16 * rnd + 4 * c)
+                a.xor(acc, acc, "t0")
+        # After round 9 (odd), state sits in dst; final round -> src bank.
+        s_in, s_out = dst, src
+        for c in range(4):
+            acc = s_out[c]
+            for r in range(4):
+                word = s_in[(c + r) % 4]
+                if r == 0:
+                    a.andi("t0", word, 0xFF)
+                elif r == 3:
+                    a.srli("t0", word, 24)
+                else:
+                    a.srli("t0", word, 8 * r)
+                    a.andi("t0", "t0", 0xFF)
+                a.add("t0", "t0", "a6")
+                a.lbu("t0", "t0", 0)
+                if r:
+                    a.slli("t0", "t0", 8 * r)
+                    a.or_(acc, acc, "t0")
+                else:
+                    a.mv(acc, "t0")
+            a.lw("t0", "a5", 16 * 10 + 4 * c)
+            a.xor(acc, acc, "t0")
+        for c in range(4):
+            store_word(c, s_out[c])
+
+    def _emit_table_bases(self, a: Asm, state_base: int) -> None:
+        a.li("t4", state_base + _LT_OFF)
+        a.li("t5", state_base + _LT_OFF + 1024)
+        a.li("t6", state_base + _LT_OFF + 2048)
+        a.li("a4", state_base + _LT_OFF + 3072)
+        a.li("a5", state_base + _RK_OFF)
+        a.li("a6", state_base + _SBOX_OFF)
+
+    def _build_stream_program(self, state_base: int) -> Program:
+        a = Asm("aes-stream")
+        self._emit_table_bases(a, state_base)
+        a.label("loop")
+        self._emit_block_body(
+            a,
+            load_word=lambda c, reg: a.sload(reg, 0, 4),
+            store_word=lambda c, reg: a.sstore(reg, 0, 4),
+        )
+        a.j("loop")
+        return a.build()
+
+    def _build_memory_program(self, state_base: int) -> Program:
+        a = Asm("aes-memory")
+        self._emit_table_bases(a, state_base)
+        a.mv("a7", "a2")  # output pointer
+        a.add("t3", "a0", "a1")  # end
+        a.beq("a0", "t3", "done")
+        a.label("loop")
+        self._emit_block_body(
+            a,
+            load_word=lambda c, reg: a.lw(reg, "a0", 4 * c),
+            store_word=lambda c, reg: a.sw(reg, "a7", 4 * c),
+        )
+        a.addi("a0", "a0", 16)
+        a.addi("a7", "a7", 16)
+        a.bltu("a0", "t3", "loop")
+        a.label("done")
+        a.sub("a0", "a7", "a2")
+        a.halt()
+        return a.build()

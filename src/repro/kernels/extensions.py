@@ -1,0 +1,477 @@
+"""Extension kernels covering the rest of Table II's function families.
+
+These demonstrate the programming model's generality beyond the paper's
+evaluated set:
+
+* :class:`ReplicateKernel` — "Replicate": one input stream copied to two
+  output streams (write-path fan-out).
+* :class:`DedupKernel` — "Deduplicate": per-block fingerprints checked
+  against a scratchpad-resident fingerprint table; emits the indices of
+  duplicate blocks. (Fingerprint-table semantics are exact: 1024 direct-
+  mapped entries, last-writer-wins — reference and ISA agree bit for bit.)
+* :class:`RLECompressKernel` — "Compress": run-length encoding as the
+  simplified stand-in for dictionary compression (the paper's point is the
+  bounded-history structure, which RLE shares in degenerate form).
+* :class:`StatsSummaryKernel` — "Statistics": count/sum/min/max
+  accumulators over a u32 column, all function state in the scratchpad.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.isa.program import Asm, Program
+from repro.kernels.api import Kernel
+from repro.mem.memory import FlatMemory
+
+DEDUP_BLOCK = 64
+DEDUP_TABLE_ENTRIES = 1024
+_FNV_PRIME = 16777619
+_FNV_BASIS = 2166136261
+
+
+def dedup_fingerprint(block: bytes) -> int:
+    """FNV-1a over the block, word at a time (matches the ISA program)."""
+    h = _FNV_BASIS
+    for i in range(0, len(block), 4):
+        word = int.from_bytes(block[i : i + 4], "little")
+        h = ((h ^ word) * _FNV_PRIME) & 0xFFFFFFFF
+    return h or 1  # 0 marks an empty table slot
+
+
+class ReplicateKernel(Kernel):
+    """Copy the input stream to two output streams."""
+
+    name = "replicate"
+    num_inputs = 1
+    num_outputs = 2
+    output_to_flash = True
+    block_bytes = 4
+
+    def reference(self, inputs: List[bytes]) -> List[bytes]:
+        self.check_inputs(inputs)
+        return [inputs[0], inputs[0]]
+
+    def make_inputs(self, total_bytes: int, seed: int = 1) -> List[bytes]:
+        rng = random.Random(seed)
+        return [rng.randbytes(self.pad_to_block(total_bytes))]
+
+    def _build_stream_program(self, state_base: int) -> Program:
+        a = Asm("replicate-stream")
+        a.label("loop")
+        a.sload("t0", 0, 4)
+        a.sstore("t0", 0, 4)
+        a.sstore("t0", 1, 4)
+        a.j("loop")
+        return a.build()
+
+    def _build_memory_program(self, state_base: int) -> Program:
+        a = Asm("replicate-memory")
+        a.mv("s1", "a2")
+        a.add("s2", "a2", "a1")  # second replica region
+        a.add("t2", "a0", "a1")
+        a.beq("a0", "t2", "done")
+        a.label("loop")
+        a.lw("t0", "a0", 0)
+        a.sw("t0", "s1", 0)
+        a.sw("t0", "s2", 0)
+        a.addi("a0", "a0", 4)
+        a.addi("s1", "s1", 4)
+        a.addi("s2", "s2", 4)
+        a.bltu("a0", "t2", "loop")
+        a.label("done")
+        a.slli("a0", "a1", 1)
+        a.halt()
+        return a.build()
+
+
+class DedupKernel(Kernel):
+    """Emit the stream index (u32) of every duplicate 64-byte block."""
+
+    name = "dedup"
+    num_inputs = 1
+    num_outputs = 1
+    block_bytes = DEDUP_BLOCK
+    state_bytes = 4 * DEDUP_TABLE_ENTRIES + 8  # table + block counter
+
+    def reference(self, inputs: List[bytes]) -> List[bytes]:
+        self.check_inputs(inputs)
+        table = [0] * DEDUP_TABLE_ENTRIES
+        out = bytearray()
+        data = inputs[0]
+        for index in range(len(data) // DEDUP_BLOCK):
+            fp = dedup_fingerprint(data[index * DEDUP_BLOCK : (index + 1) * DEDUP_BLOCK])
+            slot = fp % DEDUP_TABLE_ENTRIES
+            if table[slot] == fp:
+                out += index.to_bytes(4, "little")
+            else:
+                table[slot] = fp
+        return [bytes(out)]
+
+    def make_inputs(self, total_bytes: int, seed: int = 1) -> List[bytes]:
+        # ~25% duplicate blocks, drawn from a small pool.
+        rng = random.Random(seed)
+        pool = [rng.randbytes(DEDUP_BLOCK) for _ in range(8)]
+        blocks = []
+        for _ in range(max(1, self.pad_to_block(total_bytes) // DEDUP_BLOCK)):
+            if rng.random() < 0.25:
+                blocks.append(rng.choice(pool))
+            else:
+                blocks.append(rng.randbytes(DEDUP_BLOCK))
+        return [b"".join(blocks)]
+
+    def _emit_fingerprint(self, a: Asm, load_word) -> None:
+        """FNV-1a of one block into s1 (s8 = prime constant)."""
+        a.li("s1", _FNV_BASIS)
+        for i in range(DEDUP_BLOCK // 4):
+            load_word(i)
+            a.xor("s1", "s1", "t0")
+            a.mul("s1", "s1", "s8")
+        # h or 1
+        a.bnez("s1", f"fp_ok_{self._label_seq}")
+        a.li("s1", 1)
+        a.label(f"fp_ok_{self._label_seq}")
+        self._label_seq += 1
+
+    def _emit_table_probe(self, a: Asm, emit_dup, loop: str) -> None:
+        """Probe slot fp % 1024; duplicate -> emit, else install."""
+        a.andi("t1", "s1", DEDUP_TABLE_ENTRIES - 1)
+        a.slli("t1", "t1", 2)
+        a.add("t1", "t1", "t6")  # t6 = table base
+        a.lw("t2", "t1", 0)
+        a.beq("t2", "s1", f"dup_{self._label_seq}")
+        a.sw("s1", "t1", 0)
+        a.addi("s2", "s2", 1)  # block counter
+        a.j(loop)
+        a.label(f"dup_{self._label_seq}")
+        emit_dup()
+        a.addi("s2", "s2", 1)
+        a.j(loop)
+        self._label_seq += 1
+
+    def _build_stream_program(self, state_base: int) -> Program:
+        self._label_seq = 0
+        a = Asm("dedup-stream")
+        a.li("t6", state_base)
+        a.li("s8", _FNV_PRIME)
+        a.li("s2", 0)
+        a.label("loop")
+        self._emit_fingerprint(a, lambda i: a.sload("t0", 0, 4))
+        self._emit_table_probe(a, lambda: a.sstore("s2", 0, 4), "loop")
+        return a.build()
+
+    def _build_memory_program(self, state_base: int) -> Program:
+        self._label_seq = 0
+        a = Asm("dedup-memory")
+        a.li("t6", state_base)
+        a.li("s8", _FNV_PRIME)
+        a.li("t5", state_base + 4 * DEDUP_TABLE_ENTRIES)  # counter slot
+        a.lw("s2", "t5", 0)  # block counter persists across chunks
+        a.mv("s3", "a2")
+        a.add("s0", "a0", "a1")
+        a.label("loop_top")
+        a.bgeu("a0", "s0", "done")
+        self._emit_fingerprint(a, lambda i: a.lw("t0", "a0", 4 * i))
+        a.addi("a0", "a0", DEDUP_BLOCK)
+
+        def emit_dup():
+            a.sw("s2", "s3", 0)
+            a.addi("s3", "s3", 4)
+
+        self._emit_table_probe(a, emit_dup, "loop_top")
+        a.label("done")
+        a.sw("s2", "t5", 0)
+        a.sub("a0", "s3", "a2")
+        a.halt()
+        return a.build()
+
+    def init_state(self, mem: FlatMemory, state_base: int) -> None:
+        mem.fill(state_base, self.state_bytes, 0)
+
+
+class RLECompressKernel(Kernel):
+    """Run-length encoding: emit (count u8, value u8) pairs."""
+
+    name = "compress"
+    num_inputs = 1
+    num_outputs = 1
+    block_bytes = 1
+    state_bytes = 8  # current run value + length (persists across chunks)
+
+    def reference(self, inputs: List[bytes]) -> List[bytes]:
+        self.check_inputs(inputs)
+        data = inputs[0]
+        out = bytearray()
+        if not data:
+            return [b""]
+        run_value = data[0]
+        run_len = 1
+        for byte in data[1:]:
+            if byte == run_value and run_len < 255:
+                run_len += 1
+            else:
+                out += bytes([run_len, run_value])
+                run_value, run_len = byte, 1
+        out += bytes([run_len, run_value])
+        return [bytes(out)]
+
+    @staticmethod
+    def decompress(encoded: bytes) -> bytes:
+        out = bytearray()
+        for i in range(0, len(encoded), 2):
+            out += bytes([encoded[i + 1]]) * encoded[i]
+        return bytes(out)
+
+    def finalize_outputs(self, outputs: List[bytes], final_state: bytes) -> List[bytes]:
+        """Flush the in-progress run left in the scratchpad at EOS."""
+        value = int.from_bytes(final_state[0:4], "little")
+        length = int.from_bytes(final_state[4:8], "little")
+        if length == 0:
+            return outputs
+        return [outputs[0] + bytes([length, value])] + list(outputs[1:])
+
+    def make_inputs(self, total_bytes: int, seed: int = 1) -> List[bytes]:
+        # Runs of length 1..32 — compressible but not degenerate.
+        rng = random.Random(seed)
+        out = bytearray()
+        n = self.pad_to_block(total_bytes)
+        while len(out) < n:
+            out += bytes([rng.randrange(256)]) * rng.randint(1, 32)
+        return [bytes(out[:n])]
+
+    def _emit_run_machine(self, a: Asm, get_byte, emit_pair, loop: str) -> None:
+        """s1 = run value, s2 = run length (0 means no run yet)."""
+        get_byte()  # byte into t0
+        a.beqz("s2", "start_run")
+        a.bne("t0", "s1", "flush")
+        a.li("t1", 255)
+        a.bgeu("s2", "t1", "flush")
+        a.addi("s2", "s2", 1)
+        a.j(loop)
+        a.label("flush")
+        emit_pair()
+        a.label("start_run")
+        a.mv("s1", "t0")
+        a.li("s2", 1)
+        a.j(loop)
+
+    def _build_stream_program(self, state_base: int) -> Program:
+        # The loop ends whenever StreamLoad finds the input exhausted, so the
+        # in-progress run is persisted to the scratchpad every iteration; the
+        # firmware (or a test) flushes the final (length, value) pair from
+        # the function state after EOS.
+        a = Asm("compress-stream")
+        a.li("t6", state_base)
+        a.li("s1", 0)
+        a.li("s2", 0)
+        a.label("top")
+        a.sw("s1", "t6", 0)
+        a.sw("s2", "t6", 4)
+        a.label("loop")
+
+        def emit_pair():
+            a.sstore("s2", 0, 1)
+            a.sstore("s1", 0, 1)
+
+        self._emit_run_machine(a, lambda: a.sload("t0", 0, 1), emit_pair, "top")
+        return a.build()
+
+    def _build_memory_program(self, state_base: int) -> Program:
+        a = Asm("compress-memory")
+        a.li("t6", state_base)
+        a.lw("s1", "t6", 0)  # run value persists across chunks
+        a.lw("s2", "t6", 4)  # run length persists across chunks
+        a.mv("s3", "a2")
+        a.add("s0", "a0", "a1")
+        a.label("loop")
+        a.bgeu("a0", "s0", "done")
+
+        def get_byte():
+            a.lbu("t0", "a0", 0)
+            a.addi("a0", "a0", 1)
+
+        def emit_pair():
+            a.sb("s2", "s3", 0)
+            a.sb("s1", "s3", 1)
+            a.addi("s3", "s3", 2)
+
+        self._emit_run_machine(a, get_byte, emit_pair, "loop")
+        a.label("done")
+        a.sw("s1", "t6", 0)
+        a.sw("s2", "t6", 4)
+        a.sub("a0", "s3", "a2")
+        a.halt()
+        return a.build()
+
+    def init_state(self, mem: FlatMemory, state_base: int) -> None:
+        mem.store_u32(state_base, 0)
+        mem.store_u32(state_base + 4, 0)
+
+
+class RLEDecompressKernel(Kernel):
+    """Run-length decoding: expand (count u8, value u8) pairs.
+
+    The "Decompress" family of Table II: streaming input, bounded history
+    (none at all for RLE), output-expanding. Chunked memory-form execution
+    must survive a pair split across a chunk boundary, which exercises the
+    state-persistence path (pending count in the scratchpad).
+    """
+
+    name = "decompress"
+    num_inputs = 1
+    num_outputs = 1
+    block_bytes = 2  # one (count, value) pair
+    state_bytes = 8  # pending count + have-count flag (memory form)
+
+    def reference(self, inputs: List[bytes]) -> List[bytes]:
+        self.check_inputs(inputs)
+        return [RLECompressKernel.decompress(inputs[0])]
+
+    def make_inputs(self, total_bytes: int, seed: int = 1) -> List[bytes]:
+        # Encode representative runs so the input is valid RLE.
+        source = RLECompressKernel().make_inputs(total_bytes * 4, seed)[0]
+        encoded = RLECompressKernel().reference([source])[0]
+        n = self.pad_to_block(min(len(encoded), max(self.block_bytes, total_bytes)))
+        return [encoded[:n]]
+
+    def _build_stream_program(self, state_base: int) -> Program:
+        a = Asm("decompress-stream")
+        a.label("loop")
+        a.sload("t0", 0, 1)  # count (EOS ends the program here)
+        a.sload("t1", 0, 1)  # value
+        a.label("emit")
+        a.beqz("t0", "loop")
+        a.sstore("t1", 0, 1)
+        a.addi("t0", "t0", -1)
+        a.j("emit")
+        return a.build()
+
+    def _build_memory_program(self, state_base: int) -> Program:
+        a = Asm("decompress-memory")
+        a.li("t6", state_base)
+        a.lw("t0", "t6", 0)  # pending count
+        a.lw("t2", "t6", 4)  # have-count flag
+        a.mv("s3", "a2")
+        a.add("s0", "a0", "a1")
+        a.bnez("t2", "have_count")
+        a.label("loop")
+        a.bgeu("a0", "s0", "done_nopending")
+        a.lbu("t0", "a0", 0)
+        a.addi("a0", "a0", 1)
+        a.label("have_count")
+        a.bgeu("a0", "s0", "done_pending")
+        a.lbu("t1", "a0", 0)
+        a.addi("a0", "a0", 1)
+        a.label("emit")
+        a.beqz("t0", "loop")
+        a.sb("t1", "s3", 0)
+        a.addi("s3", "s3", 1)
+        a.addi("t0", "t0", -1)
+        a.j("emit")
+        a.label("done_pending")
+        a.sw("t0", "t6", 0)
+        a.li("t2", 1)
+        a.sw("t2", "t6", 4)
+        a.j("finish")
+        a.label("done_nopending")
+        a.sw("zero", "t6", 0)
+        a.sw("zero", "t6", 4)
+        a.label("finish")
+        a.sub("a0", "s3", "a2")
+        a.halt()
+        return a.build()
+
+    def init_state(self, mem: FlatMemory, state_base: int) -> None:
+        mem.store_u32(state_base, 0)
+        mem.store_u32(state_base + 4, 0)
+
+
+class StatsSummaryKernel(Kernel):
+    """count/sum/min/max of a u32 column; all state in the scratchpad."""
+
+    name = "stats_summary"
+    num_inputs = 1
+    num_outputs = 0
+    block_bytes = 4
+    state_bytes = 16  # count, sum, min, max
+
+    def reference(self, inputs: List[bytes]) -> List[bytes]:
+        self.check_inputs(inputs)
+        values = [
+            int.from_bytes(inputs[0][i : i + 4], "little")
+            for i in range(0, len(inputs[0]), 4)
+        ]
+        count = len(values)
+        total = sum(values) & 0xFFFFFFFF
+        lo = min(values) if values else 0xFFFFFFFF
+        hi = max(values) if values else 0
+        self._expected_state = b"".join(
+            v.to_bytes(4, "little") for v in (count, total, lo, hi)
+        )
+        return []
+
+    def reference_state(self, inputs: List[bytes]) -> bytes:
+        self.reference(inputs)
+        return self._expected_state
+
+    def make_inputs(self, total_bytes: int, seed: int = 1) -> List[bytes]:
+        rng = random.Random(seed)
+        return [rng.randbytes(self.pad_to_block(total_bytes))]
+
+    def _emit_update(self, a: Asm) -> None:
+        """Update (s2=count, s3=sum, s4=min, s5=max) with t0."""
+        a.addi("s2", "s2", 1)
+        a.add("s3", "s3", "t0")
+        a.bgeu("t0", "s4", "skip_min")
+        a.mv("s4", "t0")
+        a.label("skip_min")
+        a.bgeu("s5", "t0", "skip_max")
+        a.mv("s5", "t0")
+        a.label("skip_max")
+
+    def _load_state(self, a: Asm) -> None:
+        a.lw("s2", "t6", 0)
+        a.lw("s3", "t6", 4)
+        a.lw("s4", "t6", 8)
+        a.lw("s5", "t6", 12)
+
+    def _store_state(self, a: Asm) -> None:
+        a.sw("s2", "t6", 0)
+        a.sw("s3", "t6", 4)
+        a.sw("s4", "t6", 8)
+        a.sw("s5", "t6", 12)
+
+    def _build_stream_program(self, state_base: int) -> Program:
+        a = Asm("stats-stream")
+        a.li("t6", state_base)
+        self._load_state(a)
+        a.label("loop")
+        a.sload("t0", 0, 4)
+        self._emit_update(a)
+        self._store_state(a)
+        a.j("loop")
+        return a.build()
+
+    def _build_memory_program(self, state_base: int) -> Program:
+        a = Asm("stats-memory")
+        a.li("t6", state_base)
+        self._load_state(a)
+        a.add("t2", "a0", "a1")
+        a.label("loop")
+        a.bgeu("a0", "t2", "done")
+        a.lw("t0", "a0", 0)
+        a.addi("a0", "a0", 4)
+        self._emit_update(a)
+        a.j("loop")
+        a.label("done")
+        self._store_state(a)
+        a.li("a0", 0)
+        a.halt()
+        return a.build()
+
+    def init_state(self, mem: FlatMemory, state_base: int) -> None:
+        mem.store_u32(state_base, 0)
+        mem.store_u32(state_base + 4, 0)
+        mem.store_u32(state_base + 8, 0xFFFFFFFF)
+        mem.store_u32(state_base + 12, 0)

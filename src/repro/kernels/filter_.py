@@ -1,0 +1,142 @@
+"""Filter kernel: predicate evaluation over fixed-schema tuples.
+
+The motivating offload of the paper (Section III-A): filter TPC-H lineitem
+tuples on shipdate/discount/quantity predicates (a TPC-H Q6 shape) and emit
+only the selected tuples — early data reduction inside the SSD. Named
+``filter`` in the registry; the module is ``filter_`` to avoid shadowing
+the builtin.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.program import Asm, Program
+from repro.kernels.api import Kernel
+from repro.kernels.tuples import (
+    SHIPDATE_DAYS,
+    TUPLE_BYTES,
+    iter_tuples,
+    random_tuples,
+)
+
+
+class FilterKernel(Kernel):
+    """Keep tuples with shipdate in [lo,hi), discount in [dlo,dhi], qty < qmax."""
+
+    name = "filter"
+    num_inputs = 1
+    num_outputs = 1
+    block_bytes = TUPLE_BYTES
+    udp_isa_factor = 0.90
+
+    def __init__(
+        self,
+        shipdate_lo: int = 730,
+        shipdate_hi: int = 1095,
+        discount_lo: int = 5,
+        discount_hi: int = 7,
+        quantity_max: int = 24,
+    ) -> None:
+        self.shipdate_lo = shipdate_lo
+        self.shipdate_hi = shipdate_hi
+        self.discount_lo = discount_lo
+        self.discount_hi = discount_hi
+        self.quantity_max = quantity_max
+        super().__init__()
+
+    def selects(self, t) -> bool:
+        return (
+            self.shipdate_lo <= t.shipdate < self.shipdate_hi
+            and self.discount_lo <= t.discount <= self.discount_hi
+            and t.quantity < self.quantity_max
+        )
+
+    @property
+    def expected_selectivity(self) -> float:
+        """Analytic selectivity under the random_tuples distributions."""
+        date = (self.shipdate_hi - self.shipdate_lo) / SHIPDATE_DAYS
+        disc = (self.discount_hi - self.discount_lo + 1) / 11
+        qty = min(max(self.quantity_max - 1, 0), 50) / 50
+        return date * disc * qty
+
+    def reference(self, inputs: List[bytes]) -> List[bytes]:
+        self.check_inputs(inputs)
+        out = bytearray()
+        for t in iter_tuples(inputs[0]):
+            if self.selects(t):
+                out += t.pack()
+        return [bytes(out)]
+
+    def make_inputs(self, total_bytes: int, seed: int = 1) -> List[bytes]:
+        n = max(1, self.pad_to_block(total_bytes) // TUPLE_BYTES)
+        return [random_tuples(n, seed)]
+
+    def _emit_predicate(self, a: Asm, reject: str) -> None:
+        """Branches on fields in s2..s5; falls through when selected.
+
+        Constants preloaded: t3=lo, t4=hi, t5=dlo, t6=dhi, s6=qmax.
+        """
+        a.bltu("s5", "t3", reject)  # shipdate < lo
+        a.bgeu("s5", "t4", reject)  # shipdate >= hi
+        a.bltu("s4", "t5", reject)  # discount < dlo
+        a.bltu("t6", "s4", reject)  # discount > dhi
+        a.bgeu("s2", "s6", reject)  # quantity >= qmax
+
+    def _emit_constants(self, a: Asm) -> None:
+        a.li("t3", self.shipdate_lo)
+        a.li("t4", self.shipdate_hi)
+        a.li("t5", self.discount_lo)
+        a.li("t6", self.discount_hi)
+        a.li("s6", self.quantity_max)
+
+    def _build_stream_program(self, state_base: int) -> Program:
+        a = Asm("filter-stream")
+        self._emit_constants(a)
+        a.label("loop")
+        a.sload("s2", 0, 4)  # quantity
+        a.sload("s3", 0, 4)  # price
+        a.sload("s4", 0, 4)  # discount
+        a.sload("s5", 0, 4)  # shipdate
+        self._emit_predicate(a, "reject")
+        # Selected: emit the four fields, then copy the payload through.
+        a.sstore("s2", 0, 4)
+        a.sstore("s3", 0, 4)
+        a.sstore("s4", 0, 4)
+        a.sstore("s5", 0, 4)
+        for _ in range(4):  # 16B payload as 4 words
+            a.sload("t0", 0, 4)
+            a.sstore("t0", 0, 4)
+        a.j("loop")
+        a.label("reject")
+        a.sskip(0, 16)  # skip the payload of the rejected tuple
+        a.j("loop")
+        return a.build()
+
+    def _build_memory_program(self, state_base: int) -> Program:
+        a = Asm("filter-memory")
+        self._emit_constants(a)
+        a.mv("s1", "a2")  # output pointer
+        a.add("s0", "a0", "a1")  # end
+        a.beq("a0", "s0", "done")
+        a.label("loop")
+        a.lw("s2", "a0", 0)
+        a.lw("s3", "a0", 4)
+        a.lw("s4", "a0", 8)
+        a.lw("s5", "a0", 12)
+        self._emit_predicate(a, "reject")
+        a.sw("s2", "s1", 0)
+        a.sw("s3", "s1", 4)
+        a.sw("s4", "s1", 8)
+        a.sw("s5", "s1", 12)
+        for i in range(4):
+            a.lw("t0", "a0", 16 + 4 * i)
+            a.sw("t0", "s1", 16 + 4 * i)
+        a.addi("s1", "s1", TUPLE_BYTES)
+        a.label("reject")
+        a.addi("a0", "a0", TUPLE_BYTES)
+        a.bltu("a0", "s0", "loop")
+        a.label("done")
+        a.sub("a0", "s1", "a2")  # bytes written
+        a.halt()
+        return a.build()

@@ -1,0 +1,136 @@
+"""GF(2^8) arithmetic over the RAID-6 polynomial x^8+x^4+x^3+x^2+1 (0x11D).
+
+Used by the RAID6 erasure-coding kernel (Table II: "Galois Field table" as
+function state) and its recovery tests. Includes the SWAR trick the kernel's
+ISA program uses to multiply all four bytes of a 32-bit word by ``x`` (i.e.
+by 2) at once, which is how scalar cores vectorise the Q-parity Horner loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import KernelError
+
+POLY = 0x11D  # RAID-6 generator polynomial (with the x^8 term)
+_REDUCE = POLY & 0xFF  # 0x1D
+
+
+def _build_tables() -> Tuple[List[int], List[int]]:
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= POLY
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+    return exp, log
+
+
+GF_EXP, GF_LOG = _build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8)."""
+    if not (0 <= a < 256 and 0 <= b < 256):
+        raise KernelError("GF(256) operands must be bytes")
+    if a == 0 or b == 0:
+        return 0
+    return GF_EXP[GF_LOG[a] + GF_LOG[b]]
+
+
+def gf_pow(a: int, n: int) -> int:
+    """a**n in GF(2^8)."""
+    if a == 0:
+        return 0 if n else 1
+    return GF_EXP[(GF_LOG[a] * n) % 255]
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse; raises on zero."""
+    if a == 0:
+        raise KernelError("zero has no inverse in GF(256)")
+    return GF_EXP[255 - GF_LOG[a]]
+
+
+def gf_div(a: int, b: int) -> int:
+    return gf_mul(a, gf_inv(b))
+
+
+def gf_mul2_word(word: int) -> int:
+    """SWAR: multiply each byte of a 32-bit word by 2 in GF(2^8).
+
+    ``(hi >> 7) * 0x1D`` expands each high bit into the reduction constant
+    without cross-byte carries (0x01 * 0x1D = 0x1D fits in a byte), which is
+    exactly the 6-instruction sequence the RAID6 ISA kernel emits.
+    """
+    word &= 0xFFFFFFFF
+    hi = word & 0x80808080
+    shifted = (word << 1) & 0xFEFEFEFE
+    mask = ((hi >> 7) * _REDUCE) & 0xFFFFFFFF
+    return shifted ^ mask
+
+
+def raid6_pq(stripes: Sequence[bytes]) -> Tuple[bytes, bytes]:
+    """Compute RAID-6 P (XOR) and Q (GF Horner) parity for equal stripes."""
+    if not stripes:
+        raise KernelError("RAID-6 needs at least one data stripe")
+    length = len(stripes[0])
+    if any(len(s) != length for s in stripes):
+        raise KernelError("all stripes must have equal length")
+    p = bytearray(length)
+    q = bytearray(length)
+    for stripe in stripes:  # P = D0 ^ D1 ^ ... (order-independent)
+        for i, byte in enumerate(stripe):
+            p[i] ^= byte
+    # Q = ((D_{k-1} * g + D_{k-2}) * g + ...) evaluated with g = 2 (Horner).
+    for i in range(length):
+        acc = 0
+        for stripe in reversed(stripes):
+            acc = gf_mul(acc, 2) ^ stripe[i]
+        q[i] = acc
+    return bytes(p), bytes(q)
+
+
+def raid6_recover_two_data(
+    stripes: Sequence[bytes], p: bytes, q: bytes, missing: Tuple[int, int]
+) -> Tuple[bytes, bytes]:
+    """Recover two lost data stripes from P and Q (standard RAID-6 algebra).
+
+    ``stripes`` holds the surviving stripes with ``b""`` placeholders at the
+    two ``missing`` indices.
+    """
+    x, y = missing
+    if x == y:
+        raise KernelError("missing indices must differ")
+    if x > y:
+        x, y = y, x
+    length = len(p)
+    # Pxy / Qxy: parities of the surviving stripes only.
+    pxy = bytearray(length)
+    qxy = bytearray(length)
+    for i in range(length):
+        acc_q = 0
+        for idx in reversed(range(len(stripes))):
+            data = stripes[idx]
+            byte = data[i] if data else 0
+            acc_q = gf_mul(acc_q, 2) ^ byte
+            if data:
+                pxy[i] ^= byte
+        qxy[i] = acc_q
+    gx, gy = gf_pow(2, x), gf_pow(2, y)
+    dx = bytearray(length)
+    dy = bytearray(length)
+    denom = gx ^ gy
+    for i in range(length):
+        p_delta = p[i] ^ pxy[i]
+        q_delta = q[i] ^ qxy[i]
+        # Solve: dx + dy = p_delta ; gx*dx + gy*dy = q_delta
+        dx_val = gf_div(gf_mul(gy, p_delta) ^ q_delta, denom)
+        dx[i] = dx_val
+        dy[i] = p_delta ^ dx_val
+    return bytes(dx), bytes(dy)

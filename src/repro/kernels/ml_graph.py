@@ -1,0 +1,194 @@
+"""NN-inference and graph-analysis kernels (Table II's remaining families).
+
+* :class:`NNInferenceKernel` — "NN Inference": model weights stay
+  stationary in the scratchpad while feature vectors stream in; one dot
+  product (score) streams out per vector. This is the weights-stationary
+  structure the paper calls out for both accelerators and general cores.
+* :class:`GraphDegreeKernel` — "Graph Analysis": the edge list streams
+  through while per-vertex statistics (here: degree counters) live in the
+  scratchpad; the counters are the function state returned at the end.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.errors import KernelError
+from repro.isa.program import Asm, Program
+from repro.kernels.api import Kernel
+from repro.mem.memory import FlatMemory
+
+
+class NNInferenceKernel(Kernel):
+    """Dot-product scoring: weights in scratchpad, vectors streamed."""
+
+    name = "nn_inference"
+    num_inputs = 1
+    num_outputs = 1
+    udp_isa_factor = 1.0  # dense arithmetic gains nothing from dispatch
+
+    def __init__(self, dims: int = 16, seed: int = 42) -> None:
+        if not 2 <= dims <= 64:
+            raise KernelError("nn_inference supports 2..64 dimensions")
+        self.dims = dims
+        rng = random.Random(seed)
+        self.weights = [rng.randint(-128, 127) for _ in range(dims)]
+        self.block_bytes = 4 * dims  # one feature vector
+        self.state_bytes = 4 * dims
+        super().__init__()
+
+    def score(self, features: List[int]) -> int:
+        total = 0
+        for w, x in zip(self.weights, features):
+            # 32-bit wrap-around semantics, matching the ISA mul/add.
+            total = (total + w * x) & 0xFFFFFFFF
+        return total
+
+    def reference(self, inputs: List[bytes]) -> List[bytes]:
+        self.check_inputs(inputs)
+        data = inputs[0]
+        out = bytearray()
+        for off in range(0, len(data), self.block_bytes):
+            features = [
+                int.from_bytes(data[off + 4 * i : off + 4 * i + 4], "little", signed=False)
+                for i in range(self.dims)
+            ]
+            out += self.score(features).to_bytes(4, "little")
+        return [bytes(out)]
+
+    def make_inputs(self, total_bytes: int, seed: int = 1) -> List[bytes]:
+        rng = random.Random(seed)
+        n_vectors = max(1, self.pad_to_block(total_bytes) // self.block_bytes)
+        out = bytearray()
+        for _ in range(n_vectors):
+            for _ in range(self.dims):
+                out += rng.randint(0, 1000).to_bytes(4, "little")
+        return [bytes(out)]
+
+    def init_state(self, mem: FlatMemory, state_base: int) -> None:
+        for i, w in enumerate(self.weights):
+            mem.store_u32(state_base + 4 * i, w & 0xFFFFFFFF)
+
+    def _emit_vector_body(self, a: Asm, load_feature) -> None:
+        """Accumulate the dot product into s1 (t6 = weight base)."""
+        a.li("s1", 0)
+        for i in range(self.dims):
+            load_feature(i)  # feature into t0
+            a.lw("t1", "t6", 4 * i)  # weight (scratchpad)
+            a.mul("t0", "t0", "t1")
+            a.add("s1", "s1", "t0")
+
+    def _build_stream_program(self, state_base: int) -> Program:
+        a = Asm("nn-stream")
+        a.li("t6", state_base)
+        a.label("loop")
+        self._emit_vector_body(a, lambda i: a.sload("t0", 0, 4))
+        a.sstore("s1", 0, 4)
+        a.j("loop")
+        return a.build()
+
+    def _build_memory_program(self, state_base: int) -> Program:
+        a = Asm("nn-memory")
+        a.li("t6", state_base)
+        a.mv("s2", "a2")
+        a.add("s0", "a0", "a1")
+        a.beq("a0", "s0", "done")
+        a.label("loop")
+        self._emit_vector_body(a, lambda i: a.lw("t0", "a0", 4 * i))
+        a.sw("s1", "s2", 0)
+        a.addi("s2", "s2", 4)
+        a.addi("a0", "a0", self.block_bytes)
+        a.bltu("a0", "s0", "loop")
+        a.label("done")
+        a.sub("a0", "s2", "a2")
+        a.halt()
+        return a.build()
+
+
+class GraphDegreeKernel(Kernel):
+    """Stream the edge list; per-vertex degree counters in the scratchpad."""
+
+    name = "graph_degree"
+    num_inputs = 1
+    num_outputs = 0
+    block_bytes = 8  # one (src, dst) edge
+
+    def __init__(self, num_vertices: int = 4096) -> None:
+        if num_vertices & (num_vertices - 1) or num_vertices <= 0:
+            raise KernelError("num_vertices must be a power of two")
+        if 4 * num_vertices > 60 * 1024:
+            raise KernelError("vertex statistics must fit the 64 KiB scratchpad")
+        self.num_vertices = num_vertices
+        self.state_bytes = 4 * num_vertices
+        super().__init__()
+
+    def reference(self, inputs: List[bytes]) -> List[bytes]:
+        self.check_inputs(inputs)
+        degrees = [0] * self.num_vertices
+        data = inputs[0]
+        mask = self.num_vertices - 1
+        for off in range(0, len(data), 8):
+            src = int.from_bytes(data[off : off + 4], "little") & mask
+            dst = int.from_bytes(data[off + 4 : off + 8], "little") & mask
+            degrees[src] = (degrees[src] + 1) & 0xFFFFFFFF
+            degrees[dst] = (degrees[dst] + 1) & 0xFFFFFFFF
+        self._expected_state = b"".join(d.to_bytes(4, "little") for d in degrees)
+        return []
+
+    def reference_state(self, inputs: List[bytes]) -> bytes:
+        self.reference(inputs)
+        return self._expected_state
+
+    def make_inputs(self, total_bytes: int, seed: int = 1) -> List[bytes]:
+        rng = random.Random(seed)
+        edges = max(1, self.pad_to_block(total_bytes) // 8)
+        out = bytearray()
+        for _ in range(edges):
+            # Power-law-ish endpoints: popular hubs plus a uniform tail.
+            src = rng.randrange(16) if rng.random() < 0.3 else rng.randrange(self.num_vertices)
+            dst = rng.randrange(self.num_vertices)
+            out += src.to_bytes(4, "little") + dst.to_bytes(4, "little")
+        return [bytes(out)]
+
+    def _emit_bump(self, a: Asm, vertex_reg: str) -> None:
+        """degrees[vertex & mask] += 1 (t6 = table base, s8 = mask)."""
+        a.and_("t1", vertex_reg, "s8")
+        a.slli("t1", "t1", 2)
+        a.add("t1", "t1", "t6")
+        a.lw("t2", "t1", 0)
+        a.addi("t2", "t2", 1)
+        a.sw("t2", "t1", 0)
+
+    def _build_stream_program(self, state_base: int) -> Program:
+        a = Asm("graph-stream")
+        a.li("t6", state_base)
+        a.li("s8", self.num_vertices - 1)
+        a.label("loop")
+        a.sload("t0", 0, 4)  # src
+        self._emit_bump(a, "t0")
+        a.sload("t0", 0, 4)  # dst
+        self._emit_bump(a, "t0")
+        a.j("loop")
+        return a.build()
+
+    def _build_memory_program(self, state_base: int) -> Program:
+        a = Asm("graph-memory")
+        a.li("t6", state_base)
+        a.li("s8", self.num_vertices - 1)
+        a.add("s0", "a0", "a1")
+        a.label("loop")
+        a.bgeu("a0", "s0", "done")
+        a.lw("t0", "a0", 0)
+        self._emit_bump(a, "t0")
+        a.lw("t0", "a0", 4)
+        self._emit_bump(a, "t0")
+        a.addi("a0", "a0", 8)
+        a.j("loop")
+        a.label("done")
+        a.li("a0", 0)
+        a.halt()
+        return a.build()
+
+    def init_state(self, mem: FlatMemory, state_base: int) -> None:
+        mem.fill(state_base, self.state_bytes, 0)

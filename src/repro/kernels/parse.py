@@ -1,0 +1,118 @@
+"""Parse kernel: ASCII delimited text to binary u32 fields.
+
+The compute-heavy head of the PSF pipeline ("PSF, bottlenecked by the Parse
+function" — Section VI-C): a byte-at-a-time state machine that accumulates
+decimal digits and emits a little-endian u32 at each delimiter (``|`` or
+``\\n``). Function state is the digit accumulator, persisted to the
+scratchpad across chunk invocations in the memory form.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.isa.program import Asm, Program
+from repro.kernels.api import Kernel
+from repro.mem.memory import FlatMemory
+
+
+def parse_reference(text: bytes) -> bytes:
+    """Emit a u32 per delimiter byte (exactly the state-machine semantics)."""
+    out = bytearray()
+    acc = 0
+    for byte in text:
+        digit = byte - 0x30
+        if 0 <= digit <= 9:
+            acc = (acc * 10 + digit) & 0xFFFFFFFF
+        else:
+            out += acc.to_bytes(4, "little")
+            acc = 0
+    return bytes(out)
+
+
+def make_rows(total_bytes: int, fields: int = 8, seed: int = 1) -> bytes:
+    """Generate '|'-delimited numeric rows ending in newlines."""
+    rng = random.Random(seed)
+    out = bytearray()
+    while len(out) < total_bytes:
+        row = "|".join(str(rng.randint(0, 9_999_999)) for _ in range(fields))
+        out += row.encode("ascii") + b"\n"
+    return bytes(out)
+
+
+class ParseKernel(Kernel):
+    """Decimal-field parser; output stream carries one u32 per field."""
+
+    name = "parse"
+    num_inputs = 1
+    num_outputs = 1
+    block_bytes = 1
+    state_bytes = 4  # the digit accumulator
+    udp_isa_factor = 0.80  # UDP's multiway dispatch shines on state machines
+
+    def __init__(self, fields_per_row: int = 8) -> None:
+        self.fields_per_row = fields_per_row
+        super().__init__()
+
+    def reference(self, inputs: List[bytes]) -> List[bytes]:
+        self.check_inputs(inputs)
+        return [parse_reference(inputs[0])]
+
+    def make_inputs(self, total_bytes: int, seed: int = 1) -> List[bytes]:
+        return [make_rows(total_bytes, self.fields_per_row, seed)]
+
+    def _emit_byte_machine(self, a: Asm, get_byte, loop: str, delim: str) -> None:
+        """Digit path falls through; delimiter path jumps to ``delim``."""
+        get_byte()  # byte into t0
+        a.addi("t1", "t0", -0x30)
+        a.bgeu("t1", "t3", delim)  # t3 holds the constant 10
+        a.slli("t2", "s1", 3)  # acc*10 = acc*8 + acc*2
+        a.slli("s1", "s1", 1)
+        a.add("s1", "s1", "t2")
+        a.add("s1", "s1", "t1")
+        a.j(loop)
+
+    def _build_stream_program(self, state_base: int) -> Program:
+        a = Asm("parse-stream")
+        a.li("t3", 10)
+        a.li("s1", 0)
+        a.label("loop")
+        self._emit_byte_machine(a, lambda: a.sload("t0", 0, 1), "loop", "delim")
+        a.label("delim")
+        a.sstore("s1", 0, 4)
+        a.li("s1", 0)
+        a.j("loop")
+        return a.build()
+
+    def _build_memory_program(self, state_base: int) -> Program:
+        a = Asm("parse-memory")
+        a.li("t3", 10)
+        a.li("t6", state_base)
+        a.lw("s1", "t6", 0)  # accumulator persists across chunks
+        a.mv("s2", "a2")  # output pointer
+        a.add("s0", "a0", "a1")  # end
+        a.label("loop")
+        a.bgeu("a0", "s0", "done")
+        a.lbu("t0", "a0", 0)
+        a.addi("a0", "a0", 1)
+        a.addi("t1", "t0", -0x30)
+        a.bgeu("t1", "t3", "delim")
+        a.slli("t2", "s1", 3)
+        a.slli("s1", "s1", 1)
+        a.add("s1", "s1", "t2")
+        a.add("s1", "s1", "t1")
+        a.j("loop")
+        a.label("delim")
+        a.sw("s1", "s2", 0)
+        a.addi("s2", "s2", 4)
+        a.li("s1", 0)
+        a.j("loop")
+        a.label("done")
+        a.sw("s1", "t6", 0)
+        a.sub("a0", "s2", "a2")
+        a.halt()
+        return a.build()
+
+    def init_state(self, mem: FlatMemory, state_base: int) -> None:
+        mem.store_u32(state_base, 0)

@@ -1,0 +1,170 @@
+"""PSF kernel: the fused Parse -> Select -> Filter database pipeline.
+
+This is the offload of the paper's Section VI-C: TPC-H tables stored as
+delimited text are parsed in-SSD, projected to the columns the query needs,
+filtered on its predicate, and only the surviving binary tuples leave the
+device. Function state is the parser accumulator, the field counter, and a
+one-row field buffer — all scratchpad-resident (Table II).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import KernelError
+from repro.isa.program import Asm, Program
+from repro.kernels.api import Kernel
+from repro.kernels.parse import make_rows
+from repro.mem.memory import FlatMemory
+
+_BUF_OFF = 16  # row buffer offset within the state block (acc@0, counter@4)
+_MAX_FIELDS = 16
+
+
+class PSFKernel(Kernel):
+    """Parse rows, filter on one field's [lo, hi) range, emit selected fields."""
+
+    name = "psf"
+    num_inputs = 1
+    num_outputs = 1
+    block_bytes = 1
+    udp_isa_factor = 0.84
+
+    def __init__(
+        self,
+        fields_per_row: int = 8,
+        select_fields: Sequence[int] = (0, 1, 3),
+        filter_field: int = 2,
+        filter_lo: int = 0,
+        filter_hi: int = 2_000_000,
+    ) -> None:
+        if fields_per_row > _MAX_FIELDS:
+            raise KernelError(f"at most {_MAX_FIELDS} fields per row")
+        if any(f >= fields_per_row for f in select_fields) or filter_field >= fields_per_row:
+            raise KernelError("field index out of range")
+        self.fields_per_row = fields_per_row
+        self.select_fields = tuple(select_fields)
+        self.filter_field = filter_field
+        self.filter_lo = filter_lo
+        self.filter_hi = filter_hi
+        self.state_bytes = _BUF_OFF + 4 * _MAX_FIELDS
+        super().__init__()
+
+    @property
+    def expected_selectivity(self) -> float:
+        """Selectivity under make_rows' uniform 0..9,999,999 field values."""
+        span = max(0, min(self.filter_hi, 10_000_000) - max(self.filter_lo, 0))
+        return span / 10_000_000
+
+    def reference(self, inputs: List[bytes]) -> List[bytes]:
+        self.check_inputs(inputs)
+        out = bytearray()
+        acc = 0
+        fields: List[int] = []
+        for byte in inputs[0]:
+            digit = byte - 0x30
+            if 0 <= digit <= 9:
+                acc = (acc * 10 + digit) & 0xFFFFFFFF
+                continue
+            fields.append(acc)
+            acc = 0
+            if byte == 0x0A:  # newline: evaluate the row
+                if len(fields) > self.filter_field:
+                    value = fields[self.filter_field]
+                    if self.filter_lo <= value < self.filter_hi:
+                        for f in self.select_fields:
+                            out += fields[f].to_bytes(4, "little")
+                fields = []
+        return [bytes(out)]
+
+    def make_inputs(self, total_bytes: int, seed: int = 1) -> List[bytes]:
+        return [make_rows(total_bytes, self.fields_per_row, seed)]
+
+    # -- shared emission helpers --------------------------------------------------
+
+    def _emit_row_end(self, a: Asm, loop: str) -> None:
+        """Field counter reset, predicate, selected-field emission.
+
+        Expects: t6 = state base, s6 = lo, s7 = hi; emits via ``emit_out``
+        bound by the caller through ``self._emit_out``.
+        """
+        a.li("s2", 0)  # reset field counter
+        a.lw("t0", "t6", _BUF_OFF + 4 * self.filter_field)
+        a.bltu("t0", "s6", loop)
+        a.bgeu("t0", "s7", loop)
+        for f in self.select_fields:
+            a.lw("t0", "t6", _BUF_OFF + 4 * f)
+            self._emit_out(a)
+        a.j(loop)
+
+    def _emit_delim(self, a: Asm, loop: str, row_end: str) -> None:
+        """Store acc into the row buffer slot, advance counter."""
+        a.slli("t2", "s2", 2)
+        a.add("t2", "t2", "t6")
+        a.sw("s1", "t2", _BUF_OFF)
+        a.addi("s2", "s2", 1)
+        a.li("s1", 0)
+        a.beq("t0", "t3", row_end)  # '\n' == 10 == the digit-limit constant
+        a.j(loop)
+
+    def _emit_digit_tail(self, a: Asm, loop: str) -> None:
+        a.slli("t2", "s1", 3)
+        a.slli("s1", "s1", 1)
+        a.add("s1", "s1", "t2")
+        a.add("s1", "s1", "t1")
+        a.j(loop)
+
+    # -- programs -----------------------------------------------------------------
+
+    def _build_stream_program(self, state_base: int) -> Program:
+        self._emit_out = lambda a: a.sstore("t0", 0, 4)
+        a = Asm("psf-stream")
+        a.li("t3", 10)
+        a.li("t6", state_base)
+        a.li("s1", 0)  # parser accumulator
+        a.li("s2", 0)  # field counter
+        a.li("s6", self.filter_lo)
+        a.li("s7", self.filter_hi)
+        a.label("loop")
+        a.sload("t0", 0, 1)
+        a.addi("t1", "t0", -0x30)
+        a.bgeu("t1", "t3", "delim")
+        self._emit_digit_tail(a, "loop")
+        a.label("delim")
+        self._emit_delim(a, "loop", "row_end")
+        a.label("row_end")
+        self._emit_row_end(a, "loop")
+        return a.build()
+
+    def _build_memory_program(self, state_base: int) -> Program:
+        a = Asm("psf-memory")
+        out_ptr = "s3"
+        self._emit_out = lambda asm: (asm.sw("t0", out_ptr, 0), asm.addi(out_ptr, out_ptr, 4))
+        a.li("t3", 10)
+        a.li("t6", state_base)
+        a.lw("s1", "t6", 0)  # accumulator persists across chunks
+        a.lw("s2", "t6", 4)  # field counter persists across chunks
+        a.li("s6", self.filter_lo)
+        a.li("s7", self.filter_hi)
+        a.mv(out_ptr, "a2")
+        a.add("s0", "a0", "a1")
+        a.label("loop")
+        a.bgeu("a0", "s0", "done")
+        a.lbu("t0", "a0", 0)
+        a.addi("a0", "a0", 1)
+        a.addi("t1", "t0", -0x30)
+        a.bgeu("t1", "t3", "delim")
+        self._emit_digit_tail(a, "loop")
+        a.label("delim")
+        self._emit_delim(a, "loop", "row_end")
+        a.label("row_end")
+        self._emit_row_end(a, "loop")
+        a.label("done")
+        a.sw("s1", "t6", 0)
+        a.sw("s2", "t6", 4)
+        a.sub("a0", out_ptr, "a2")
+        a.halt()
+        return a.build()
+
+    def init_state(self, mem: FlatMemory, state_base: int) -> None:
+        mem.fill(state_base, self.state_bytes, 0)

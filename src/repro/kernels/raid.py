@@ -1,0 +1,205 @@
+"""RAID4 and RAID6 erasure-coding kernels (paper Section VI-B, Figure 13).
+
+RAID4 XORs ``k`` data stripes into one parity stripe. RAID6 additionally
+produces the Q parity over GF(2^8) (generator g=2), evaluated Horner-style
+with the SWAR multiply-by-2 word trick (see :mod:`repro.kernels.gf256`), so
+the only function state is the handful of SWAR constants — matching
+Table II's "no states but a Galois field table".
+
+These kernels are where the stream ISA's savings are most structural: the
+memory form must maintain ``k+1`` (RAID4) or ``k+2`` (RAID6) live pointers,
+the stream form maintains none.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.errors import KernelError
+from repro.isa.program import Asm, Program
+from repro.kernels.api import Kernel
+from repro.kernels.gf256 import raid6_pq
+
+_UNROLL = 4
+
+
+class Raid4Kernel(Kernel):
+    """P parity: XOR of k data streams, word at a time."""
+
+    name = "raid4"
+    num_outputs = 1
+    output_to_flash = True
+    writes_input_through = True
+    block_bytes = 4 * _UNROLL
+
+    def __init__(self, k: int = 4) -> None:
+        if not 2 <= k <= 6:
+            raise KernelError("raid4 supports 2..6 data stripes")
+        self.k = k
+        self.num_inputs = k
+        super().__init__()
+
+    def reference(self, inputs: List[bytes]) -> List[bytes]:
+        self.check_inputs(inputs)
+        length = len(inputs[0])
+        if any(len(d) != length for d in inputs):
+            raise KernelError("raid4 stripes must be equal length")
+        parity = bytearray(length)
+        for stripe in inputs:
+            for i, b in enumerate(stripe):
+                parity[i] ^= b
+        return [bytes(parity)]
+
+    def make_inputs(self, total_bytes: int, seed: int = 1) -> List[bytes]:
+        rng = random.Random(seed)
+        per = self.pad_to_block(max(self.block_bytes, total_bytes // self.k))
+        return [rng.randbytes(per) for _ in range(self.k)]
+
+    def _build_stream_program(self, state_base: int) -> Program:
+        a = Asm("raid4-stream")
+        a.label("loop")
+        for _ in range(_UNROLL):
+            a.sload("t0", 0, 4)
+            for s in range(1, self.k):
+                a.sload("t1", s, 4)
+                a.xor("t0", "t0", "t1")
+            a.sstore("t0", 0, 4)
+        a.j("loop")
+        return a.build()
+
+    def _build_memory_program(self, state_base: int) -> Program:
+        a = Asm("raid4-memory")
+        # Pointer per stripe: p_s = a0 + s*a3, plus the output pointer.
+        ptrs = [f"s{2 + s}" for s in range(self.k)]  # s2..s{k+1}
+        out_ptr = "s1"
+        a.mv(ptrs[0], "a0")
+        for s in range(1, self.k):
+            a.add(ptrs[s], ptrs[s - 1], "a3")
+        a.mv(out_ptr, "a2")
+        a.add("t2", "a0", "a1")  # end of stripe 0
+        a.beq("a0", "t2", "done")
+        a.label("loop")
+        for u in range(_UNROLL):
+            a.lw("t0", ptrs[0], 4 * u)
+            for s in range(1, self.k):
+                a.lw("t1", ptrs[s], 4 * u)
+                a.xor("t0", "t0", "t1")
+            a.sw("t0", out_ptr, 4 * u)
+        for s in range(self.k):
+            a.addi(ptrs[s], ptrs[s], 4 * _UNROLL)
+        a.addi(out_ptr, out_ptr, 4 * _UNROLL)
+        a.bltu(ptrs[0], "t2", "loop")
+        a.label("done")
+        a.sub("a0", out_ptr, "a2")  # bytes written
+        a.halt()
+        return a.build()
+
+
+class Raid6Kernel(Kernel):
+    """P and Q parities; Q via Horner with SWAR GF multiply-by-2."""
+
+    name = "raid6"
+    num_outputs = 2
+    output_to_flash = True
+    writes_input_through = True
+    block_bytes = 4  # word-at-a-time (Q Horner chains words)
+
+    def __init__(self, k: int = 4) -> None:
+        if not 2 <= k <= 6:
+            raise KernelError("raid6 supports 2..6 data stripes")
+        self.k = k
+        self.num_inputs = k
+        super().__init__()
+
+    def reference(self, inputs: List[bytes]) -> List[bytes]:
+        self.check_inputs(inputs)
+        p, q = raid6_pq(inputs)
+        return [p, q]
+
+    def make_inputs(self, total_bytes: int, seed: int = 1) -> List[bytes]:
+        rng = random.Random(seed)
+        per = self.pad_to_block(max(self.block_bytes, total_bytes // self.k))
+        return [rng.randbytes(per) for _ in range(self.k)]
+
+    def _emit_constants(self, a: Asm) -> None:
+        a.li("s8", 0x80808080)
+        a.li("s9", 0xFEFEFEFE)
+        a.li("s10", 0x1D)
+
+    def _emit_mul2(self, a: Asm, reg: str) -> None:
+        """reg = gf_mul2_word(reg) — the 5-op SWAR sequence + 3-cycle mul."""
+        a.and_("t2", reg, "s8")  # high bits
+        a.slli(reg, reg, 1)
+        a.and_(reg, reg, "s9")
+        a.srli("t2", "t2", 7)
+        a.mul("t2", "t2", "s10")  # expand to 0x1D per overflowing byte
+        a.xor(reg, reg, "t2")
+
+    def _emit_word(self, a: Asm, load_word, store_p, store_q) -> None:
+        """One word of P and Q from the k stripes.
+
+        Loads stripe words into t3..t{3+k-1 capped}, accumulating P in t0 and
+        Q (Horner from the highest stripe down) in t1.
+        """
+        # Load all stripes first (registers a4..a7 + t3.. as scratch).
+        regs = ["a4", "a5", "a6", "a7", "t3", "t4"][: self.k]
+        for s in range(self.k):
+            load_word(s, regs[s])
+        # P parity.
+        a.mv("t0", regs[0])
+        for s in range(1, self.k):
+            a.xor("t0", "t0", regs[s])
+        store_p()
+        # Q parity: acc = D_{k-1}; acc = mul2(acc) ^ D_i for i = k-2..0.
+        a.mv("t1", regs[self.k - 1])
+        for s in range(self.k - 2, -1, -1):
+            self._emit_mul2(a, "t1")
+            a.xor("t1", "t1", regs[s])
+        store_q()
+
+    def _build_stream_program(self, state_base: int) -> Program:
+        a = Asm("raid6-stream")
+        self._emit_constants(a)
+        a.label("loop")
+        self._emit_word(
+            a,
+            load_word=lambda s, reg: a.sload(reg, s, 4),
+            store_p=lambda: a.sstore("t0", 0, 4),
+            store_q=lambda: a.sstore("t1", 1, 4),
+        )
+        a.j("loop")
+        return a.build()
+
+    def _build_memory_program(self, state_base: int) -> Program:
+        a = Asm("raid6-memory")
+        self._emit_constants(a)
+        ptrs = [f"s{2 + s}" for s in range(self.k)]
+        a.mv(ptrs[0], "a0")
+        for s in range(1, self.k):
+            a.add(ptrs[s], ptrs[s - 1], "a3")
+        a.mv("s1", "a2")  # P output pointer; Q interleaves after the chunk
+        a.add("s0", "a2", "a1")  # Q output region starts after P's
+        a.add("t5", "a0", "a1")  # end of stripe 0
+        a.beq("a0", "t5", "done")
+        a.label("loop")
+        self._emit_word(
+            a,
+            load_word=lambda s, reg: a.lw(reg, ptrs[s], 0),
+            store_p=lambda: a.sw("t0", "s1", 0),
+            store_q=lambda: a.sw("t1", "s0", 0),
+        )
+        for s in range(self.k):
+            a.addi(ptrs[s], ptrs[s], 4)
+        a.addi("s1", "s1", 4)
+        a.addi("s0", "s0", 4)
+        a.bltu(ptrs[0], "t5", "loop")
+        a.label("done")
+        a.slli("a0", "a1", 1)  # wrote P then Q: 2 * stripe bytes
+        a.halt()
+        return a.build()
+
+    def split_memory_output(self, output: bytes, stripe_bytes: int) -> List[bytes]:
+        """The memory form lays P then Q per chunk; callers re-split with
+        the chunk size actually used. With a single chunk this is [P, Q]."""
+        return [output[:stripe_bytes], output[stripe_bytes:]]

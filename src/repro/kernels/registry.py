@@ -1,0 +1,64 @@
+"""Kernel registry: name -> factory, with keyword parameters passed through."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import KernelError
+from repro.kernels.aes_kernel import AESKernel
+from repro.kernels.api import Kernel
+from repro.kernels.extensions import (
+    DedupKernel,
+    ReplicateKernel,
+    RLECompressKernel,
+    RLEDecompressKernel,
+    StatsSummaryKernel,
+)
+from repro.kernels.filter_ import FilterKernel
+from repro.kernels.ml_graph import GraphDegreeKernel, NNInferenceKernel
+from repro.kernels.parse import ParseKernel
+from repro.kernels.psf import PSFKernel
+from repro.kernels.raid import Raid4Kernel, Raid6Kernel
+from repro.kernels.scan import ScanKernel
+from repro.kernels.select_ import SelectKernel
+from repro.kernels.stat import StatKernel
+
+_FACTORIES: Dict[str, Callable[..., Kernel]] = {
+    "stat": StatKernel,
+    "scan": ScanKernel,
+    "raid4": Raid4Kernel,
+    "raid6": Raid6Kernel,
+    "aes": AESKernel,
+    "filter": FilterKernel,
+    "select": SelectKernel,
+    "parse": ParseKernel,
+    "psf": PSFKernel,
+    # Table II extensions beyond the paper's evaluated set:
+    "replicate": ReplicateKernel,
+    "dedup": DedupKernel,
+    "compress": RLECompressKernel,
+    "decompress": RLEDecompressKernel,
+    "stats_summary": StatsSummaryKernel,
+    "nn_inference": NNInferenceKernel,
+    "graph_degree": GraphDegreeKernel,
+}
+
+KERNEL_NAMES: Tuple[str, ...] = tuple(_FACTORIES)
+
+
+def get_kernel(name: str, **params) -> Kernel:
+    """Instantiate a kernel by registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KernelError(f"unknown kernel {name!r}; known: {KERNEL_NAMES}") from None
+    return factory(**params)
+
+
+def register_kernel(name: str, factory: Callable[..., Kernel]) -> None:
+    """Extension point: register a custom kernel factory."""
+    if name in _FACTORIES:
+        raise KernelError(f"kernel {name!r} already registered")
+    _FACTORIES[name] = factory
+    global KERNEL_NAMES
+    KERNEL_NAMES = tuple(_FACTORIES)

@@ -1,0 +1,84 @@
+"""Scan kernel: the dummy byte-scan workload of the scalability study.
+
+Paper Section VI-D: "each ASSASIN core scans each byte of input ... if
+input data is always available, a 1 GHz core achieves 1 GB/s". The loop
+below touches every byte (one word load plus three ALU ops per word,
+unrolled 8x) and costs ~1.09 cycles per byte, reproducing that bound. The
+4-byte rolling checksum is the function state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.isa.program import Asm, Program
+from repro.kernels.api import Kernel
+
+_UNROLL = 8
+
+
+def scan_checksum(data: bytes, start: int = 0) -> int:
+    """The checksum the scan programs compute: acc = (acc + w) ^ (w >> 5)."""
+    acc = start & 0xFFFFFFFF
+    for i in range(0, len(data), 4):
+        word = int.from_bytes(data[i : i + 4], "little")
+        acc = ((acc + word) & 0xFFFFFFFF) ^ (word >> 5)
+    return acc
+
+
+class ScanKernel(Kernel):
+    """Byte-scan checksum; ~1 cycle/byte when input is always available."""
+
+    name = "scan"
+    num_inputs = 1
+    num_outputs = 0
+    block_bytes = 4 * _UNROLL
+    state_bytes = 4
+
+    def reference(self, inputs: List[bytes]) -> List[bytes]:
+        self.check_inputs(inputs)
+        self._expected_state = scan_checksum(inputs[0]).to_bytes(4, "little")
+        return []
+
+    def reference_state(self, inputs: List[bytes]) -> bytes:
+        self.reference(inputs)
+        return self._expected_state
+
+    def make_inputs(self, total_bytes: int, seed: int = 1) -> List[bytes]:
+        rng = random.Random(seed)
+        return [rng.randbytes(self.pad_to_block(total_bytes))]
+
+    def _emit_body(self, a: Asm, load_word) -> None:
+        """Per-word body: acc = (acc + w) ^ (w >> 5)."""
+        for i in range(_UNROLL):
+            load_word(i)  # word into t0
+            a.add("s1", "s1", "t0")
+            a.srli("t1", "t0", 5)
+            a.xor("s1", "s1", "t1")
+
+    def _build_stream_program(self, state_base: int) -> Program:
+        a = Asm("scan-stream")
+        a.li("t6", state_base)
+        a.lw("s1", "t6", 0)
+        a.label("loop")
+        self._emit_body(a, lambda i: a.sload("t0", 0, 4))
+        a.sw("s1", "t6", 0)
+        a.j("loop")
+        return a.build()
+
+    def _build_memory_program(self, state_base: int) -> Program:
+        a = Asm("scan-memory")
+        a.li("t6", state_base)
+        a.lw("s1", "t6", 0)
+        a.add("t2", "a0", "a1")
+        a.beq("a0", "t2", "done")
+        a.label("loop")
+        self._emit_body(a, lambda i: a.lw("t0", "a0", 4 * i))
+        a.addi("a0", "a0", 4 * _UNROLL)
+        a.bltu("a0", "t2", "loop")
+        a.label("done")
+        a.sw("s1", "t6", 0)
+        a.li("a0", 0)
+        a.halt()
+        return a.build()

@@ -1,0 +1,71 @@
+"""Select kernel: column projection over fixed-schema tuples.
+
+Projects the quantity, price and shipdate fields (12 of every 32 bytes) —
+the data-movement-dominated member of the PSF pipeline. Named ``select``
+in the registry.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.program import Asm, Program
+from repro.kernels.api import Kernel
+from repro.kernels.tuples import TUPLE_BYTES, iter_tuples, random_tuples
+
+
+class SelectKernel(Kernel):
+    """Project (quantity, price, shipdate) from each 32-byte tuple."""
+
+    name = "select"
+    num_inputs = 1
+    num_outputs = 1
+    block_bytes = TUPLE_BYTES
+    udp_isa_factor = 0.95
+
+    def reference(self, inputs: List[bytes]) -> List[bytes]:
+        self.check_inputs(inputs)
+        out = bytearray()
+        for t in iter_tuples(inputs[0]):
+            out += t.quantity.to_bytes(4, "little")
+            out += t.price.to_bytes(4, "little")
+            out += t.shipdate.to_bytes(4, "little")
+        return [bytes(out)]
+
+    def make_inputs(self, total_bytes: int, seed: int = 1) -> List[bytes]:
+        n = max(1, self.pad_to_block(total_bytes) // TUPLE_BYTES)
+        return [random_tuples(n, seed)]
+
+    def _build_stream_program(self, state_base: int) -> Program:
+        a = Asm("select-stream")
+        a.label("loop")
+        a.sload("t0", 0, 4)  # quantity
+        a.sstore("t0", 0, 4)
+        a.sload("t0", 0, 4)  # price
+        a.sstore("t0", 0, 4)
+        a.sload("t0", 0, 4)  # discount (dropped)
+        a.sload("t0", 0, 4)  # shipdate
+        a.sstore("t0", 0, 4)
+        a.sskip(0, 16)  # payload
+        a.j("loop")
+        return a.build()
+
+    def _build_memory_program(self, state_base: int) -> Program:
+        a = Asm("select-memory")
+        a.mv("s1", "a2")
+        a.add("s0", "a0", "a1")
+        a.beq("a0", "s0", "done")
+        a.label("loop")
+        a.lw("t0", "a0", 0)
+        a.sw("t0", "s1", 0)
+        a.lw("t0", "a0", 4)
+        a.sw("t0", "s1", 4)
+        a.lw("t0", "a0", 12)
+        a.sw("t0", "s1", 8)
+        a.addi("a0", "a0", TUPLE_BYTES)
+        a.addi("s1", "s1", 12)
+        a.bltu("a0", "s0", "loop")
+        a.label("done")
+        a.sub("a0", "s1", "a2")
+        a.halt()
+        return a.build()

@@ -1,0 +1,74 @@
+"""Stat kernel: sum a 32-bit column (paper Section VI-B, Figure 13).
+
+The least compute-intensive of the standalone offloads: one add per word.
+The running sum is function state (Table II: "Tuples, Accumulators") kept in
+the scratchpad; the result is the final 32-bit state word (mod 2^32).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.isa.program import Asm, Program
+from repro.kernels.api import Kernel
+
+_UNROLL = 4
+
+
+class StatKernel(Kernel):
+    """Sum of little-endian u32 values; state = 4-byte accumulator."""
+
+    name = "stat"
+    num_inputs = 1
+    num_outputs = 0
+    block_bytes = 4 * _UNROLL
+    state_bytes = 4
+
+    def reference(self, inputs: List[bytes]) -> List[bytes]:
+        self.check_inputs(inputs)
+        data = inputs[0]
+        total = 0
+        for i in range(0, len(data), 4):
+            total = (total + int.from_bytes(data[i : i + 4], "little")) & 0xFFFFFFFF
+        self._expected_state = total.to_bytes(4, "little")
+        return []
+
+    def reference_state(self, inputs: List[bytes]) -> bytes:
+        self.reference(inputs)
+        return self._expected_state
+
+    def make_inputs(self, total_bytes: int, seed: int = 1) -> List[bytes]:
+        rng = random.Random(seed)
+        n = self.pad_to_block(total_bytes)
+        return [rng.randbytes(n)]
+
+    def _build_stream_program(self, state_base: int) -> Program:
+        a = Asm("stat-stream")
+        a.li("t6", state_base)
+        a.lw("s1", "t6", 0)  # running sum
+        a.label("loop")
+        for _ in range(_UNROLL):
+            a.sload("t0", 0, 4)
+            a.add("s1", "s1", "t0")
+        a.sw("s1", "t6", 0)  # persist the accumulator each block
+        a.j("loop")  # ends when StreamLoad finds the input exhausted
+        return a.build()
+
+    def _build_memory_program(self, state_base: int) -> Program:
+        a = Asm("stat-memory")
+        a.li("t6", state_base)
+        a.lw("s1", "t6", 0)
+        a.add("t1", "a0", "a1")  # end pointer
+        a.beq("a0", "t1", "done")
+        a.label("loop")
+        for i in range(_UNROLL):
+            a.lw("t0", "a0", 4 * i)
+            a.add("s1", "s1", "t0")
+        a.addi("a0", "a0", 4 * _UNROLL)
+        a.bltu("a0", "t1", "loop")
+        a.label("done")
+        a.sw("s1", "t6", 0)
+        a.li("a0", 0)  # no bytes written to the output region
+        a.halt()
+        return a.build()

@@ -1,0 +1,96 @@
+"""Kernel validation harness: check any kernel's three implementations agree.
+
+Drives a kernel through the stream path (AssasinSb engine), the DRAM-staged
+memory path (Baseline engine), and — when the kernel tolerates chunked
+staging — the ping-pong path (AssasinSp engine), comparing functional
+outputs and final state against the Python reference. Used by tests and by
+authors of new kernels (see ``examples/custom_kernel.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.config import assasin_sb_core, assasin_sp_core, baseline_core
+from repro.core.core import CoreModel
+from repro.isa.analysis import check_structure
+from repro.kernels.api import Kernel
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one kernel."""
+
+    kernel: str
+    checked_paths: List[str] = field(default_factory=list)
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def render(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        lines = [f"kernel {self.kernel}: {status} ({', '.join(self.checked_paths)})"]
+        lines.extend(f"  problem: {p}" for p in self.problems)
+        return "\n".join(lines)
+
+
+def validate_kernel(
+    kernel: Kernel,
+    sample_bytes: int = 4096,
+    seed: int = 1,
+    check_pingpong: bool = True,
+) -> ValidationReport:
+    """Cross-check the kernel's stream/memory programs against its reference.
+
+    ``check_pingpong`` additionally runs the chunked AssasinSp path; disable
+    it for kernels whose output expansion exceeds the staging buffers
+    (e.g. decompressors).
+    """
+    report = ValidationReport(kernel=kernel.name)
+    inputs = kernel.make_inputs(sample_bytes, seed)
+    try:
+        expected_outputs = kernel.reference([bytes(b) for b in inputs])
+    except Exception as exc:  # pragma: no cover - authoring-time aid
+        report.problems.append(f"reference raised: {exc!r}")
+        return report
+    expected_state = (
+        kernel.reference_state(inputs) if hasattr(kernel, "reference_state") else None
+    )
+
+    # Structural lints on both program forms.
+    for form, build in (
+        ("stream", kernel.build_stream_program),
+        ("memory", kernel.build_memory_program),
+    ):
+        for problem in check_structure(build(0x0100_0000)):
+            report.problems.append(f"{form} program: {problem}")
+
+    paths = [("stream/AssasinSb", assasin_sb_core()), ("memory/Baseline", baseline_core())]
+    if check_pingpong:
+        paths.append(("memory/AssasinSp", assasin_sp_core()))
+    for label, core in paths:
+        result = CoreModel(core).run(kernel, inputs)
+        report.checked_paths.append(label)
+        _check_result(report, label, kernel, result, expected_outputs, expected_state)
+    return report
+
+
+def _check_result(report, label, kernel, result, expected_outputs, expected_state) -> None:
+    if expected_state is not None and result.final_state != expected_state:
+        report.problems.append(f"{label}: final state mismatch")
+    if kernel.num_outputs == 0 or expected_state is not None and not expected_outputs:
+        return
+    outputs = kernel.finalize_outputs(list(result.outputs), result.final_state)
+    if label.startswith("stream"):
+        for i, expected in enumerate(expected_outputs):
+            if i < len(outputs) and outputs[i] != expected:
+                report.problems.append(f"{label}: output stream {i} mismatch")
+    else:
+        # Memory forms concatenate output streams per chunk; only compare
+        # directly for single-output kernels (multi-output layouts are
+        # kernel-specific — see Raid6Kernel.split_memory_output).
+        if kernel.num_outputs == 1 and outputs[0] != expected_outputs[0]:
+            report.problems.append(f"{label}: output mismatch")

@@ -1,0 +1,35 @@
+"""Memory-system substrate: caches, prefetchers, scratchpads, stream buffers.
+
+Functional data always lives in a :class:`~repro.mem.memory.FlatMemory`; the
+cache/scratchpad/stream-buffer models in this package are *timing* models
+(tag arrays and pointers only), mirroring how the paper separates Gem5's
+functional execution from its memory-hierarchy timing.
+"""
+
+from repro.mem.memory import FlatMemory
+from repro.mem.cache import Cache, CacheStats
+from repro.mem.prefetcher import DCPTPrefetcher, NullPrefetcher, StridePrefetcher, make_prefetcher
+from repro.mem.scratchpad import PingPongBuffer, Scratchpad
+from repro.mem.streambuffer import StreamBuffer, StreamBufferSet, StreamState
+from repro.mem.dram import DRAMModel
+from repro.mem.hierarchy import AccessResult, AccessType, MemoryHierarchy, build_hierarchy
+
+__all__ = [
+    "FlatMemory",
+    "Cache",
+    "CacheStats",
+    "DCPTPrefetcher",
+    "NullPrefetcher",
+    "StridePrefetcher",
+    "make_prefetcher",
+    "PingPongBuffer",
+    "Scratchpad",
+    "StreamBuffer",
+    "StreamBufferSet",
+    "StreamState",
+    "DRAMModel",
+    "AccessResult",
+    "AccessType",
+    "MemoryHierarchy",
+    "build_hierarchy",
+]

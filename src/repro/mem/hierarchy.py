@@ -1,0 +1,241 @@
+"""Per-core memory hierarchy: composes caches, scratchpads and DRAM timing.
+
+The hierarchy is a timing oracle for the pipeline model: given (pc, address,
+size, read/write, current cycle) it returns how many *stall* cycles the
+access adds beyond the instruction's base cycle, which level served it, and
+how many bytes moved to/from SSD DRAM. Data itself lives in
+:class:`~repro.mem.memory.FlatMemory`.
+
+Address map (32-bit core address space):
+
+========================  =====================================
+``0x0000_0000`` ...       DRAM-backed general space
+``SCRATCHPAD_BASE``       per-core scratchpad (function state)
+``PINGPONG_BASE``         ping+pong staging scratchpads
+========================  =====================================
+
+Stream buffers are not memory-mapped: they are reached only through the
+stream ISA (Section V-B), which the core model handles directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.config import CoreConfig, DRAMConfig, PrefetcherKind
+from repro.mem.cache import Cache
+from repro.mem.dram import DRAMModel
+from repro.mem.prefetcher import make_prefetcher
+from repro.mem.scratchpad import PingPongBuffer, Scratchpad
+
+SCRATCHPAD_BASE = 0x0100_0000
+PINGPONG_BASE = 0x0110_0000
+DRAM_SPACE_BYTES = 0x0100_0000  # 16 MiB of general space is ample for samples
+
+
+class AccessType(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+
+
+@dataclass
+class AccessResult:
+    """Timing outcome of one data access."""
+
+    stall_cycles: float
+    level: str  # 'l1' | 'l2' | 'dram' | 'scratchpad' | 'pingpong'
+    dram_bytes: int = 0
+
+
+@dataclass
+class StallBuckets:
+    """Cycle decomposition accumulators (paper Figure 5)."""
+
+    compute: float = 0.0
+    l1_wait: float = 0.0
+    l2_stall: float = 0.0
+    dram_stall: float = 0.0
+    scratchpad_stall: float = 0.0
+    stream_stall: float = 0.0
+
+    @property
+    def total_stall(self) -> float:
+        return (
+            self.l1_wait
+            + self.l2_stall
+            + self.dram_stall
+            + self.scratchpad_stall
+            + self.stream_stall
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "compute": self.compute,
+            "l1_wait": self.l1_wait,
+            "l2_stall": self.l2_stall,
+            "dram_stall": self.dram_stall,
+            "scratchpad_stall": self.scratchpad_stall,
+            "stream_stall": self.stream_stall,
+        }
+
+
+class MemoryHierarchy:
+    """Timing model for one core's data-side memory system."""
+
+    def __init__(self, core: CoreConfig, dram: DRAMModel) -> None:
+        self.core = core
+        self.dram = dram
+        self.l1: Optional[Cache] = Cache(core.l1d) if core.l1d else None
+        self.l2: Optional[Cache] = Cache(core.l2) if core.l2 else None
+        self.prefetcher = make_prefetcher(core.prefetcher)
+        self.scratchpad: Optional[Scratchpad] = (
+            Scratchpad(core.scratchpad, base_addr=SCRATCHPAD_BASE) if core.scratchpad else None
+        )
+        # Input staging (2 halves at PINGPONG_BASE) and output staging (2
+        # halves right above) — "64KB I + 64KB O ping-pong" in Table IV.
+        self.pingpong: Optional[PingPongBuffer] = (
+            PingPongBuffer(core.pingpong, base_addr=PINGPONG_BASE) if core.pingpong else None
+        )
+        self.pingpong_out: Optional[PingPongBuffer] = (
+            PingPongBuffer(core.pingpong, base_addr=PINGPONG_BASE + 2 * core.pingpong.size_bytes)
+            if core.pingpong
+            else None
+        )
+        self.buckets = StallBuckets()
+        self._dram_latency = dram.latency_cycles(core.frequency_ghz)
+
+    # -- classification ----------------------------------------------------
+
+    def region(self, addr: int, size: int = 1) -> str:
+        if self.scratchpad is not None and self.scratchpad.contains(addr, size):
+            return "scratchpad"
+        if self.pingpong is not None and (
+            self.pingpong.contains(addr, size)
+            or (self.pingpong_out is not None and self.pingpong_out.contains(addr, size))
+        ):
+            return "pingpong"
+        return "dram"
+
+    # -- the timing oracle ----------------------------------------------------
+
+    def access(
+        self, pc: int, addr: int, size: int, access: AccessType, cycle: float
+    ) -> AccessResult:
+        """Time one data access; updates stall buckets and DRAM traffic."""
+        region = self.region(addr, size)
+        if region == "scratchpad":
+            return self._scratchpad_access(self.scratchpad, size, access, region)
+        if region == "pingpong":
+            # Timing is identical for any half and either direction; record
+            # the access against the input ping half's stats.
+            return self._scratchpad_access(self.pingpong.ping, size, access, region)
+        return self._dram_space_access(pc, addr, size, access, cycle)
+
+    def _scratchpad_access(
+        self, pad: Scratchpad, size: int, access: AccessType, region: str
+    ) -> AccessResult:
+        pad.record(size, access is AccessType.STORE)
+        # A 1-cycle scratchpad is fully pipelined (no stall); each extra
+        # latency cycle and each extra port beat stalls the in-order pipe.
+        stall = pad.access_latency(size) - 1
+        self.buckets.scratchpad_stall += stall
+        return AccessResult(stall_cycles=stall, level=region)
+
+    def _dram_space_access(
+        self, pc: int, addr: int, size: int, access: AccessType, cycle: float
+    ) -> AccessResult:
+        is_write = access is AccessType.STORE
+        if self.l1 is None:
+            # No cache in front of DRAM (UDP lanes copy via firmware; plain
+            # cores without caches pay the full round trip).
+            stall = self._dram_latency
+            self.buckets.dram_stall += stall
+            traffic = size
+            self.dram.add_traffic(
+                "core_writeback" if is_write else "core_fill", traffic
+            )
+            return AccessResult(stall_cycles=stall, level="dram", dram_bytes=traffic)
+
+        line = self.l1.config.line_bytes
+        result = self.l1.lookup(addr, is_write, cycle)
+        dram_bytes = 0
+        if result.hit:
+            stall = result.extra_wait
+            self.buckets.l1_wait += stall
+            level = "l1"
+        else:
+            if result.writeback:
+                dram_bytes += line
+                self.dram.add_traffic("core_writeback", line)
+            if self.l2 is not None:
+                l2_result = self.l2.lookup(addr, is_write, cycle)
+                if l2_result.hit:
+                    stall = self.l2.config.hit_latency_cycles + l2_result.extra_wait
+                    self.buckets.l2_stall += stall
+                    level = "l2"
+                else:
+                    if l2_result.writeback:
+                        dram_bytes += line
+                        self.dram.add_traffic("core_writeback", line)
+                    stall = self.l2.config.hit_latency_cycles + self._dram_latency
+                    self.buckets.l2_stall += self.l2.config.hit_latency_cycles
+                    self.buckets.dram_stall += self._dram_latency
+                    dram_bytes += line
+                    self.dram.add_traffic("core_fill", line)
+                    self.l2.set_fill_time(addr, cycle + stall)
+                    level = "dram"
+            else:
+                stall = self._dram_latency
+                self.buckets.dram_stall += stall
+                dram_bytes += line
+                self.dram.add_traffic("core_fill", line)
+                level = "dram"
+            self.l1.set_fill_time(addr, cycle + stall)
+        self._run_prefetcher(pc, addr, cycle)
+        return AccessResult(stall_cycles=stall, level=level, dram_bytes=dram_bytes)
+
+    def _run_prefetcher(self, pc: int, addr: int, cycle: float) -> None:
+        if self.core.prefetcher is PrefetcherKind.NONE or self.l1 is None:
+            return
+        predictions = self.prefetcher.observe(pc, addr)
+        for target in predictions:
+            if target < 0 or target >= DRAM_SPACE_BYTES + SCRATCHPAD_BASE:
+                continue
+            # Prefetch fills come from L2 if present there, else from DRAM.
+            if self.l2 is not None and self.l2.contains(target):
+                ready = cycle + self.l2.config.hit_latency_cycles
+                if self.l1.prefetch(target, ready):
+                    pass  # L2 -> L1 move, no DRAM traffic
+            else:
+                ready = cycle + self._dram_latency
+                if self.l1.prefetch(target, ready):
+                    line = self.l1.config.line_bytes
+                    self.dram.add_traffic("core_fill", line)
+                    if self.l2 is not None:
+                        self.l2.prefetch(target, ready)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def add_compute_cycles(self, cycles: float) -> None:
+        self.buckets.compute += cycles
+
+    def add_stream_stall(self, cycles: float) -> None:
+        self.buckets.stream_stall += cycles
+
+    def reset_stats(self) -> None:
+        self.buckets = StallBuckets()
+        if self.l1 is not None:
+            self.l1.flush()
+            self.l1.stats.__init__()
+        if self.l2 is not None:
+            self.l2.flush()
+            self.l2.stats.__init__()
+        self.prefetcher.reset()
+
+
+def build_hierarchy(core: CoreConfig, dram_config: Optional[DRAMConfig] = None) -> MemoryHierarchy:
+    """Construct a hierarchy (and its DRAM model) for a Table IV core."""
+    dram = DRAMModel(dram_config or DRAMConfig())
+    return MemoryHierarchy(core, dram)

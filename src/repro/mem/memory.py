@@ -1,0 +1,65 @@
+"""Flat byte-addressable memory backing functional execution."""
+
+from __future__ import annotations
+
+from repro.errors import MemoryError_
+
+
+class FlatMemory:
+    """A bounds-checked flat memory with little-endian word access.
+
+    This is the functional store for the ISA interpreter and kernel
+    references. Timing is handled separately by the hierarchy models.
+    """
+
+    def __init__(self, size_bytes: int) -> None:
+        if size_bytes <= 0:
+            raise MemoryError_("memory size must be positive")
+        self.size_bytes = size_bytes
+        self._data = bytearray(size_bytes)
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr < 0 or size < 0 or addr + size > self.size_bytes:
+            raise MemoryError_(
+                f"access [{addr}, {addr + size}) outside memory of {self.size_bytes} bytes"
+            )
+
+    def load_bytes(self, addr: int, size: int) -> bytes:
+        self._check(addr, size)
+        return bytes(self._data[addr : addr + size])
+
+    def store_bytes(self, addr: int, data: bytes) -> None:
+        self._check(addr, len(data))
+        self._data[addr : addr + len(data)] = data
+
+    def load_u8(self, addr: int) -> int:
+        self._check(addr, 1)
+        return self._data[addr]
+
+    def load_u16(self, addr: int) -> int:
+        self._check(addr, 2)
+        return int.from_bytes(self._data[addr : addr + 2], "little")
+
+    def load_u32(self, addr: int) -> int:
+        self._check(addr, 4)
+        return int.from_bytes(self._data[addr : addr + 4], "little")
+
+    def store_u8(self, addr: int, value: int) -> None:
+        self._check(addr, 1)
+        self._data[addr] = value & 0xFF
+
+    def store_u16(self, addr: int, value: int) -> None:
+        self._check(addr, 2)
+        self._data[addr : addr + 2] = (value & 0xFFFF).to_bytes(2, "little")
+
+    def store_u32(self, addr: int, value: int) -> None:
+        self._check(addr, 4)
+        self._data[addr : addr + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    def fill(self, addr: int, size: int, value: int = 0) -> None:
+        """Set ``size`` bytes starting at ``addr`` to ``value``."""
+        self._check(addr, size)
+        self._data[addr : addr + size] = bytes([value & 0xFF]) * size
+
+    def __len__(self) -> int:
+        return self.size_bytes

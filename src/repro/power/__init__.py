@@ -1,0 +1,27 @@
+"""Power, area and SRAM timing models (Cacti + Synopsys DC stand-ins).
+
+``cacti`` holds an analytical SRAM model calibrated at a 14 nm-class node;
+``models`` composes it with per-core logic constants into the paper's
+Table V and the Figure 20/22 results.
+"""
+
+from repro.power.cacti import SRAMSpec, sram_access_time_ns, sram_area_mm2, sram_power_mw
+from repro.power.models import (
+    ComponentCost,
+    ConfigCost,
+    config_cost,
+    efficiency_table,
+    table5_components,
+)
+
+__all__ = [
+    "SRAMSpec",
+    "sram_access_time_ns",
+    "sram_area_mm2",
+    "sram_power_mw",
+    "ComponentCost",
+    "ConfigCost",
+    "config_cost",
+    "efficiency_table",
+    "table5_components",
+]

@@ -1,0 +1,172 @@
+"""Power/area composition for the evaluated configurations (Table V, Fig 22).
+
+Combines the cacti-lite SRAM model with synthesised-logic constants for the
+ibex-class cores and the UDP lane. Per-structure *utilisation* factors
+reflect how often each structure is touched under streaming load (an L2 is
+only exercised on L1 misses; stream buffers and scratchpads run every
+cycle), which is what makes a streaming hierarchy cheaper per unit of
+throughput — the paper's 2.0x power / 3.2x area efficiency argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config import CoreConfig, EngineKind, SSDConfig
+from repro.power.cacti import (
+    SRAMSpec,
+    sram_area_mm2,
+    sram_power_mw,
+    streambuffer_backing_spec,
+    streambuffer_head_fifo_spec,
+)
+
+# Synthesised logic at a 14 nm-class node, 1 GHz.
+CORE_LOGIC_AREA_MM2 = 0.021  # ibex-class RV32IM in-order core
+CORE_LOGIC_POWER_MW = 2.6
+UDP_LOGIC_AREA_MM2 = 0.032  # UDP lane: multiway dispatch + fused ALUs
+UDP_LOGIC_POWER_MW = 4.1
+CROSSBAR_AREA_MM2_PER_PORT = 0.004  # SSD-level interconnect, per core port
+CROSSBAR_POWER_MW_PER_PORT = 0.9
+
+# Fraction of cycles each structure is accessed under streaming offloads.
+UTILISATION = {
+    "l1": 0.45,  # data side of a load/store-rich streaming loop
+    "l2": 0.10,  # only on L1 misses
+    "scratchpad": 0.45,
+    "pingpong": 0.35,
+    "streambuffer": 0.40,
+}
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """One subcomponent's silicon cost (Table V row)."""
+
+    name: str
+    area_mm2: float
+    power_mw: float
+
+
+@dataclass(frozen=True)
+class ConfigCost:
+    """Full compute-subsystem cost of one configuration."""
+
+    name: str
+    components: List[ComponentCost]
+    num_cores: int
+
+    @property
+    def per_core_area_mm2(self) -> float:
+        return sum(c.area_mm2 for c in self.components)
+
+    @property
+    def per_core_power_mw(self) -> float:
+        return sum(c.power_mw for c in self.components)
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.per_core_area_mm2 * self.num_cores
+
+    @property
+    def total_power_mw(self) -> float:
+        return self.per_core_power_mw * self.num_cores
+
+
+def _sram_component(name: str, spec: SRAMSpec, utilisation: float) -> ComponentCost:
+    return ComponentCost(
+        name=name,
+        area_mm2=sram_area_mm2(spec),
+        power_mw=sram_power_mw(spec, utilisation),
+    )
+
+
+def core_components(core: CoreConfig, crossbar: bool = True) -> List[ComponentCost]:
+    """Per-engine component list for a Table IV core."""
+    parts: List[ComponentCost] = []
+    if core.engine is EngineKind.UDP:
+        parts.append(ComponentCost("UDP lane logic", UDP_LOGIC_AREA_MM2, UDP_LOGIC_POWER_MW))
+    else:
+        parts.append(ComponentCost("RV32IM core logic", CORE_LOGIC_AREA_MM2, CORE_LOGIC_POWER_MW))
+    if core.l1d is not None:
+        spec = SRAMSpec(core.l1d.size_bytes, 8, core.l1d.ways, "L1D")
+        parts.append(_sram_component(f"L1D {core.l1d.size_bytes // 1024}KB", spec, UTILISATION["l1"]))
+    if core.l2 is not None:
+        spec = SRAMSpec(core.l2.size_bytes, 8, core.l2.ways, "L2")
+        parts.append(_sram_component(f"L2 {core.l2.size_bytes // 1024}KB", spec, UTILISATION["l2"]))
+    if core.scratchpad is not None:
+        spec = SRAMSpec(core.scratchpad.size_bytes, core.scratchpad.port_width_bytes, 1, "SP")
+        parts.append(
+            _sram_component(
+                f"Scratchpad {core.scratchpad.size_bytes // 1024}KB",
+                spec,
+                UTILISATION["scratchpad"],
+            )
+        )
+    if core.pingpong is not None:
+        # Two directions x two halves of staging scratchpad.
+        spec = SRAMSpec(4 * core.pingpong.size_bytes, core.pingpong.port_width_bytes, 1, "PP")
+        parts.append(_sram_component("Ping-pong staging 128KB", spec, UTILISATION["pingpong"]))
+    if core.streambuffer is not None:
+        backing = streambuffer_backing_spec(2 * core.streambuffer.capacity_bytes)
+        parts.append(_sram_component("Streambuffer backing 128KB", backing, UTILISATION["streambuffer"]))
+        fifo = streambuffer_head_fifo_spec(core.streambuffer.max_access_bytes)
+        parts.append(_sram_component("Streambuffer head FIFOs", fifo, UTILISATION["streambuffer"]))
+    if crossbar:
+        parts.append(ComponentCost("Crossbar port", CROSSBAR_AREA_MM2_PER_PORT, CROSSBAR_POWER_MW_PER_PORT))
+    return parts
+
+
+def config_cost(config: SSDConfig) -> ConfigCost:
+    """Compute-subsystem cost for one SSD configuration."""
+    return ConfigCost(
+        name=config.name,
+        components=core_components(config.core, crossbar=config.crossbar),
+        num_cores=config.num_cores,
+    )
+
+
+def table5_components(configs: Dict[str, SSDConfig]) -> Dict[str, ConfigCost]:
+    """Table V: subcomponent and configuration costs, keyed by config name."""
+    return {name: config_cost(cfg) for name, cfg in configs.items()}
+
+
+@dataclass(frozen=True)
+class EfficiencyRow:
+    """One bar triplet of Figure 22."""
+
+    name: str
+    speedup: float
+    power_ratio: float  # power vs Baseline
+    area_ratio: float  # area vs Baseline
+
+    @property
+    def power_efficiency(self) -> float:
+        """Speedup per unit power, relative to Baseline (=1.0)."""
+        return self.speedup / self.power_ratio
+
+    @property
+    def area_efficiency(self) -> float:
+        return self.speedup / self.area_ratio
+
+
+def efficiency_table(
+    configs: Dict[str, SSDConfig], speedups: Dict[str, float], baseline: str = "Baseline"
+) -> List[EfficiencyRow]:
+    """Figure 22: speedup / power-efficiency / area-efficiency vs Baseline."""
+    costs = table5_components(configs)
+    base = costs[baseline]
+    rows = []
+    for name, cost in costs.items():
+        if name not in speedups:
+            continue
+        rows.append(
+            EfficiencyRow(
+                name=name,
+                speedup=speedups[name],
+                power_ratio=cost.total_power_mw / base.total_power_mw,
+                area_ratio=cost.total_area_mm2 / base.total_area_mm2,
+            )
+        )
+    return rows

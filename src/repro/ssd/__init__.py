@@ -1,0 +1,33 @@
+"""Device-level computational SSD: firmware, crossbar, host interface.
+
+:func:`simulate_offload` is the package's main entry point: it runs a
+kernel on a Table IV configuration end to end — core-phase sampling, flash
+retiming through the FTL and crossbar, and the SSD-DRAM bandwidth wall —
+and reports device throughput plus per-core/per-channel observability.
+"""
+
+from repro.ssd.crossbar import Crossbar
+from repro.ssd.dram_buffer import DRAMBuffer
+from repro.ssd.host_interface import (
+    HostInterface,
+    NVMeCommand,
+    ReadCommand,
+    ScompCommand,
+    WriteCommand,
+)
+from repro.ssd.firmware import Firmware, OffloadResult
+from repro.ssd.device import ComputationalSSD, simulate_offload
+
+__all__ = [
+    "Crossbar",
+    "DRAMBuffer",
+    "HostInterface",
+    "NVMeCommand",
+    "ReadCommand",
+    "WriteCommand",
+    "ScompCommand",
+    "Firmware",
+    "OffloadResult",
+    "ComputationalSSD",
+    "simulate_offload",
+]

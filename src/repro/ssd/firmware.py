@@ -1,0 +1,519 @@
+"""Firmware control plane: scomp scheduling and flash retiming (Figure 10/11).
+
+The firmware knows every ``scomp`` command's full LPA lists upfront, so it
+queues flash reads eagerly (a bounded number of pages ahead per core) and
+feeds compute engines as pages arrive. This module implements the paper's
+*retiming* step: the core phase produced a compute-only timeline (cycles
+per page); here each page is pushed through the flash array + FTL +
+crossbar, and whenever a page arrives later than the compute engine first
+needs it, the engine's timeline shifts by the difference.
+
+The result captures, mechanically:
+
+* flash-bandwidth saturation (channels serialise transfers),
+* layout-skew hotspots (a heavy channel delays everyone who needs it),
+* the crossbar's compute pooling vs channel-local engines (Figure 7/19),
+* the SSD-DRAM memory wall as a post-hoc bandwidth cap on the DRAM-staged
+  data paths (Section III).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.config import SSDConfig
+from repro.core.core import CoreRunResult
+from repro.errors import DeviceError
+from repro.flash.array import FlashArray
+from repro.ftl.mapping import PageMapFTL
+from repro.ssd.crossbar import Crossbar
+from repro.ssd.dram_buffer import DRAMBuffer, TrafficBreakdown
+
+#: Pages of read-ahead the firmware keeps in flight per engine. The scomp
+#: LPA lists are known upfront, so controllers can queue deeply; 32 pages
+#: (128 KiB) is a realistic controller queue depth.
+EAGER_WINDOW_PAGES = 32
+
+
+@dataclass
+class BackgroundIO:
+    """Conventional host reads interleaved with an offload (Section V-A).
+
+    The paper's generality argument: ASSASIN supports "flexible interleaving
+    of read/write requests that do not exploit computational storage with
+    computational storage operations". One page read is issued every
+    ``interval_ns`` over ``lpas`` (cycling); measured service latencies land
+    in :attr:`latencies_ns`.
+    """
+
+    lpas: List[int]
+    interval_ns: float
+    latencies_ns: List[float] = field(default_factory=list)
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return sum(self.latencies_ns) / len(self.latencies_ns) if self.latencies_ns else 0.0
+
+    @property
+    def p99_latency_ns(self) -> float:
+        if not self.latencies_ns:
+            return 0.0
+        ordered = sorted(self.latencies_ns)
+        return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+@dataclass
+class _CoreTask:
+    """Retiming state for one engine's slice of the request."""
+
+    core_id: int
+    lpas: List[int]
+    cpp_ns: float  # compute time per input page
+    out_ratio: float
+    next_k: int = 0
+    shift_ns: float = 0.0  # accumulated flash-induced stall
+    pending_out_bytes: float = 0.0
+    out_pages_written: int = 0
+    last_write_done_ns: float = 0.0
+
+    def issue_ns(self) -> float:
+        k = self.next_k
+        return max(0.0, (k - EAGER_WINDOW_PAGES) * self.cpp_ns) + self.shift_ns
+
+    def needed_ns(self, k: int) -> float:
+        return k * self.cpp_ns + self.shift_ns
+
+    @property
+    def compute_ns(self) -> float:
+        return len(self.lpas) * self.cpp_ns
+
+    @property
+    def completion_ns(self) -> float:
+        if not self.lpas:
+            return 0.0
+        return max(self.compute_ns + self.shift_ns, self.last_write_done_ns)
+
+    @property
+    def utilisation(self) -> float:
+        total = self.completion_ns
+        return self.compute_ns / total if total > 0 else 1.0
+
+
+@dataclass
+class OffloadResult:
+    """Device-level outcome of one offloaded function (paper Figures 13-19)."""
+
+    kernel_name: str
+    config_name: str
+    num_cores: int
+    bytes_in: int
+    bytes_out: int
+    completion_ns: float
+    limiter: str  # 'core' | 'flash' | 'dram'
+    per_core_utilisation: List[float]
+    per_core_completion_ns: List[float]
+    channel_bytes: List[int]
+    dram_traffic: TrafficBreakdown
+    dram_cap_bytes_per_ns: float
+    core_sample: CoreRunResult
+    flash_stall_ns: float = 0.0
+
+    @property
+    def throughput_bytes_per_ns(self) -> float:
+        return self.bytes_in / self.completion_ns if self.completion_ns > 0 else 0.0
+
+    @property
+    def throughput_gbps(self) -> float:
+        return self.throughput_bytes_per_ns  # 1 B/ns == 1 GB/s
+
+    @property
+    def mean_utilisation(self) -> float:
+        cores = [u for u in self.per_core_utilisation if u > 0]
+        return sum(cores) / len(cores) if cores else 0.0
+
+
+class Firmware:
+    """Schedules scomp work across engines and retimes against the flash."""
+
+    def __init__(
+        self,
+        config: SSDConfig,
+        array: FlashArray,
+        ftl: PageMapFTL,
+        crossbar: Crossbar,
+        dram: DRAMBuffer,
+    ) -> None:
+        self.config = config
+        self.array = array
+        self.ftl = ftl
+        self.crossbar = crossbar
+        self.dram = dram
+        self._out_lpa = itertools.count(1 << 40)  # result namespace
+
+    # -- work decomposition --------------------------------------------------
+
+    def assign_lpas(self, lpas: Sequence[int]) -> List[List[int]]:
+        """Split a request's pages across engines.
+
+        With the crossbar, pages interleave across cores (placement is
+        irrelevant — any core reaches any channel). In channel-local mode
+        each page *must* be processed by the core at its channel, so the
+        split follows the FTL's physical placement; skewed layouts then
+        produce unbalanced work (the Figure 19 effect).
+        """
+        n = self.config.num_cores
+        if self.crossbar.enabled:
+            # Interleave pages across engines. With the FTL's channel
+            # striping this de-phases the engines' channel access patterns
+            # (a contiguous split would march all engines across the same
+            # channel in lockstep, creating transient hotspots).
+            return [list(lpas[i::n]) for i in range(n)]
+        groups: List[List[int]] = [[] for _ in range(n)]
+        for lpa in lpas:
+            groups[self.ftl.lookup(lpa).channel].append(lpa)
+        return groups
+
+    # -- the retiming loop ------------------------------------------------------
+
+    def run_offload(
+        self,
+        kernel,
+        sample: CoreRunResult,
+        lpas: Sequence[int],
+        background: Optional[BackgroundIO] = None,
+    ) -> OffloadResult:
+        """Retime the sampled compute against flash service for ``lpas``.
+
+        ``background`` interleaves conventional host page reads with the
+        offload on the same channels (the Section V-A generality property);
+        their latencies are recorded on the BackgroundIO object.
+        """
+        core_cfg = self.config.core
+        page = self.config.flash.page_bytes
+        period_ns = core_cfg.clock_period_ns
+        cpp_ns = sample.cycles_per_byte * page * period_ns
+        out_ratio = sample.bytes_out / sample.bytes_in if sample.bytes_in else 0.0
+
+        # Write-path kernels (erasure coding, encryption) put results back on
+        # flash, sharing channel bandwidth with the reads; read-path kernels
+        # return results to the host over PCIe (never binding at 8 GB/s).
+        output_to_flash = getattr(kernel, "output_to_flash", False)
+
+        assignments = self.assign_lpas(list(lpas))
+        tasks = [
+            _CoreTask(
+                core_id=i,
+                lpas=assignment,
+                cpp_ns=cpp_ns,
+                out_ratio=out_ratio if output_to_flash else 0.0,
+            )
+            for i, assignment in enumerate(assignments)
+        ]
+        total_stall = self._retime(tasks, background)
+        completion = max((t.completion_ns for t in tasks), default=0.0)
+        bytes_in = sum(len(t.lpas) for t in tasks) * page
+        if output_to_flash:
+            bytes_out = sum(t.out_pages_written for t in tasks) * page
+        else:
+            bytes_out = int(bytes_in * out_ratio)
+
+        # The SSD-DRAM memory wall: cap the aggregate input rate.
+        core_traffic_per_byte = (
+            sample.dram_traffic.total / sample.bytes_in if sample.bytes_in else 0.0
+        )
+        traffic = DRAMBuffer.traffic_per_input_byte(core_cfg, core_traffic_per_byte, out_ratio)
+        cap = self.dram.bandwidth_cap_bytes_per_ns(traffic)
+        limiter = "core"
+        dram_slowdown = 1.0
+        if completion > 0 and bytes_in / completion > cap:
+            dram_slowdown = (bytes_in / cap) / completion
+            completion = bytes_in / cap
+            limiter = "dram"
+        elif total_stall > 0.02 * completion:
+            limiter = "flash"
+
+        return OffloadResult(
+            kernel_name=kernel.name,
+            config_name=self.config.name,
+            num_cores=self.config.num_cores,
+            bytes_in=bytes_in,
+            bytes_out=bytes_out,
+            completion_ns=completion,
+            limiter=limiter,
+            per_core_utilisation=[t.utilisation / dram_slowdown for t in tasks if t.lpas],
+            per_core_completion_ns=[t.completion_ns * dram_slowdown for t in tasks],
+            channel_bytes=self.array.channel_bytes(),
+            dram_traffic=traffic,
+            dram_cap_bytes_per_ns=cap,
+            core_sample=sample,
+            flash_stall_ns=total_stall,
+        )
+
+    def run_write_offload(
+        self, kernel, sample: CoreRunResult, total_pages: int
+    ) -> OffloadResult:
+        """Write-path scomp (Section V-D): compute on data being ingested.
+
+        Input pages stream from the host over the PCIe link (a shared FIFO
+        timeline), the engines transform them inline (erasure coding,
+        encryption, compression, ...), and the results — plus the source
+        data itself for parity-style kernels (``writes_input_through``) —
+        are programmed into the flash array. On ASSASIN the stream never
+        touches the SSD DRAM; on DRAM-staged engines every byte crosses it
+        twice before even reaching the flash.
+        """
+        if total_pages <= 0:
+            raise DeviceError("write-path offload needs data")
+        core_cfg = self.config.core
+        page = self.config.flash.page_bytes
+        period_ns = core_cfg.clock_period_ns
+        cpp_ns = sample.cycles_per_byte * page * period_ns
+        out_ratio = sample.bytes_out / sample.bytes_in if sample.bytes_in else 0.0
+        passthrough = 1.0 if getattr(kernel, "writes_input_through", False) else 0.0
+        flash_out_ratio = out_ratio + passthrough
+
+        n = self.config.num_cores
+        pseudo_lpas = list(range(total_pages))
+        tasks = [
+            _CoreTask(
+                core_id=i,
+                lpas=pseudo_lpas[i::n],
+                cpp_ns=cpp_ns,
+                out_ratio=flash_out_ratio,
+            )
+            for i in range(n)
+        ]
+
+        link_bw = self.config.host.bandwidth_bytes_per_ns
+        link = {"free_at": 0.0}
+
+        def serve_host_page(task: _CoreTask, k: int, when: float) -> float:
+            start = max(when, link["free_at"])
+            done = start + page / link_bw
+            link["free_at"] = done
+            return done + self.config.host.latency_ns
+
+        total_stall = self._retime(tasks, serve_input=serve_host_page)
+        completion = max((t.completion_ns for t in tasks), default=0.0)
+        bytes_in = total_pages * page
+        bytes_out = sum(t.out_pages_written for t in tasks) * page
+
+        # DRAM wall: DRAM-staged engines stage host data in, read it back,
+        # write results, and stage everything flash-bound out again.
+        core_traffic = sample.dram_traffic.total / sample.bytes_in if sample.bytes_in else 0.0
+        traffic = DRAMBuffer.traffic_per_input_byte(core_cfg, core_traffic, out_ratio)
+        if core_cfg.data_source.value == "dram":
+            traffic = TrafficBreakdown(
+                staging_in=traffic.staging_in,
+                core_reads=traffic.core_reads,
+                core_writes=traffic.core_writes,
+                staging_out=flash_out_ratio,  # results + passthrough to flash
+            )
+        cap = self.dram.bandwidth_cap_bytes_per_ns(traffic)
+        limiter = "core"
+        dram_slowdown = 1.0
+        if completion > 0 and bytes_in / completion > cap:
+            dram_slowdown = (bytes_in / cap) / completion
+            completion = bytes_in / cap
+            limiter = "dram"
+        elif total_stall > 0.02 * completion:
+            limiter = "host-link"
+
+        return OffloadResult(
+            kernel_name=kernel.name,
+            config_name=self.config.name,
+            num_cores=n,
+            bytes_in=bytes_in,
+            bytes_out=bytes_out,
+            completion_ns=completion,
+            limiter=limiter,
+            per_core_utilisation=[t.utilisation / dram_slowdown for t in tasks if t.lpas],
+            per_core_completion_ns=[t.completion_ns * dram_slowdown for t in tasks],
+            channel_bytes=self.array.channel_bytes(),
+            dram_traffic=traffic,
+            dram_cap_bytes_per_ns=cap,
+            core_sample=sample,
+            flash_stall_ns=total_stall,
+        )
+
+    def run_concurrent(
+        self, requests: Sequence[tuple]
+    ) -> List[OffloadResult]:
+        """Run several scomp requests concurrently on partitioned engines.
+
+        ``requests`` is a sequence of ``(kernel, sample, lpas)``. Cores are
+        partitioned across requests proportionally to their data sizes
+        (at least one core each) — the task-level parallelism the paper's
+        Section V-D decomposition enables. All requests share the flash
+        array, crossbar, and the SSD-DRAM pool.
+        """
+        if not requests:
+            raise DeviceError("run_concurrent needs at least one request")
+        if not self.crossbar.enabled:
+            raise DeviceError("concurrent offloads require the crossbar architecture")
+        n = self.config.num_cores
+        if len(requests) > n:
+            raise DeviceError(f"{len(requests)} requests exceed {n} engines")
+        page = self.config.flash.page_bytes
+        period_ns = self.config.core.clock_period_ns
+
+        sizes = [max(1, len(lpas)) for _, _, lpas in requests]
+        total_size = sum(sizes)
+        core_counts = [max(1, round(n * s / total_size)) for s in sizes]
+        while sum(core_counts) > n:
+            core_counts[core_counts.index(max(core_counts))] -= 1
+        while sum(core_counts) < n:
+            core_counts[core_counts.index(min(core_counts))] += 1
+
+        all_tasks: List[_CoreTask] = []
+        request_tasks: List[List[_CoreTask]] = []
+        next_core = 0
+        for (kernel, sample, lpas), cores in zip(requests, core_counts):
+            cpp_ns = sample.cycles_per_byte * page * period_ns
+            out_ratio = sample.bytes_out / sample.bytes_in if sample.bytes_in else 0.0
+            if not getattr(kernel, "output_to_flash", False):
+                out_ratio = 0.0
+            lpas = list(lpas)
+            tasks = [
+                _CoreTask(
+                    core_id=next_core + i,
+                    lpas=lpas[i::cores],
+                    cpp_ns=cpp_ns,
+                    out_ratio=out_ratio,
+                )
+                for i in range(cores)
+            ]
+            next_core += cores
+            all_tasks.extend(tasks)
+            request_tasks.append(tasks)
+
+        total_stall = self._retime(all_tasks)
+
+        # The shared SSD-DRAM pool: aggregate demand across requests.
+        demand = 0.0
+        traffics = []
+        for (kernel, sample, lpas), tasks in zip(requests, request_tasks):
+            completion = max((t.completion_ns for t in tasks), default=0.0)
+            bytes_in = sum(len(t.lpas) for t in tasks) * page
+            per_byte = sample.dram_traffic.total / sample.bytes_in if sample.bytes_in else 0.0
+            out_ratio = sample.bytes_out / sample.bytes_in if sample.bytes_in else 0.0
+            traffic = DRAMBuffer.traffic_per_input_byte(self.config.core, per_byte, out_ratio)
+            traffics.append(traffic)
+            if completion > 0:
+                demand += (bytes_in / completion) * traffic.total
+        bw = self.dram.model.config.bandwidth_bytes_per_ns
+        dram_slowdown = max(1.0, demand / bw) if demand else 1.0
+
+        results = []
+        for (kernel, sample, lpas), tasks, traffic in zip(requests, request_tasks, traffics):
+            completion = max((t.completion_ns for t in tasks), default=0.0) * dram_slowdown
+            bytes_in = sum(len(t.lpas) for t in tasks) * page
+            bytes_out = sum(t.out_pages_written for t in tasks) * page
+            results.append(
+                OffloadResult(
+                    kernel_name=kernel.name,
+                    config_name=self.config.name,
+                    num_cores=len(tasks),
+                    bytes_in=bytes_in,
+                    bytes_out=bytes_out,
+                    completion_ns=completion,
+                    limiter="dram" if dram_slowdown > 1.0 else "flash",
+                    per_core_utilisation=[
+                        t.utilisation / dram_slowdown for t in tasks if t.lpas
+                    ],
+                    per_core_completion_ns=[
+                        t.completion_ns * dram_slowdown for t in tasks
+                    ],
+                    channel_bytes=self.array.channel_bytes(),
+                    dram_traffic=traffic,
+                    dram_cap_bytes_per_ns=self.dram.bandwidth_cap_bytes_per_ns(traffic),
+                    core_sample=sample,
+                    flash_stall_ns=total_stall,
+                )
+            )
+        return results
+
+    # -- shared retiming loop -----------------------------------------------
+
+    def _retime(
+        self,
+        tasks: List[_CoreTask],
+        background: Optional[BackgroundIO] = None,
+        serve_input=None,
+    ) -> float:
+        """Drive all tasks' page schedules through the shared timelines.
+
+        ``serve_input(task, k, when) -> arrival_ns`` supplies input page
+        ``k`` of a task; the default reads it from the flash array through
+        the FTL and crossbar (read-path scomp). Write-path scomp passes a
+        host-link source instead.
+
+        The channel buses are greedy FIFO timelines, so service calls must
+        be made in nondecreasing ready-time order: the heap merges input
+        issues, result-page writes, and background host reads from all
+        cores onto one global timeline. Returns the total input-induced
+        stall across tasks.
+        """
+        page = self.config.flash.page_bytes
+        if serve_input is None:
+            serve_input = self._serve_flash_read
+        heap = []
+        seq = itertools.count()
+        for task in tasks:
+            if task.lpas:
+                heapq.heappush(heap, (task.issue_ns(), next(seq), "read", task))
+        if background is not None and background.lpas:
+            heapq.heappush(heap, (0.0, next(seq), "bg", 0))
+
+        # Bound for scheduling background reads: a bit past the compute span.
+        nominal_span = max((t.compute_ns for t in tasks), default=0.0) * 1.25
+
+        total_stall = 0.0
+        while heap:
+            when, _, kind, task = heapq.heappop(heap)
+            if kind == "bg":
+                index = task  # the background read counter
+                lpa = background.lpas[index % len(background.lpas)]
+                record = self.array.service_read(self.ftl.lookup(lpa), when)
+                background.latencies_ns.append(record.done_ns - when)
+                next_when = when + background.interval_ns
+                if next_when <= nominal_span:
+                    heapq.heappush(heap, (next_when, next(seq), "bg", index + 1))
+                continue
+            if kind == "write":
+                out_ppa = self.ftl.write(next(self._out_lpa))
+                record = self.array.service_write(out_ppa, when)
+                # Program latency is absorbed by plane parallelism and the
+                # write cache; the engine only waits for the bus transfer.
+                task.last_write_done_ns = max(task.last_write_done_ns, record.array_done_ns)
+                task.out_pages_written += 1
+                continue
+            k = task.next_k
+            arrival = serve_input(task, k, when)
+            needed = task.needed_ns(k)
+            if arrival > needed:
+                stall = arrival - needed
+                task.shift_ns += stall
+                total_stall += stall
+            # Result pages emerge as compute progresses and share the buses.
+            task.pending_out_bytes += page * task.out_ratio
+            while task.pending_out_bytes >= page:
+                task.pending_out_bytes -= page
+                ready = (k + 1) * task.cpp_ns + task.shift_ns
+                heapq.heappush(heap, (ready, next(seq), "write", task))
+            task.next_k += 1
+            if task.next_k < len(task.lpas):
+                heapq.heappush(heap, (task.issue_ns(), next(seq), "read", task))
+        return total_stall
+
+    def _serve_flash_read(self, task: _CoreTask, k: int, when: float) -> float:
+        """Default input source: the flash array through FTL + crossbar."""
+        page = self.config.flash.page_bytes
+        ppa = self.ftl.lookup(task.lpas[k])
+        record = self.array.service_read(ppa, when)
+        hop = self.crossbar.route(task.core_id, ppa.channel, page)
+        return record.done_ns + hop
+

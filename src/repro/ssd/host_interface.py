@@ -1,0 +1,109 @@
+"""NVMe-style host interface with the ``scomp`` command extension.
+
+Regular reads/writes move data over the host link; the ``scomp`` command
+(paper Section V-D, Figure 9) carries ``(compute, pData,
+List[List[LPA]])`` — a kernel name, a host buffer handle, and the logical
+page lists forming the input (read-path) or output (write-path) streams.
+Only *results* cross the link on a read-path scomp, which is where
+computational storage's traffic reduction comes from.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.config import HostInterfaceConfig
+from repro.errors import DeviceError
+
+
+@dataclass(frozen=True)
+class NVMeCommand:
+    """Base class for commands in the submission queue."""
+
+    command_id: int
+
+
+@dataclass(frozen=True)
+class ReadCommand(NVMeCommand):
+    lpas: List[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class WriteCommand(NVMeCommand):
+    lpas: List[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ScompCommand(NVMeCommand):
+    """Computational storage request: (compute, pData, List[List[LPA]])."""
+
+    kernel: str = ""
+    p_data: int = 0  # host buffer handle (opaque in the model)
+    lpa_lists: List[List[int]] = field(default_factory=list)
+    write_path: bool = False
+
+    def num_streams(self) -> int:
+        return len(self.lpa_lists)
+
+    def total_pages(self) -> int:
+        return sum(len(lst) for lst in self.lpa_lists)
+
+
+@dataclass(frozen=True)
+class Completion:
+    """Completion-queue entry."""
+
+    command_id: int
+    submitted_ns: float
+    completed_ns: float
+    bytes_transferred: int
+
+    @property
+    def latency_ns(self) -> float:
+        return self.completed_ns - self.submitted_ns
+
+
+class HostInterface:
+    """Submission/completion queues plus link-transfer timing."""
+
+    def __init__(self, config: HostInterfaceConfig) -> None:
+        self.config = config
+        self._ids = itertools.count(1)
+        self.submissions: List[NVMeCommand] = []
+        self.completions: List[Completion] = []
+        self.link_free_at_ns = 0.0
+        self.bytes_to_host = 0
+        self.bytes_from_host = 0
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    def submit(self, command: NVMeCommand) -> None:
+        if any(c.command_id == command.command_id for c in self.submissions):
+            raise DeviceError(f"duplicate command id {command.command_id}")
+        self.submissions.append(command)
+
+    def transfer(self, nbytes: int, ready_ns: float, to_host: bool) -> float:
+        """Move ``nbytes`` over the link; returns completion time."""
+        if nbytes < 0:
+            raise DeviceError("negative transfer")
+        start = max(ready_ns + self.config.latency_ns, self.link_free_at_ns)
+        done = start + nbytes / self.config.bandwidth_bytes_per_ns
+        self.link_free_at_ns = done
+        if to_host:
+            self.bytes_to_host += nbytes
+        else:
+            self.bytes_from_host += nbytes
+        return done
+
+    def complete(self, command: NVMeCommand, submitted_ns: float, completed_ns: float,
+                 bytes_transferred: int) -> Completion:
+        completion = Completion(command.command_id, submitted_ns, completed_ns, bytes_transferred)
+        self.completions.append(completion)
+        return completion
+
+    def transfer_time_ns(self, nbytes: int) -> float:
+        """Pure link occupancy for ``nbytes`` (no queueing)."""
+        return nbytes / self.config.bandwidth_bytes_per_ns

@@ -1,0 +1,23 @@
+"""Workload survey data (paper Section IV, Tables I and II)."""
+
+from repro.survey.functions import (
+    FUNCTIONS,
+    STUDIES,
+    Domain,
+    FunctionProfile,
+    StudyEntry,
+    domain_counts,
+    functions_by_domain,
+    streaming_fraction,
+)
+
+__all__ = [
+    "FUNCTIONS",
+    "STUDIES",
+    "Domain",
+    "FunctionProfile",
+    "StudyEntry",
+    "domain_counts",
+    "functions_by_domain",
+    "streaming_fraction",
+]

@@ -1,0 +1,134 @@
+"""The computational-storage workload survey (Tables I and II).
+
+Table I catalogues 22 research studies by the application domains of the
+functions they offload; Table II maps 14 function families onto the stream
+computing model: what streams through the core versus what stays resident
+as bounded function state. The paper's architectural insight — "streaming
+accesses to storage data, random accesses to function states of limited
+size" — is encoded in :class:`FunctionProfile` and checked by the tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class Domain(enum.Enum):
+    FILE_SYSTEM = "file system"
+    DATABASE = "database"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class StudyEntry:
+    """One row of Table I."""
+
+    name: str
+    year: int
+    domains: Tuple[Domain, ...]
+
+
+_FS = Domain.FILE_SYSTEM
+_DB = Domain.DATABASE
+_OT = Domain.OTHER
+
+STUDIES: Tuple[StudyEntry, ...] = (
+    StudyEntry("Access", 2023, (_FS, _DB)),
+    StudyEntry("ActiveFlash", 2013, (_FS, _OT)),
+    StudyEntry("Aurora", 2022, (_FS, _DB)),
+    StudyEntry("Azure", 2020, (_DB,)),
+    StudyEntry("Biscuit", 2016, (_FS, _DB)),
+    StudyEntry("BlockIF", 2021, (_FS,)),
+    StudyEntry("Caribou", 2017, (_DB, _OT)),
+    StudyEntry("CIDR", 2020, (_FS,)),
+    StudyEntry("DedupInSSD", 2011, (_FS,)),
+    StudyEntry("DeepStore", 2019, (_OT,)),
+    StudyEntry("GLIST", 2021, (_OT,)),
+    StudyEntry("GraFBoost", 2018, (_OT,)),
+    StudyEntry("Ibex", 2014, (_DB, _OT)),
+    StudyEntry("IceClave", 2021, (_FS, _DB)),
+    StudyEntry("Insider", 2019, (_FS, _DB)),
+    StudyEntry("Lepton", 2017, (_FS,)),
+    StudyEntry("MithriLog", 2021, (_FS, _OT)),
+    StudyEntry("Query", 2013, (_DB, _OT)),
+    StudyEntry("Skyhook", 2020, (_DB, _OT)),
+    StudyEntry("Summarizer", 2017, (_DB, _OT)),
+    StudyEntry("Thrifty", 2020, (_FS, _OT)),
+    StudyEntry("YourSQL", 2016, (_DB, _OT)),
+)
+
+
+@dataclass(frozen=True)
+class FunctionProfile:
+    """One row of Table II: a function family mapped to stream computing."""
+
+    name: str
+    streaming_data: str  # what flows through the stream buffers
+    function_state: str  # what stays resident (scratchpad)
+    state_bound_bytes: int  # upper bound on resident state
+    streaming: bool = True  # feasible as inline stream computing
+    kernel: Optional[str] = None  # implemented kernel in repro.kernels
+
+
+FUNCTIONS: Tuple[FunctionProfile, ...] = (
+    FunctionProfile("Compress", "Data blocks", "Sliding-window dictionary + index",
+                    64 * 1024, kernel="compress"),
+    FunctionProfile("Cryptography", "Data blocks / code blocks", "Keys & GF tables",
+                    8 * 1024, kernel="aes"),
+    FunctionProfile("Decompress", "Data and dictionary indexes", "Bounded history window",
+                    64 * 1024, kernel="decompress"),
+    FunctionProfile("Deduplicate", "Data blocks", "Block fingerprint metadata",
+                    64 * 1024, kernel="dedup"),
+    FunctionProfile("Erasure coding", "Data blocks / code blocks", "Galois-field table",
+                    1 * 1024, kernel="raid6"),
+    FunctionProfile("Replicate", "Data & replicates", "Flags",
+                    64, kernel="replicate"),
+    FunctionProfile("Filter", "Tuples", "Predicate constants & flags",
+                    256, kernel="filter"),
+    FunctionProfile("Select", "Tuples", "Projection map",
+                    256, kernel="select"),
+    FunctionProfile("Parse", "Tuples", "State machines",
+                    4 * 1024, kernel="parse"),
+    FunctionProfile("Statistics", "Tuples", "Accumulators",
+                    1 * 1024, kernel="stat"),
+    FunctionProfile("NN Training", "Training data", "Model parameters",
+                    64 * 1024),
+    FunctionProfile("NN Inference", "Inference input", "Model parameters",
+                    64 * 1024, kernel="nn_inference"),
+    FunctionProfile("Graph Analysis", "Edge list / vertex list", "Vertex statistics",
+                    64 * 1024, kernel="graph_degree"),
+    FunctionProfile("Video transcode", "Frame groups", "Codec state",
+                    64 * 1024, streaming=False),
+)
+
+
+def domain_counts() -> Dict[Domain, int]:
+    """How many surveyed studies target each domain (Table I totals)."""
+    counts = {d: 0 for d in Domain}
+    for study in STUDIES:
+        for domain in study.domains:
+            counts[domain] += 1
+    return counts
+
+
+def functions_by_domain() -> Dict[str, List[FunctionProfile]]:
+    """Function families grouped by the rough domain they serve."""
+    fs = ["Compress", "Cryptography", "Decompress", "Deduplicate", "Erasure coding", "Replicate"]
+    db = ["Filter", "Select", "Parse", "Statistics"]
+    table = {f.name: f for f in FUNCTIONS}
+    return {
+        "file system": [table[n] for n in fs],
+        "database": [table[n] for n in db],
+        "other": [f for f in FUNCTIONS if f.name not in fs + db],
+    }
+
+
+def streaming_fraction() -> float:
+    """Fraction of surveyed function families expressible as streaming.
+
+    The paper's claim: "most computational storage functions are feasible
+    with stream computing".
+    """
+    return sum(1 for f in FUNCTIONS if f.streaming) / len(FUNCTIONS)

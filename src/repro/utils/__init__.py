@@ -1,0 +1,58 @@
+"""Shared utilities: units, bit operations, statistics, event queue."""
+
+from repro.utils.units import (
+    KIB,
+    MIB,
+    GIB,
+    GB,
+    MB,
+    KB,
+    NS,
+    US,
+    MS,
+    SEC,
+    bytes_per_cycle_to_gbps,
+    fmt_bytes,
+    fmt_rate,
+    fmt_time_ns,
+)
+from repro.utils.bitops import (
+    bit_select,
+    popcount,
+    rotl32,
+    rotr32,
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+)
+from repro.utils.stats import Accumulator, geomean, weighted_mean
+from repro.utils.events import Event, EventQueue
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "GB",
+    "MB",
+    "KB",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "bytes_per_cycle_to_gbps",
+    "fmt_bytes",
+    "fmt_rate",
+    "fmt_time_ns",
+    "bit_select",
+    "popcount",
+    "rotl32",
+    "rotr32",
+    "sign_extend",
+    "to_signed32",
+    "to_unsigned32",
+    "Accumulator",
+    "geomean",
+    "weighted_mean",
+    "Event",
+    "EventQueue",
+]

@@ -1,0 +1,50 @@
+"""32-bit integer helpers used by the RV32IM interpreter and kernels."""
+
+from __future__ import annotations
+
+_MASK32 = 0xFFFFFFFF
+
+
+def to_unsigned32(value: int) -> int:
+    """Wrap an arbitrary Python int into an unsigned 32-bit value."""
+    return value & _MASK32
+
+
+def to_signed32(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as a two's-complement int."""
+    value &= _MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` bits of ``value`` to a Python int."""
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    mask = (1 << bits) - 1
+    value &= mask
+    sign_bit = 1 << (bits - 1)
+    return value - (1 << bits) if value & sign_bit else value
+
+
+def rotl32(value: int, amount: int) -> int:
+    """Rotate a 32-bit value left by ``amount`` (mod 32)."""
+    amount %= 32
+    value &= _MASK32
+    return ((value << amount) | (value >> (32 - amount))) & _MASK32 if amount else value
+
+
+def rotr32(value: int, amount: int) -> int:
+    """Rotate a 32-bit value right by ``amount`` (mod 32)."""
+    return rotl32(value, (32 - amount) % 32)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in the low 32 bits of ``value``."""
+    return bin(value & _MASK32).count("1")
+
+
+def bit_select(value: int, high: int, low: int) -> int:
+    """Extract bits ``[high:low]`` (inclusive) of ``value``."""
+    if high < low:
+        raise ValueError("high must be >= low")
+    return (value >> low) & ((1 << (high - low + 1)) - 1)

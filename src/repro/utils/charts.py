@@ -1,0 +1,65 @@
+"""ASCII bar charts for the figure renders.
+
+The paper's results are bar charts; the experiment drivers print tables
+plus these text bars so the shape is visible at a glance in terminals and
+logs, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+_BAR = "#"
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 40,
+    unit: str = "",
+    title: str = "",
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart: one (label, value) per row.
+
+    Bars scale to ``max_value`` (defaults to the largest value); labels are
+    right-aligned, values printed after the bar.
+    """
+    if not items:
+        return title
+    top = max_value if max_value is not None else max(v for _, v in items)
+    top = top or 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines: List[str] = [title] if title else []
+    for label, value in items:
+        filled = int(round(width * min(value, top) / top))
+        lines.append(
+            f"{label.rjust(label_width)} |{_BAR * filled}{' ' * (width - filled)}| "
+            f"{value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[Tuple[str, Sequence[Tuple[str, float]]]],
+    width: int = 40,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Several bar groups sharing one scale (a figure with clusters)."""
+    all_values = [v for _, bars in groups for _, v in bars]
+    top = max(all_values) if all_values else 1.0
+    sections: List[str] = [title] if title else []
+    for group_title, bars in groups:
+        sections.append(f"[{group_title}]")
+        sections.append(bar_chart(bars, width=width, unit=unit, max_value=top))
+    return "\n".join(sections)
+
+
+def series_sparkline(values: Iterable[float], width: int = 8) -> str:
+    """Compact one-line trend (used for scaling curves)."""
+    blocks = " .:-=+*#%@"
+    vals = list(values)
+    if not vals:
+        return ""
+    top = max(vals) or 1.0
+    return "".join(blocks[min(len(blocks) - 1, int(v / top * (len(blocks) - 1)))] for v in vals)

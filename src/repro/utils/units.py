@@ -1,0 +1,63 @@
+"""Unit constants and formatting helpers.
+
+Sizes follow storage conventions: binary units (KiB/MiB/GiB) for memory and
+flash geometry, decimal units (KB/MB/GB) for bandwidths, matching the paper's
+usage (e.g. "8 GB/s flash array", "64KB scratchpad").
+
+Times are kept in nanoseconds throughout the simulators; cores run at around
+1 GHz so one cycle is about one nanosecond, which keeps mental conversion
+cheap when reading traces.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+NS = 1
+US = 1000 * NS
+MS = 1000 * US
+SEC = 1000 * MS
+
+
+def bytes_per_cycle_to_gbps(bytes_per_cycle: float, clock_ghz: float = 1.0) -> float:
+    """Convert a per-cycle byte rate into GB/s for a given core clock.
+
+    At 1 GHz, one byte per cycle is exactly 1 GB/s, which is the identity the
+    paper uses for its 1 GB/s-per-core scan bound (Section VI-D).
+    """
+    return bytes_per_cycle * clock_ghz
+
+
+def fmt_bytes(n: int) -> str:
+    """Render a byte count with a binary suffix, e.g. ``65536 -> '64.0 KiB'``."""
+    value = float(n)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            return f"{value:.1f} {suffix}" if suffix != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_rate(bytes_per_second: float) -> str:
+    """Render a bandwidth in decimal units, e.g. ``1.6e9 -> '1.60 GB/s'``."""
+    value = float(bytes_per_second)
+    for suffix in ("B/s", "KB/s", "MB/s", "GB/s", "TB/s"):
+        if abs(value) < 1000.0 or suffix == "TB/s":
+            return f"{value:.2f} {suffix}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time_ns(ns: float) -> str:
+    """Render a duration given in nanoseconds with an adaptive unit."""
+    value = float(ns)
+    for suffix, scale in (("ns", 1.0), ("us", 1e3), ("ms", 1e6), ("s", 1e9)):
+        if abs(ns) < scale * 1000.0 or suffix == "s":
+            return f"{ns / scale:.2f} {suffix}"
+    return f"{value:.2f} ns"

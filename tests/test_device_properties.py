@@ -1,0 +1,87 @@
+"""Property tests on the device model: physical bounds and determinism.
+
+These invariants must hold for *any* kernel/configuration combination —
+they are the sanity rails of the whole retiming methodology:
+
+* throughput never exceeds the flash array, the engines, or the DRAM cap;
+* results are deterministic (same seed, same numbers, bit for bit);
+* completion is at least the compute time and at least the bus time.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import all_configs, assasin_sb_config, named_config
+from repro.kernels import get_kernel
+from repro.ssd.device import ComputationalSSD, simulate_offload
+
+DATA = 8 << 20
+KERNELS = ("stat", "scan", "raid4", "filter", "select")
+
+
+@pytest.mark.parametrize("kernel_name", KERNELS)
+@pytest.mark.parametrize("config_name", ("Baseline", "AssasinSp", "AssasinSb"))
+def test_physical_bounds(kernel_name, config_name):
+    config = named_config(config_name)
+    kernel = get_kernel(kernel_name)
+    result = simulate_offload(config, kernel, DATA)
+    # Flash array bound.
+    assert result.throughput_gbps <= config.flash.array_bandwidth_bytes_per_ns + 0.01
+    # Engine bound: aggregate core throughput at the sampled CPI.
+    per_core = result.core_sample.throughput_bytes_per_ns(config.core.frequency_ghz)
+    assert result.throughput_gbps <= config.num_cores * per_core * 1.01
+    # DRAM wall bound.
+    assert result.throughput_gbps <= result.dram_cap_bytes_per_ns * 1.01
+    # Completion at least covers the busiest engine's own completion.
+    assert result.completion_ns >= 0.99 * max(result.per_core_completion_ns)
+    # Utilisations are sane.
+    assert all(0 < u <= 1.001 for u in result.per_core_utilisation)
+
+
+@pytest.mark.parametrize("kernel_name", ("stat", "raid6"))
+def test_determinism(kernel_name):
+    kernel_a = get_kernel(kernel_name)
+    kernel_b = get_kernel(kernel_name)
+    a = simulate_offload(assasin_sb_config(), kernel_a, DATA)
+    b = simulate_offload(assasin_sb_config(), kernel_b, DATA)
+    assert a.completion_ns == b.completion_ns
+    assert a.channel_bytes == b.channel_bytes
+    assert a.per_core_completion_ns == b.per_core_completion_ns
+    assert a.core_sample.cycles == b.core_sample.cycles
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.sampled_from(["scan", "stat"]),
+    st.integers(min_value=1, max_value=12),
+    st.sampled_from([0.0, 0.3, 0.8]),
+)
+def test_bounds_hold_under_random_shapes(kernel_name, cores, skew):
+    config = assasin_sb_config().with_cores(cores)
+    kernel = get_kernel(kernel_name)
+    device = ComputationalSSD(config, layout_skew=skew)
+    result = device.offload(kernel, 4 << 20)
+    assert 0 < result.throughput_gbps <= 8.01
+    # The heaviest channel physically limits throughput under skew.
+    heaviest_share = max(result.channel_bytes) / sum(result.channel_bytes)
+    channel_bound = 1.0 / heaviest_share  # GB/s given 1 GB/s per channel
+    assert result.throughput_gbps <= channel_bound * 1.02
+
+
+def test_data_size_invariance():
+    """Streaming offload throughput is size-invariant past startup."""
+    kernel = get_kernel("scan")
+    config = assasin_sb_config()
+    small = simulate_offload(config, kernel, 8 << 20)
+    large = simulate_offload(config, kernel, 32 << 20)
+    assert large.throughput_gbps == pytest.approx(small.throughput_gbps, rel=0.03)
+
+
+def test_all_configs_produce_results_for_all_primary_kernels():
+    """Smoke: the full config x kernel matrix runs without error."""
+    for config_name, config in all_configs().items():
+        for kernel_name in ("stat", "filter"):
+            result = simulate_offload(config, get_kernel(kernel_name), 4 << 20)
+            assert result.completion_ns > 0, (config_name, kernel_name)
+            assert result.limiter in ("core", "flash", "dram")

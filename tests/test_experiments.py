@@ -1,0 +1,68 @@
+"""Unit tests for the experiment drivers (small sizes; shapes only)."""
+
+import pytest
+
+from repro.config import all_configs, assasin_sb_config, assasin_sp_config, udp_config
+from repro.experiments import tables
+from repro.experiments.common import (
+    adjusted_config,
+    offload_throughputs,
+    render_table,
+    speedups_vs,
+)
+from repro.experiments import fig05, fig20
+
+
+def test_render_table_alignment():
+    out = render_table(("a", "bee"), [(1, 2.5), (30, 4.0)], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "---" in lines[2]
+    assert lines[3].endswith("2.500")
+
+
+def test_adjusted_config_sb_raises_frequency():
+    cfg = adjusted_config(assasin_sb_config())
+    assert cfg.core.frequency_ghz > 1.05
+    assert cfg.core.scratchpad.access_latency_cycles == 2
+
+
+def test_adjusted_config_sp_two_cycle_scratchpad():
+    cfg = adjusted_config(assasin_sp_config())
+    assert cfg.core.frequency_ghz == pytest.approx(1.0)
+    assert cfg.core.scratchpad.access_latency_cycles == 2
+    assert cfg.core.pingpong.access_latency_cycles == 2
+
+
+def test_adjusted_config_udp_untouched():
+    cfg = udp_config()
+    assert adjusted_config(cfg) is cfg
+
+
+def test_offload_throughputs_subset():
+    configs = {k: v for k, v in all_configs().items() if k in ("Baseline", "AssasinSb")}
+    results = offload_throughputs("scan", data_bytes=4 << 20, configs=configs)
+    assert set(results) == {"Baseline", "AssasinSb"}
+    speedups = speedups_vs(results)
+    assert speedups["Baseline"] == pytest.approx(1.0)
+    assert speedups["AssasinSb"] > 1.0
+
+
+def test_fig05_result_properties():
+    result = fig05.run(sample_bytes=16 * 1024)
+    assert result.memory_slowdown > 1.0
+    assert result.compute_cycles > 0
+    assert "Figure 5" in fig05.render(result)
+
+
+def test_fig20_render_contains_anchors():
+    out = fig20.render(fig20.run())
+    assert "SB head FIFO" in out
+    assert "AssasinSb" in out
+
+
+def test_tables_render():
+    assert "Table I" in tables.render_table1()
+    assert "streaming fraction" in tables.render_table2()
+    t4 = tables.render_table4()
+    assert "AssasinSb$" in t4 and "S=8 P=2" in t4

@@ -1,0 +1,162 @@
+"""Tests for the SECDED page ECC, including exhaustive-ish properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FlashError
+from repro.flash.ecc import (
+    ECCStatus,
+    decode_page,
+    decode_word,
+    encode_page,
+    encode_word,
+    inject_bit_errors,
+)
+
+word64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+def test_clean_word_roundtrip():
+    for word in (0, 1, 0xDEADBEEFCAFEF00D, (1 << 64) - 1):
+        ecc = encode_word(word)
+        result = decode_word(word, ecc)
+        assert result.status is ECCStatus.CLEAN
+        assert result.word == word
+
+
+@given(word64, st.integers(min_value=0, max_value=63))
+def test_single_bit_error_corrected(word, bit):
+    ecc = encode_word(word)
+    corrupted = word ^ (1 << bit)
+    result = decode_word(corrupted, ecc)
+    assert result.status is ECCStatus.CORRECTED
+    assert result.word == word
+    assert result.corrected_bit == bit
+
+
+@given(word64, st.integers(min_value=0, max_value=7))
+def test_single_parity_bit_error_harmless(word, parity_bit):
+    """A flip in the spare byte itself must not corrupt the data."""
+    ecc = encode_word(word) ^ (1 << parity_bit)
+    result = decode_word(word, ecc)
+    assert result.word == word
+    assert result.status in (ECCStatus.CORRECTED, ECCStatus.CLEAN)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    word64,
+    st.integers(min_value=0, max_value=63),
+    st.integers(min_value=0, max_value=63),
+)
+def test_double_bit_error_detected_not_miscorrected(word, a, b):
+    if a == b:
+        return
+    ecc = encode_word(word)
+    corrupted = word ^ (1 << a) ^ (1 << b)
+    result = decode_word(corrupted, ecc)
+    assert result.status is ECCStatus.UNCORRECTABLE
+    # SECDED guarantee: never silently "corrects" to wrong data.
+    assert result.word == corrupted
+
+
+def test_encode_word_rejects_oversize():
+    with pytest.raises(FlashError):
+        encode_word(1 << 64)
+
+
+def test_page_roundtrip_and_correction():
+    page = bytes(range(256)) * 16  # 4096 bytes
+    spare = encode_page(page)
+    assert len(spare) == len(page) // 8
+    # Clean.
+    decoded, status, n = decode_page(page, spare)
+    assert decoded == page and status is ECCStatus.CLEAN and n == 0
+    # Scatter 5 single-bit errors into distinct codewords and correct them.
+    corrupted = bytearray(page)
+    for i, off in enumerate((3, 100, 555, 2048, 4000)):
+        corrupted[off] ^= 1 << (i % 8)
+    decoded, status, n = decode_page(bytes(corrupted), spare)
+    assert decoded == page
+    assert status is ECCStatus.CORRECTED
+    assert n == 5
+
+
+def test_page_uncorrectable_double_error():
+    page = b"\xa5" * 64
+    spare = encode_page(page)
+    corrupted = bytearray(page)
+    corrupted[0] ^= 0b11  # two flips in the same codeword
+    _, status, _ = decode_page(bytes(corrupted), spare)
+    assert status is ECCStatus.UNCORRECTABLE
+
+
+def test_page_validation():
+    with pytest.raises(FlashError):
+        encode_page(b"123")  # not a multiple of 8
+    with pytest.raises(FlashError):
+        decode_page(b"\x00" * 16, b"\x00")
+
+
+def test_inject_bit_errors_flips_exactly_n():
+    data = bytes(64)
+    flipped = inject_bit_errors(data, 7, seed=9)
+    diff = sum(bin(a ^ b).count("1") for a, b in zip(data, flipped))
+    assert diff == 7
+    with pytest.raises(FlashError):
+        inject_bit_errors(b"\x00", 9)
+
+
+def test_raw_bit_error_rate_recovery():
+    """A page with sparse random raw errors is fully recovered."""
+    page = bytes((i * 37) & 0xFF for i in range(4096))
+    spare = encode_page(page)
+    # One error per ~1KB: virtually always one per codeword at most.
+    corrupted = bytearray(page)
+    for off, bit in ((10, 0), (1300, 4), (2900, 7), (3900, 2)):
+        corrupted[off] ^= 1 << bit
+    decoded, status, n = decode_page(bytes(corrupted), spare)
+    assert decoded == page and n == 4
+
+
+def test_chip_integrated_ecc_corrects_raw_errors():
+    """The chip's checked read path repairs sparse raw-NAND upsets."""
+    from repro.config import FlashConfig
+    from repro.flash.chip import FlashChip
+
+    chip = FlashChip(FlashConfig(), 0, 0)
+    payload = bytes((i * 13) & 0xFF for i in range(4096))
+    chip.start_program(0, 0, 0, 0, 0.0, data=payload)
+    # Clean read.
+    data, status = chip.read_data_checked(0, 0, 0, 0)
+    assert data == payload and status is ECCStatus.CLEAN
+    # Sparse upsets: correctable.
+    chip.corrupt_page(0, 0, 0, 0, nbits=3, seed=5)
+    data, status = chip.read_data_checked(0, 0, 0, 0)
+    assert status in (ECCStatus.CORRECTED, ECCStatus.UNCORRECTABLE)
+    if status is ECCStatus.CORRECTED:
+        assert data == payload
+        assert chip.ecc_corrections >= 1
+
+
+def test_chip_ecc_flags_heavy_corruption():
+    from repro.config import FlashConfig
+    from repro.flash.chip import FlashChip
+
+    chip = FlashChip(FlashConfig(), 0, 0)
+    payload = b"\x5a" * 64
+    chip.start_program(0, 0, 1, 0, 0.0, data=payload)
+    chip.corrupt_page(0, 0, 1, 0, nbits=40, seed=2)  # way past SECDED
+    _, status = chip.read_data_checked(0, 0, 1, 0)
+    assert status is ECCStatus.UNCORRECTABLE
+    assert chip.ecc_failures == 1
+
+
+def test_chip_corrupt_requires_data():
+    from repro.config import FlashConfig
+    from repro.flash.chip import FlashChip
+
+    chip = FlashChip(FlashConfig(), 0, 0)
+    with pytest.raises(FlashError):
+        chip.corrupt_page(0, 0, 0, 0, nbits=1)

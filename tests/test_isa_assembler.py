@@ -1,0 +1,145 @@
+"""Tests for the text assembler and program builder."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import Interpreter
+from repro.isa.program import Asm
+from repro.mem.memory import FlatMemory
+
+
+def run(prog, mem_size=1024):
+    interp = Interpreter(prog, FlatMemory(mem_size))
+    interp.run()
+    return interp
+
+
+def test_assemble_and_run_fibonacci():
+    prog = assemble(
+        """
+        # fib(10) iteratively
+            li a0, 0
+            li a1, 1
+            li t0, 10
+        loop:
+            add t1, a0, a1
+            mv a0, a1
+            mv a1, t1
+            addi t0, t0, -1
+            bnez t0, loop
+            halt
+        """
+    )
+    interp = run(prog)
+    assert interp.regs.read_name("a0") == 55  # fib(10)
+
+
+def test_memory_operands():
+    prog = assemble(
+        """
+        li t0, 64
+        li t1, 0x1234
+        sh t1, 2(t0)
+        lhu a0, 2(t0)
+        halt
+        """
+    )
+    interp = run(prog)
+    assert interp.regs.read_name("a0") == 0x1234
+
+
+def test_labels_on_own_line_and_inline():
+    prog = assemble(
+        """
+        start:
+            li t0, 1
+        end: halt
+        """
+    )
+    assert prog.labels == {"start": 0, "end": 1}  # small li is a single addi
+
+
+def test_stream_mnemonics_parse():
+    prog = assemble(
+        """
+        loop:
+            sload t0, 0, 4
+            sstore t0, 1, 4
+            sskip 0, 12
+            savail t1, 0
+            seos t2, 0
+            beqz t2, loop
+            halt
+        """
+    )
+    ops = [i.op for i in prog.instrs]
+    assert ops == ["sload", "sstore", "sskip", "savail", "seos", "beq", "halt"]
+    assert prog.instrs[1].sid == 1 and prog.instrs[1].width == 4
+
+
+def test_unknown_mnemonic_reports_line():
+    with pytest.raises(AssemblyError, match="line 3"):
+        assemble("nop\nnop\nfrobnicate t0, t1\n")
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(AssemblyError, match="nowhere"):
+        assemble("j nowhere\nhalt\n")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("x: nop\nx: halt\n")
+
+
+def test_operand_count_errors():
+    with pytest.raises(AssemblyError):
+        assemble("add t0, t1\n")
+    with pytest.raises(AssemblyError):
+        assemble("lw t0, t1, 4\n")
+
+
+def test_bad_memory_operand():
+    with pytest.raises(AssemblyError, match="off\\(reg\\)"):
+        assemble("lw t0, [t1]\n")
+
+
+def test_comments_and_blank_lines_ignored():
+    prog = assemble("\n# full comment\n   \nhalt  # trailing\n")
+    assert len(prog) == 1
+
+
+def test_builder_and_text_agree():
+    text = """
+        li t0, 100
+        li t1, 25
+        sub a0, t0, t1
+        halt
+    """
+    a = Asm("b")
+    a.li("t0", 100).li("t1", 25).sub("a0", "t0", "t1").halt()
+    r1 = run(assemble(text))
+    r2 = run(a.build())
+    assert r1.regs.read_name("a0") == r2.regs.read_name("a0") == 75
+
+
+def test_disassemble_roundtrip_through_assembler():
+    a = Asm("d")
+    a.label("top")
+    a.li("t0", 5)
+    a.beqz("t0", "top")
+    a.halt()
+    text = a.build().disassemble()
+    assert "top:" in text and "beq" in text
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_li_builder_handles_any_32bit_constant(value):
+    a = Asm("li")
+    a.li("a0", value).halt()
+    interp = Interpreter(a.build(), FlatMemory(16))
+    interp.run()
+    assert interp.regs.read_name("a0") == value & 0xFFFFFFFF

@@ -1,0 +1,67 @@
+"""Tests for instruction definitions, kinds and validation."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import Instr, InstrKind, kind_of, validate_instr
+
+
+def test_kind_classification():
+    assert kind_of("add") is InstrKind.ALU
+    assert kind_of("addi") is InstrKind.ALU
+    assert kind_of("lui") is InstrKind.ALU
+    assert kind_of("mul") is InstrKind.MUL
+    assert kind_of("divu") is InstrKind.DIV
+    assert kind_of("lw") is InstrKind.LOAD
+    assert kind_of("sb") is InstrKind.STORE
+    assert kind_of("beq") is InstrKind.BRANCH
+    assert kind_of("jal") is InstrKind.JUMP
+    assert kind_of("sload") is InstrKind.STREAM_LOAD
+    assert kind_of("sstore") is InstrKind.STREAM_STORE
+    assert kind_of("savail") is InstrKind.STREAM_CTRL
+    assert kind_of("halt") is InstrKind.SYSTEM
+
+
+def test_kind_of_unknown_raises():
+    with pytest.raises(AssemblyError):
+        kind_of("vadd")
+
+
+def test_validate_accepts_good_instrs():
+    validate_instr(Instr("addi", rd=1, rs1=2, imm=2047))
+    validate_instr(Instr("addi", rd=1, rs1=2, imm=-2048))
+    validate_instr(Instr("sload", rd=5, sid=7, width=4))
+    validate_instr(Instr("lui", rd=1, imm=0xFFFFF))
+    validate_instr(Instr("slli", rd=1, rs1=1, imm=31))
+
+
+def test_validate_rejects_bad_immediates():
+    with pytest.raises(AssemblyError):
+        validate_instr(Instr("addi", rd=1, rs1=2, imm=5000))
+    with pytest.raises(AssemblyError):
+        validate_instr(Instr("slli", rd=1, rs1=1, imm=32))
+    with pytest.raises(AssemblyError):
+        validate_instr(Instr("lw", rd=1, rs1=2, imm=4096))
+    with pytest.raises(AssemblyError):
+        validate_instr(Instr("lui", rd=1, imm=1 << 20))
+
+
+def test_validate_rejects_bad_stream_fields():
+    with pytest.raises(AssemblyError):
+        validate_instr(Instr("sload", rd=1, sid=0, width=3))
+    with pytest.raises(AssemblyError):
+        validate_instr(Instr("sload", rd=1, sid=16, width=4))
+    with pytest.raises(AssemblyError):
+        validate_instr(Instr("sskip", sid=0, imm=0))
+
+
+def test_validate_rejects_bad_registers():
+    with pytest.raises(AssemblyError):
+        validate_instr(Instr("add", rd=32, rs1=0, rs2=0))
+
+
+def test_str_forms():
+    assert str(Instr("sload", rd=5, sid=0, width=4)) == "sload x5, s0, 4"
+    assert str(Instr("halt")) == "halt"
+    assert "beq" in str(Instr("beq", rs1=1, rs2=2, imm=7, label="loop"))
+    assert str(Instr("lw", rd=3, rs1=2, imm=8)) == "lw x3, 8(x2)"

@@ -1,0 +1,274 @@
+"""Tests for the functional interpreter: arithmetic, memory, control, streams."""
+
+import pytest
+
+from repro.config import StreamBufferConfig
+from repro.errors import ExecutionError
+from repro.isa.interpreter import Interpreter, StepKind
+from repro.isa.program import Asm
+from repro.mem.memory import FlatMemory
+from repro.mem.streambuffer import StreamBufferSet
+
+SB_CFG = StreamBufferConfig(num_streams=4, pages_per_stream=2, page_bytes=256)
+
+
+def run_program(asm: Asm, mem_size=4096, in_data=None, out_stream=False):
+    """Helper: build, attach streams, run to completion."""
+    prog = asm.build()
+    mem = FlatMemory(mem_size)
+    ins = outs = None
+    if in_data is not None:
+        ins = StreamBufferSet(SB_CFG, "input")
+        remaining = {0: bytes(in_data)}
+
+        def refill(stream, needed):
+            data = remaining.get(stream.stream_id, b"")
+            take = min(len(data), stream.free_space)
+            if take:
+                stream.push(data[:take])
+                remaining[stream.stream_id] = data[take:]
+            if not remaining.get(stream.stream_id):
+                stream.finish_producing()
+
+        for s in ins.streams:
+            s.refill_hook = refill
+    if out_stream:
+        outs = StreamBufferSet(SB_CFG, "output")
+        collected = bytearray()
+
+        def drain(stream, needed):
+            data = stream.consume(stream.available)
+            if data:
+                collected.extend(data)
+
+        for s in outs.streams:
+            s.space_hook = drain
+        outs.collected = collected  # type: ignore[attr-defined]
+    interp = Interpreter(prog, mem, in_streams=ins, out_streams=outs)
+    summary = interp.run()
+    return interp, summary
+
+
+def test_arithmetic_sum_loop():
+    # sum 1..10 into a0
+    a = Asm("sum")
+    a.li("a0", 0).li("t0", 1).li("t1", 11)
+    a.label("loop")
+    a.add("a0", "a0", "t0")
+    a.addi("t0", "t0", 1)
+    a.bne("t0", "t1", "loop")
+    a.halt()
+    interp, summary = run_program(a)
+    assert interp.regs.read_name("a0") == 55
+    assert summary.halted
+
+
+def test_signed_arithmetic_and_shifts():
+    a = Asm("signed")
+    a.li("t0", -8)
+    a.srai("t1", "t0", 1)  # -4
+    a.srli("t2", "t0", 1)  # large positive
+    a.li("t3", -6)
+    a.alu_r("div", "a0", "t3", "t0")  # -6 / -8 = 0
+    a.alu_r("rem", "a1", "t3", "t0")  # -6 rem -8 = -6
+    a.halt()
+    interp, _ = run_program(a)
+    assert interp.regs.read_name("t1") == 0xFFFFFFFC
+    assert interp.regs.read_name("t2") == 0x7FFFFFFC
+    assert interp.regs.read_name("a0") == 0
+    assert interp.regs.read_name("a1") == 0xFFFFFFFA
+
+
+def test_division_by_zero_riscv_semantics():
+    a = Asm("div0")
+    a.li("t0", 42).li("t1", 0)
+    a.alu_r("div", "a0", "t0", "t1")
+    a.alu_r("divu", "a1", "t0", "t1")
+    a.alu_r("rem", "a2", "t0", "t1")
+    a.halt()
+    interp, _ = run_program(a)
+    assert interp.regs.read_name("a0") == 0xFFFFFFFF
+    assert interp.regs.read_name("a1") == 0xFFFFFFFF
+    assert interp.regs.read_name("a2") == 42
+
+
+def test_mul_and_mulh():
+    a = Asm("mul")
+    a.li("t0", 0x10000).li("t1", 0x10000)
+    a.mul("a0", "t0", "t1")  # low 32 bits = 0
+    a.alu_r("mulhu", "a1", "t0", "t1")  # high = 1
+    a.halt()
+    interp, _ = run_program(a)
+    assert interp.regs.read_name("a0") == 0
+    assert interp.regs.read_name("a1") == 1
+
+
+def test_memory_loads_and_stores():
+    a = Asm("mem")
+    a.li("t0", 100)
+    a.li("t1", 0x11223344)
+    a.sw("t1", "t0", 0)
+    a.lbu("a0", "t0", 0)
+    a.lhu("a1", "t0", 2)
+    a.lw("a2", "t0", 0)
+    a.load("lb", "a3", "t0", 3)  # 0x11 sign-extended (positive)
+    a.halt()
+    interp, _ = run_program(a)
+    assert interp.regs.read_name("a0") == 0x44
+    assert interp.regs.read_name("a1") == 0x1122
+    assert interp.regs.read_name("a2") == 0x11223344
+    assert interp.regs.read_name("a3") == 0x11
+
+
+def test_signed_byte_load():
+    a = Asm("lb")
+    a.li("t0", 0).li("t1", 0x80)
+    a.sb("t1", "t0", 0)
+    a.load("lb", "a0", "t0", 0)
+    a.halt()
+    interp, _ = run_program(a)
+    assert interp.regs.read_name("a0") == 0xFFFFFF80  # -128
+
+
+def test_x0_is_hardwired_zero():
+    a = Asm("x0")
+    a.li("zero", 55)
+    a.mv("a0", "zero")
+    a.halt()
+    interp, _ = run_program(a)
+    assert interp.regs.read_name("a0") == 0
+
+
+def test_function_call_and_return():
+    a = Asm("call")
+    a.li("a0", 5)
+    a.call("double")
+    a.halt()
+    a.label("double")
+    a.add("a0", "a0", "a0")
+    a.ret()
+    interp, _ = run_program(a)
+    assert interp.regs.read_name("a0") == 10
+
+
+def test_li_large_constant():
+    a = Asm("li")
+    a.li("a0", 0xDEADBEEF)
+    a.li("a1", -1)
+    a.li("a2", 0x12345000)
+    a.halt()
+    interp, _ = run_program(a)
+    assert interp.regs.read_name("a0") == 0xDEADBEEF
+    assert interp.regs.read_name("a1") == 0xFFFFFFFF
+    assert interp.regs.read_name("a2") == 0x12345000
+
+
+def test_stream_load_sums_input_until_eos():
+    # Sum 4-byte little-endian words from input stream 0.
+    a = Asm("ssum")
+    a.li("a0", 0)
+    a.label("loop")
+    a.sload("t0", 0, 4)
+    a.add("a0", "a0", "t0")
+    a.j("loop")
+    data = b"".join(i.to_bytes(4, "little") for i in range(1, 101))
+    interp, summary = run_program(a, in_data=data)
+    assert interp.regs.read_name("a0") == 5050
+    assert not summary.halted  # ended via stream EOS, not halt
+    assert summary.finished
+    assert summary.stream_bytes_in == 400
+
+
+def test_stream_store_roundtrip():
+    # Copy input stream to output stream byte by byte.
+    a = Asm("copy")
+    a.label("loop")
+    a.sload("t0", 0, 1)
+    a.sstore("t0", 0, 1)
+    a.j("loop")
+    payload = bytes(range(256)) * 3
+    interp, summary = run_program(a, in_data=payload, out_stream=True)
+    collected = bytes(interp.out_streams.collected) + bytes(
+        interp.out_streams[0].consume(interp.out_streams[0].available) or b""
+    )
+    assert collected == payload
+    assert summary.stream_bytes_out == len(payload)
+
+
+def test_sskip_advances_without_reading():
+    a = Asm("skip")
+    a.sload("a0", 0, 1)  # reads byte 0
+    a.sskip(0, 9)  # skips bytes 1..9
+    a.sload("a1", 0, 1)  # reads byte 10
+    a.halt()
+    interp, _ = run_program(a, in_data=bytes(range(32)))
+    assert interp.regs.read_name("a0") == 0
+    assert interp.regs.read_name("a1") == 10
+
+
+def test_savail_and_seos():
+    a = Asm("avail")
+    a.savail("a0", 0)
+    a.sload("t0", 0, 4)
+    a.seos("a1", 0)
+    a.halt()
+    cfgd = b"\x01\x00\x00\x00"
+    interp, _ = run_program(a, in_data=cfgd)
+    assert interp.regs.read_name("a1") == 1  # 4 bytes consumed, stream dry
+
+
+def test_unresolvable_stall_raises():
+    a = Asm("stall")
+    a.sload("t0", 0, 4)
+    a.halt()
+    prog = a.build()
+    ins = StreamBufferSet(SB_CFG, "input")
+    ins[0].open()  # active but never fed and never finished
+    interp = Interpreter(prog, FlatMemory(64), in_streams=ins)
+    with pytest.raises(ExecutionError):
+        interp.run()
+
+
+def test_step_after_finish_raises():
+    a = Asm("fin")
+    a.halt()
+    interp = Interpreter(a.build(), FlatMemory(64))
+    interp.run()
+    with pytest.raises(ExecutionError):
+        interp.step()
+
+
+def test_max_steps_guard():
+    a = Asm("inf")
+    a.label("loop")
+    a.j("loop")
+    interp = Interpreter(a.build(), FlatMemory(64))
+    with pytest.raises(ExecutionError):
+        interp.run(max_steps=100)
+
+
+def test_reset_clears_state():
+    a = Asm("r")
+    a.li("a0", 7).halt()
+    interp = Interpreter(a.build(), FlatMemory(64))
+    interp.run()
+    interp.reset()
+    assert interp.pc == 0 and not interp.finished
+    assert interp.regs.read_name("a0") == 0
+    interp.run()
+    assert interp.regs.read_name("a0") == 7
+
+
+def test_instr_counts_by_kind():
+    a = Asm("count")
+    a.li("t0", 3)
+    a.label("loop")
+    a.addi("t0", "t0", -1)
+    a.bnez("t0", "loop")
+    a.halt()
+    _, summary = run_program(a)
+    from repro.isa.instructions import InstrKind
+
+    assert summary.instr_counts[InstrKind.BRANCH] == 3
+    assert summary.instr_counts[InstrKind.ALU] == 4  # li + 3x addi
+    assert summary.instr_counts[InstrKind.SYSTEM] == 1

@@ -1,0 +1,71 @@
+"""Tests for Table III stream-extension encodings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import Instr
+from repro.isa.stream_ext import STREAM_OPCODE, decode_stream_instr, encode_stream_instr
+
+
+def test_opcode_is_custom0():
+    assert STREAM_OPCODE == 0b0001011
+
+
+def test_encode_sload_fields():
+    word = encode_stream_instr(Instr("sload", rd=5, sid=3, width=4))
+    assert word & 0x7F == STREAM_OPCODE
+    assert (word >> 7) & 0x1F == 5  # rd
+    assert (word >> 12) & 0x7 == 0  # funct3
+    assert (word >> 15) & 0x1F == 3  # sid
+    assert (word >> 25) & 0x7F == 2  # log2(4)
+
+
+def test_encode_rejects_non_stream():
+    with pytest.raises(AssemblyError):
+        encode_stream_instr(Instr("add", rd=1, rs1=2, rs2=3))
+
+
+def test_decode_rejects_wrong_opcode():
+    with pytest.raises(AssemblyError):
+        decode_stream_instr(0x33)  # OP opcode
+
+
+def test_decode_rejects_unknown_funct3():
+    bad = STREAM_OPCODE | (0b111 << 12)
+    with pytest.raises(AssemblyError):
+        decode_stream_instr(bad)
+
+
+def test_sskip_immediate_range():
+    encode_stream_instr(Instr("sskip", sid=0, imm=4095))
+    with pytest.raises(AssemblyError):
+        encode_stream_instr(Instr("sskip", sid=0, imm=4096))
+
+
+@given(
+    st.sampled_from(["sload", "sstore"]),
+    st.integers(min_value=0, max_value=31),
+    st.integers(min_value=0, max_value=15),
+    st.sampled_from([1, 2, 4, 8]),
+)
+def test_load_store_roundtrip(op, reg, sid, width):
+    if op == "sload":
+        instr = Instr(op, rd=reg, sid=sid, width=width)
+    else:
+        instr = Instr(op, rs2=reg, sid=sid, width=width)
+    assert decode_stream_instr(encode_stream_instr(instr)) == instr
+
+
+@given(st.integers(min_value=0, max_value=15), st.integers(min_value=1, max_value=4095))
+def test_sskip_roundtrip(sid, imm):
+    instr = Instr("sskip", sid=sid, imm=imm)
+    assert decode_stream_instr(encode_stream_instr(instr)) == instr
+
+
+@given(st.sampled_from(["savail", "seos"]), st.integers(min_value=0, max_value=31),
+       st.integers(min_value=0, max_value=15))
+def test_ctrl_roundtrip(op, rd, sid):
+    instr = Instr(op, rd=rd, sid=sid)
+    assert decode_stream_instr(encode_stream_instr(instr)) == instr

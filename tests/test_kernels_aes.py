@@ -1,0 +1,97 @@
+"""AES-128 reference: FIPS-197 known-answer tests and table properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.kernels.aes import (
+    SBOX,
+    INV_SBOX,
+    T_TABLES,
+    encrypt_block,
+    encrypt_ecb,
+    expand_key,
+)
+from repro.kernels.aes_kernel import LE_T_TABLES
+
+
+def test_sbox_known_values():
+    # FIPS-197 Figure 7 spot checks.
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x01] == 0x7C
+    assert SBOX[0x53] == 0xED
+    assert SBOX[0xFF] == 0x16
+
+
+def test_inv_sbox_is_inverse():
+    for x in range(256):
+        assert INV_SBOX[SBOX[x]] == x
+
+
+def test_key_expansion_fips197_appendix_a():
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    rks = expand_key(key)
+    assert rks[0][0] == 0x2B7E1516
+    assert rks[1][0] == 0xA0FAFE17  # w[4]
+    assert rks[10][3] == 0xB6630CA6  # w[43]
+
+
+def test_encrypt_block_fips197_appendix_b():
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+    expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+    assert encrypt_block(plaintext, expand_key(key)) == expected
+
+
+def test_encrypt_block_nist_sp800_38a_vector():
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+    expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+    assert encrypt_ecb(plaintext, key) == expected
+
+
+def test_ecb_multi_block_is_per_block():
+    key = bytes(16)
+    data = bytes(range(32))
+    out = encrypt_ecb(data, key)
+    assert out[:16] == encrypt_block(data[:16], expand_key(key))
+    assert out[16:] == encrypt_block(data[16:], expand_key(key))
+
+
+def test_bad_lengths_rejected():
+    with pytest.raises(KernelError):
+        encrypt_ecb(b"short", bytes(16))
+    with pytest.raises(KernelError):
+        expand_key(b"short")
+    with pytest.raises(KernelError):
+        encrypt_block(b"x" * 15, expand_key(bytes(16)))
+
+
+def test_t_tables_consistent_with_sbox():
+    # T0 packs (2s, s, s, 3s) big-endian.
+    for x in (0, 1, 0x53, 0xFF):
+        s = SBOX[x]
+        word = T_TABLES[0][x]
+        assert (word >> 16) & 0xFF == s
+        assert (word >> 8) & 0xFF == s
+
+
+def test_le_t_tables_lane_structure():
+    # LT_r lane 'row' holds MC coefficient column r applied to S[x].
+    from repro.kernels.aes import _gmul
+
+    for x in (0, 7, 0xAB):
+        s = SBOX[x]
+        assert LE_T_TABLES[0][x] & 0xFF == _gmul(s, 2)
+        assert (LE_T_TABLES[0][x] >> 24) & 0xFF == _gmul(s, 3)
+        assert LE_T_TABLES[1][x] & 0xFF == _gmul(s, 3)
+        assert (LE_T_TABLES[2][x] >> 8) & 0xFF == _gmul(s, 3)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+def test_encryption_is_key_sensitive(block, key):
+    out = encrypt_block(block, expand_key(key))
+    assert len(out) == 16
+    assert out != block or block == encrypt_block(block, expand_key(key))

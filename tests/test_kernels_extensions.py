@@ -1,0 +1,116 @@
+"""Functional tests for the Table II extension kernels."""
+
+import pytest
+
+from repro.config import assasin_sb_core, assasin_sp_core, baseline_core
+from repro.core.core import CoreModel
+from repro.kernels import get_kernel
+from repro.kernels.extensions import (
+    DEDUP_BLOCK,
+    RLECompressKernel,
+    dedup_fingerprint,
+)
+
+SIZE = 4096
+
+
+def run_stream(kernel, inputs):
+    return CoreModel(assasin_sb_core()).run(kernel, inputs)
+
+
+def run_memory(kernel, inputs, core=None):
+    return CoreModel(core or baseline_core()).run(kernel, inputs)
+
+
+def test_replicate_all_forms():
+    kernel = get_kernel("replicate")
+    inputs = kernel.make_inputs(SIZE)
+    expected = kernel.reference(inputs)
+    r = run_stream(kernel, inputs)
+    assert r.outputs == expected
+    m = run_memory(kernel, inputs)
+    assert m.outputs[0] == expected[0] + expected[1]  # replicas concatenated
+
+
+def test_dedup_fingerprint_properties():
+    a = dedup_fingerprint(b"\x00" * DEDUP_BLOCK)
+    b = dedup_fingerprint(b"\x01" + b"\x00" * (DEDUP_BLOCK - 1))
+    assert a != 0 and b != 0  # zero is reserved for empty slots
+    assert a != b
+    assert dedup_fingerprint(b"\x00" * DEDUP_BLOCK) == a  # deterministic
+
+
+def test_dedup_reference_finds_duplicates():
+    kernel = get_kernel("dedup")
+    block_a = bytes(range(64))
+    block_b = bytes(reversed(range(64)))
+    data = block_a + block_b + block_a + block_a
+    out = kernel.reference([data])[0]
+    indices = [int.from_bytes(out[i : i + 4], "little") for i in range(0, len(out), 4)]
+    assert indices == [2, 3]
+
+
+def test_dedup_all_forms():
+    kernel = get_kernel("dedup")
+    inputs = kernel.make_inputs(SIZE)
+    expected = kernel.reference(inputs)[0]
+    assert expected, "generated input should contain duplicates"
+    assert run_stream(kernel, inputs).outputs[0] == expected
+    assert run_memory(kernel, inputs).outputs[0] == expected
+    assert run_memory(kernel, inputs, assasin_sp_core()).outputs[0] == expected
+
+
+def test_rle_reference_roundtrip():
+    kernel = RLECompressKernel()
+    inputs = kernel.make_inputs(SIZE)
+    encoded = kernel.reference(inputs)[0]
+    assert RLECompressKernel.decompress(encoded) == inputs[0]
+    assert len(encoded) < len(inputs[0])  # runs of 1..32 compress
+
+
+def test_rle_long_runs_split_at_255():
+    kernel = RLECompressKernel()
+    encoded = kernel.reference([b"\x07" * 600])[0]
+    assert encoded == bytes([255, 7, 255, 7, 90, 7])
+
+
+def test_rle_stream_form_with_state_flush():
+    kernel = get_kernel("compress")
+    inputs = kernel.make_inputs(SIZE)
+    expected = kernel.reference(inputs)[0]
+    r = run_stream(kernel, inputs)
+    # The final in-progress run stays in function state at EOS; the firmware
+    # appends it (length @ +4, value @ +0).
+    value = int.from_bytes(r.final_state[0:4], "little")
+    length = int.from_bytes(r.final_state[4:8], "little")
+    flushed = r.outputs[0] + bytes([length, value])
+    assert flushed == expected
+
+
+def test_rle_memory_form_with_state_flush():
+    kernel = get_kernel("compress")
+    inputs = kernel.make_inputs(SIZE)
+    expected = kernel.reference(inputs)[0]
+    m = run_memory(kernel, inputs, assasin_sp_core())
+    value = int.from_bytes(m.final_state[0:4], "little")
+    length = int.from_bytes(m.final_state[4:8], "little")
+    assert m.outputs[0] + bytes([length, value]) == expected
+
+
+def test_stats_summary_all_forms():
+    kernel = get_kernel("stats_summary")
+    inputs = kernel.make_inputs(SIZE)
+    expected = kernel.reference_state(inputs)
+    assert run_stream(kernel, inputs).final_state == expected
+    assert run_memory(kernel, inputs).final_state == expected
+    assert run_memory(kernel, inputs, assasin_sp_core()).final_state == expected
+
+
+def test_stats_summary_known_values():
+    kernel = get_kernel("stats_summary")
+    data = b"".join(v.to_bytes(4, "little") for v in (5, 1, 9, 3))
+    state = kernel.reference_state([data])
+    count, total, lo, hi = (
+        int.from_bytes(state[i : i + 4], "little") for i in range(0, 16, 4)
+    )
+    assert (count, total, lo, hi) == (4, 18, 1, 9)

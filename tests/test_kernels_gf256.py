@@ -1,0 +1,119 @@
+"""Property tests for GF(2^8) arithmetic and RAID-6 parity algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.kernels.gf256 import (
+    GF_EXP,
+    GF_LOG,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    gf_mul2_word,
+    gf_pow,
+    raid6_pq,
+    raid6_recover_two_data,
+)
+
+byte = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+def test_tables_consistent():
+    for x in range(1, 256):
+        assert GF_EXP[GF_LOG[x]] == x
+
+
+def test_mul_identities():
+    for a in range(256):
+        assert gf_mul(a, 1) == a
+        assert gf_mul(a, 0) == 0
+        assert gf_mul(0, a) == 0
+
+
+@given(byte, byte)
+def test_mul_commutative(a, b):
+    assert gf_mul(a, b) == gf_mul(b, a)
+
+
+@given(byte, byte, byte)
+def test_mul_associative(a, b, c):
+    assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+
+@given(byte, byte, byte)
+def test_mul_distributes_over_xor(a, b, c):
+    assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+
+@given(nonzero)
+def test_inverse(a):
+    assert gf_mul(a, gf_inv(a)) == 1
+
+
+def test_inv_zero_raises():
+    with pytest.raises(KernelError):
+        gf_inv(0)
+
+
+@given(nonzero, nonzero)
+def test_div_is_mul_by_inverse(a, b):
+    assert gf_mul(gf_div(a, b), b) == a
+
+
+@given(byte, st.integers(min_value=0, max_value=600))
+def test_pow_matches_repeated_mul(a, n):
+    expected = 1
+    for _ in range(n):
+        expected = gf_mul(expected, a)
+    assert gf_pow(a, n) == expected
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_swar_mul2_matches_bytewise(word):
+    swar = gf_mul2_word(word)
+    for lane in range(4):
+        b = (word >> (8 * lane)) & 0xFF
+        assert (swar >> (8 * lane)) & 0xFF == gf_mul(b, 2)
+
+
+def test_raid6_pq_known_small():
+    p, q = raid6_pq([b"\x01", b"\x02", b"\x04"])
+    assert p == b"\x07"
+    # Q = D0 ^ 2*D1 ^ 4*D2 = 1 ^ 4 ^ 16 = 21
+    assert q == bytes([1 ^ gf_mul(2, 2) ^ gf_mul(4, 4)])
+
+
+def test_raid6_rejects_unequal_stripes():
+    with pytest.raises(KernelError):
+        raid6_pq([b"ab", b"c"])
+    with pytest.raises(KernelError):
+        raid6_pq([])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=6),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=0, max_value=1_000_000),
+)
+def test_raid6_recovers_any_two_lost_stripes(k, length, seed):
+    import random
+
+    rng = random.Random(seed)
+    stripes = [rng.randbytes(length) for _ in range(k)]
+    p, q = raid6_pq(stripes)
+    x, y = rng.sample(range(k), 2)
+    if x > y:
+        x, y = y, x
+    survivors = [s if i not in (x, y) else b"" for i, s in enumerate(stripes)]
+    dx, dy = raid6_recover_two_data(survivors, p, q, (x, y))
+    assert dx == stripes[x]
+    assert dy == stripes[y]
+
+
+def test_recover_rejects_same_index():
+    with pytest.raises(KernelError):
+        raid6_recover_two_data([b"", b""], b"\x00", b"\x00", (1, 1))

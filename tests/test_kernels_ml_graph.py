@@ -1,0 +1,141 @@
+"""Functional tests for the NN-inference, graph, and decompress kernels."""
+
+import pytest
+
+from repro.config import assasin_sb_core, assasin_sp_core, baseline_core
+from repro.core.core import DRAM_OUT_BASE, CoreModel, DRAM_DATA_BASE
+from repro.errors import KernelError
+from repro.isa.interpreter import Interpreter
+from repro.kernels import get_kernel
+from repro.kernels.extensions import RLECompressKernel
+from repro.mem.memory import FlatMemory
+
+SIZE = 8192
+
+
+def run_stream(kernel, inputs):
+    return CoreModel(assasin_sb_core()).run(kernel, inputs)
+
+
+def run_memory(kernel, inputs, core=None):
+    return CoreModel(core or baseline_core()).run(kernel, inputs)
+
+
+class TestNNInference:
+    def test_all_forms_match_reference(self):
+        kernel = get_kernel("nn_inference")
+        inputs = kernel.make_inputs(SIZE)
+        expected = kernel.reference(inputs)[0]
+        assert run_stream(kernel, inputs).outputs[0] == expected
+        assert run_memory(kernel, inputs).outputs[0] == expected
+        assert run_memory(kernel, inputs, assasin_sp_core()).outputs[0] == expected
+
+    def test_score_known_vector(self):
+        kernel = get_kernel("nn_inference", dims=4, seed=0)
+        features = [1, 2, 3, 4]
+        expected = sum(w * x for w, x in zip(kernel.weights, features)) & 0xFFFFFFFF
+        assert kernel.score(features) == expected
+
+    def test_weights_are_stationary_state(self):
+        kernel = get_kernel("nn_inference", dims=8)
+        assert kernel.state_bytes == 32
+        mem = FlatMemory(1 << 16)
+        kernel.init_state(mem, 0x100)
+        for i, w in enumerate(kernel.weights):
+            assert mem.load_u32(0x100 + 4 * i) == w & 0xFFFFFFFF
+
+    def test_dims_validated(self):
+        with pytest.raises(KernelError):
+            get_kernel("nn_inference", dims=1)
+        with pytest.raises(KernelError):
+            get_kernel("nn_inference", dims=100)
+
+    def test_different_dims_work(self):
+        kernel = get_kernel("nn_inference", dims=32)
+        inputs = kernel.make_inputs(4096)
+        expected = kernel.reference(inputs)[0]
+        assert run_stream(kernel, inputs).outputs[0] == expected
+
+
+class TestGraphDegree:
+    def test_all_forms_match_reference(self):
+        kernel = get_kernel("graph_degree", num_vertices=256)
+        inputs = kernel.make_inputs(SIZE)
+        expected = kernel.reference_state(inputs)
+        assert run_stream(kernel, inputs).final_state == expected
+        assert run_memory(kernel, inputs).final_state == expected
+        assert run_memory(kernel, inputs, assasin_sp_core()).final_state == expected
+
+    def test_degree_sum_is_twice_edge_count(self):
+        kernel = get_kernel("graph_degree", num_vertices=64)
+        inputs = kernel.make_inputs(800)
+        state = kernel.reference_state(inputs)
+        degrees = [int.from_bytes(state[i : i + 4], "little") for i in range(0, len(state), 4)]
+        assert sum(degrees) == 2 * (len(inputs[0]) // 8)
+
+    def test_vertex_count_validated(self):
+        with pytest.raises(KernelError):
+            get_kernel("graph_degree", num_vertices=100)  # not a power of two
+        with pytest.raises(KernelError):
+            get_kernel("graph_degree", num_vertices=1 << 16)  # exceeds scratchpad
+
+    def test_hubs_receive_more_edges(self):
+        kernel = get_kernel("graph_degree", num_vertices=1024)
+        state = kernel.reference_state(kernel.make_inputs(64 * 1024))
+        degrees = [int.from_bytes(state[i : i + 4], "little") for i in range(0, len(state), 4)]
+        hubs = sum(degrees[:16]) / 16
+        tail = sum(degrees[16:]) / (len(degrees) - 16)
+        assert hubs > 3 * tail  # the generator's power-law-ish skew
+
+
+class TestRLEDecompress:
+    def test_stream_form_matches_reference(self):
+        kernel = get_kernel("decompress")
+        inputs = kernel.make_inputs(2048)
+        expected = kernel.reference(inputs)[0]
+        result = run_stream(kernel, inputs)
+        assert result.outputs[0] == expected
+        assert result.bytes_out > result.bytes_in  # expansion
+
+    def test_memory_form_on_dram_engine(self):
+        # The memory form needs a large output region (expansion), so it is
+        # exercised on the DRAM-staged Baseline engine.
+        kernel = get_kernel("decompress")
+        inputs = kernel.make_inputs(2048)
+        expected = kernel.reference(inputs)[0]
+        assert run_memory(kernel, inputs).outputs[0] == expected
+
+    def test_roundtrip_with_compress(self):
+        compress = get_kernel("compress")
+        raw = compress.make_inputs(4096)[0]
+        encoded = compress.reference([raw])[0]
+        decompress = get_kernel("decompress")
+        assert decompress.reference([encoded])[0] == raw
+
+    def test_memory_form_survives_mid_pair_chunk_split(self):
+        """A (count, value) pair split across chunk invocations must decode."""
+        kernel = get_kernel("decompress")
+        encoded = bytes([3, 0x41, 2, 0x42, 4, 0x43])  # AAABBCCCC
+        program = kernel.build_memory_program(0x0100_0000)
+        mem = FlatMemory(0x0110_0000)
+        kernel.init_state(mem, 0x0100_0000)
+        out = bytearray()
+        # Split after 3 bytes: the second pair's count arrives chunk 1,
+        # its value chunk 2.
+        for chunk in (encoded[:3], encoded[3:]):
+            mem.store_bytes(DRAM_DATA_BASE, chunk)
+            interp = Interpreter(program, mem)
+            interp.regs.write_name("a0", DRAM_DATA_BASE)
+            interp.regs.write_name("a1", len(chunk))
+            interp.regs.write_name("a2", DRAM_OUT_BASE)
+            interp.run()
+            nbytes = interp.regs.read_name("a0")
+            out += mem.load_bytes(DRAM_OUT_BASE, nbytes)
+        assert bytes(out) == b"AAABBCCCC"
+
+    def test_inputs_are_valid_rle(self):
+        kernel = get_kernel("decompress")
+        encoded = kernel.make_inputs(1024)[0]
+        assert len(encoded) % 2 == 0
+        decoded = RLECompressKernel.decompress(encoded)
+        assert len(decoded) >= len(encoded) // 2

@@ -1,0 +1,105 @@
+"""Tests for the set-associative cache timing model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.mem.cache import Cache
+
+
+def small_cache(size=1024, ways=2, line=64):
+    return Cache(CacheConfig(size_bytes=size, ways=ways, line_bytes=line))
+
+
+def test_first_access_misses_then_hits():
+    cache = small_cache()
+    assert not cache.lookup(0x100, is_write=False, cycle=0).hit
+    assert cache.lookup(0x100, is_write=False, cycle=1).hit
+    assert cache.lookup(0x13F, is_write=False, cycle=2).hit  # same 64B line
+    assert not cache.lookup(0x140, is_write=False, cycle=3).hit  # next line
+
+
+def test_lru_eviction_order():
+    # 1024B / (2 ways * 64B) = 8 sets. Lines mapping to set 0: 0, 8, 16 (*64B).
+    cache = small_cache()
+    s = 8 * 64  # set stride in bytes
+    cache.lookup(0 * s, False, 0)
+    cache.lookup(1 * s, False, 1)
+    cache.lookup(0 * s, False, 2)  # refresh line 0 -> line 1 is now LRU
+    cache.lookup(2 * s, False, 3)  # evicts line 1
+    assert cache.lookup(0 * s, False, 4).hit
+    assert not cache.lookup(1 * s, False, 5).hit
+
+
+def test_dirty_eviction_reports_writeback():
+    cache = small_cache()
+    s = 8 * 64
+    cache.lookup(0 * s, is_write=True, cycle=0)
+    cache.lookup(1 * s, is_write=False, cycle=1)
+    result = cache.lookup(2 * s, is_write=False, cycle=2)  # evicts dirty line 0
+    assert result.writeback
+    assert cache.stats.writebacks == 1
+
+
+def test_clean_eviction_no_writeback():
+    cache = small_cache()
+    s = 8 * 64
+    cache.lookup(0 * s, False, 0)
+    cache.lookup(1 * s, False, 1)
+    assert not cache.lookup(2 * s, False, 2).writeback
+
+
+def test_prefetch_hit_and_late_prefetch_wait():
+    cache = small_cache()
+    assert cache.prefetch(0x200, ready_cycle=100)
+    early = cache.lookup(0x200, False, cycle=50)
+    assert early.hit and early.extra_wait == pytest.approx(50)
+    assert cache.stats.late_prefetch_hits == 1
+    # A second access after readiness has no residual wait.
+    later = cache.lookup(0x200, False, cycle=150)
+    assert later.hit and later.extra_wait == 0
+
+
+def test_prefetch_into_present_line_is_noop():
+    cache = small_cache()
+    cache.lookup(0x80, False, 0)
+    assert not cache.prefetch(0x80, ready_cycle=10)
+    assert cache.stats.prefetches_issued == 0
+
+
+def test_flush_counts_dirty_lines():
+    cache = small_cache()
+    cache.lookup(0x0, True, 0)
+    cache.lookup(0x40, False, 1)
+    assert cache.flush() == 1
+    assert cache.occupancy == 0
+
+
+def test_stats_rates():
+    cache = small_cache()
+    cache.lookup(0, False, 0)
+    cache.lookup(0, False, 1)
+    cache.lookup(0, False, 2)
+    assert cache.stats.accesses == 3
+    assert cache.stats.hit_rate == pytest.approx(2 / 3)
+    assert cache.stats.miss_rate == pytest.approx(1 / 3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=4095), min_size=1, max_size=300))
+def test_occupancy_never_exceeds_capacity(addresses):
+    cache = small_cache(size=512, ways=2, line=64)  # 8 lines total
+    for i, addr in enumerate(addresses):
+        cache.lookup(addr, is_write=bool(addr & 1), cycle=i)
+    assert cache.occupancy <= 8
+    assert cache.stats.hits + cache.stats.misses == cache.stats.accesses
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2047), min_size=1, max_size=200))
+def test_immediate_reaccess_always_hits(addresses):
+    cache = small_cache()
+    for i, addr in enumerate(addresses):
+        cache.lookup(addr, False, cycle=2 * i)
+        assert cache.lookup(addr, False, cycle=2 * i + 1).hit

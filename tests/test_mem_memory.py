@@ -1,0 +1,61 @@
+"""Tests for the flat functional memory."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MemoryError_
+from repro.mem.memory import FlatMemory
+
+
+def test_roundtrip_widths():
+    mem = FlatMemory(1024)
+    mem.store_u8(0, 0xAB)
+    mem.store_u16(2, 0xBEEF)
+    mem.store_u32(4, 0xDEADBEEF)
+    assert mem.load_u8(0) == 0xAB
+    assert mem.load_u16(2) == 0xBEEF
+    assert mem.load_u32(4) == 0xDEADBEEF
+
+
+def test_little_endian_layout():
+    mem = FlatMemory(16)
+    mem.store_u32(0, 0x04030201)
+    assert mem.load_bytes(0, 4) == bytes([1, 2, 3, 4])
+
+
+def test_values_are_masked():
+    mem = FlatMemory(16)
+    mem.store_u8(0, 0x1FF)
+    assert mem.load_u8(0) == 0xFF
+    mem.store_u32(4, -1)
+    assert mem.load_u32(4) == 0xFFFFFFFF
+
+
+def test_bounds_checked():
+    mem = FlatMemory(8)
+    with pytest.raises(MemoryError_):
+        mem.load_u32(6)
+    with pytest.raises(MemoryError_):
+        mem.store_bytes(7, b"ab")
+    with pytest.raises(MemoryError_):
+        mem.load_bytes(-1, 2)
+
+
+def test_fill():
+    mem = FlatMemory(32)
+    mem.fill(8, 8, 0x5A)
+    assert mem.load_bytes(8, 8) == b"\x5a" * 8
+    assert mem.load_u8(7) == 0 and mem.load_u8(16) == 0
+
+
+def test_zero_size_memory_rejected():
+    with pytest.raises(MemoryError_):
+        FlatMemory(0)
+
+
+@given(st.integers(min_value=0, max_value=60), st.binary(min_size=1, max_size=4))
+def test_store_load_bytes_roundtrip(addr, data):
+    mem = FlatMemory(64)
+    mem.store_bytes(addr, data)
+    assert mem.load_bytes(addr, len(data)) == data

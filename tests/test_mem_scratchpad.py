@@ -1,0 +1,67 @@
+"""Tests for scratchpad and ping-pong buffer models."""
+
+import pytest
+
+from repro.config import ScratchpadConfig
+from repro.errors import MemoryError_
+from repro.mem.scratchpad import PingPongBuffer, Scratchpad
+from repro.utils.units import KIB
+
+
+def test_address_containment():
+    sp = Scratchpad(ScratchpadConfig(size_bytes=64 * KIB), base_addr=0x1000_0000)
+    assert sp.contains(0x1000_0000)
+    assert sp.contains(0x1000_0000 + 64 * KIB - 1)
+    assert not sp.contains(0x1000_0000 + 64 * KIB)
+    assert not sp.contains(0x0FFF_FFFF)
+    assert sp.contains(0x1000_0000, size=64 * KIB)
+    assert not sp.contains(0x1000_0000 + 1, size=64 * KIB)
+
+
+def test_access_latency_beats():
+    sp = Scratchpad(ScratchpadConfig(size_bytes=1024, access_latency_cycles=1, port_width_bytes=8))
+    assert sp.access_latency(1) == 1
+    assert sp.access_latency(8) == 1
+    assert sp.access_latency(9) == 2
+    assert sp.access_latency(64) == 8
+
+
+def test_two_cycle_scratchpad_doubles_latency():
+    sp = Scratchpad(ScratchpadConfig(size_bytes=1024, access_latency_cycles=2, port_width_bytes=8))
+    assert sp.access_latency(8) == 2
+    assert sp.access_latency(16) == 4
+
+
+def test_access_latency_rejects_nonpositive():
+    sp = Scratchpad(ScratchpadConfig(size_bytes=1024))
+    with pytest.raises(MemoryError_):
+        sp.access_latency(0)
+
+
+def test_stats_recording():
+    sp = Scratchpad(ScratchpadConfig(size_bytes=1024))
+    sp.record(8, is_write=False)
+    sp.record(4, is_write=True)
+    assert sp.stats.reads == 1 and sp.stats.bytes_read == 8
+    assert sp.stats.writes == 1 and sp.stats.bytes_written == 4
+
+
+def test_pingpong_layout_and_swap():
+    cfg = ScratchpadConfig(size_bytes=4 * KIB)
+    pp = PingPongBuffer(cfg, base_addr=0x2000)
+    assert pp.ping.base_addr == 0x2000
+    assert pp.pong.base_addr == 0x2000 + 4 * KIB
+    assert pp.active is pp.ping and pp.shadow is pp.pong
+    pp.swap()
+    assert pp.active is pp.pong and pp.shadow is pp.ping
+    assert pp.swaps == 1
+    pp.swap()
+    assert pp.active is pp.ping
+    assert pp.buffer_bytes == 4 * KIB
+
+
+def test_pingpong_contains_both_halves():
+    cfg = ScratchpadConfig(size_bytes=4 * KIB)
+    pp = PingPongBuffer(cfg, base_addr=0)
+    assert pp.contains(0) and pp.contains(4 * KIB) and pp.contains(8 * KIB - 1)
+    assert not pp.contains(8 * KIB)

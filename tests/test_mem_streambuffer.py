@@ -1,0 +1,162 @@
+"""Tests for stream buffers, including pointer invariants via hypothesis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import StreamBufferConfig
+from repro.errors import StreamError
+from repro.mem.streambuffer import StreamBuffer, StreamBufferSet, StreamState
+
+CFG = StreamBufferConfig(num_streams=8, pages_per_stream=2, page_bytes=256)
+
+
+def make_stream():
+    return StreamBuffer(CFG)
+
+
+def test_push_then_consume_fifo_order():
+    s = make_stream()
+    s.push(bytes(range(100)))
+    assert s.consume(10) == bytes(range(10))
+    assert s.consume(90) == bytes(range(10, 100))
+    assert s.available == 0
+
+
+def test_capacity_is_p_pages():
+    s = make_stream()
+    assert s.capacity == 512
+    s.push(b"x" * 512)
+    with pytest.raises(StreamError):
+        s.push(b"y")
+    assert s.overflow_rejects == 1
+
+
+def test_wraparound_preserves_data():
+    s = make_stream()
+    s.push(b"a" * 400)
+    assert s.consume(400) == b"a" * 400
+    payload = bytes((i * 7) & 0xFF for i in range(300))  # wraps the 512B ring
+    s.push(payload)
+    assert s.consume(300) == payload
+
+
+def test_csr_views_are_modulo_capacity():
+    s = make_stream()
+    s.push(b"x" * 500)
+    s.consume(500)
+    s.push(b"y" * 100)
+    assert s.head_csr == 500 % 512
+    assert s.tail_csr == 600 % 512
+    assert s.head == 500 and s.tail == 600
+
+
+def test_underflow_returns_none_and_counts():
+    s = make_stream()
+    s.push(b"ab")
+    assert s.consume(3) is None
+    assert s.underflows == 1
+    assert s.consume(2) == b"ab"
+
+
+def test_exhausted_semantics():
+    s = make_stream()
+    s.push(b"abc")
+    assert not s.exhausted
+    s.finish_producing()
+    assert s.state is StreamState.DRAINING
+    assert not s.exhausted  # bytes remain drainable
+    s.consume(3)
+    assert s.exhausted
+
+
+def test_push_after_close_rejected():
+    s = make_stream()
+    s.close()
+    with pytest.raises(StreamError):
+        s.push(b"x")
+
+
+def test_refill_hook_supplies_data():
+    s = make_stream()
+    calls = []
+
+    def refill(stream, needed):
+        calls.append(needed)
+        stream.push(b"z" * 64)
+
+    s.refill_hook = refill
+    assert s.consume(10) == b"z" * 10
+    assert calls == [10]
+
+
+def test_drain_page_full_and_partial():
+    s = make_stream()
+    s.push(b"p" * 256 + b"q" * 100)
+    assert s.drain_page() == b"p" * 256
+    assert s.drain_page() is None  # partial not drainable while ACTIVE
+    s.finish_producing()
+    assert s.drain_page() == b"q" * 100
+
+
+def test_peek_does_not_consume():
+    s = make_stream()
+    s.push(b"hello world")
+    assert s.peek(5) == b"hello"
+    assert s.peek(5) == b"hello"
+    assert s.consume(5) == b"hello"
+
+
+def test_peek_validates_size():
+    s = make_stream()
+    with pytest.raises(StreamError):
+        s.peek(0)
+    with pytest.raises(StreamError):
+        s.peek(s.capacity + 1)
+
+
+def test_stream_set_indexing():
+    sbs = StreamBufferSet(CFG, "input")
+    assert len(sbs) == 8
+    assert sbs[0].stream_id == 0 and sbs[7].stream_id == 7
+    with pytest.raises(StreamError):
+        sbs[8]
+    with pytest.raises(StreamError):
+        StreamBufferSet(CFG, "sideways")
+
+
+def test_stream_set_total_available():
+    sbs = StreamBufferSet(CFG, "input")
+    sbs[0].push(b"x" * 10)
+    sbs[3].push(b"y" * 20)
+    assert sbs.total_available == 30
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["push", "consume"]), st.integers(min_value=1, max_value=300)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_pointer_invariants_under_random_ops(ops):
+    """head <= tail, available in [0, capacity], data is FIFO-correct."""
+    s = make_stream()
+    expected = bytearray()
+    written = 0
+    for op, size in ops:
+        if op == "push":
+            if s.can_push(size):
+                payload = bytes((written + i) & 0xFF for i in range(size))
+                s.push(payload)
+                expected.extend(payload)
+                written += size
+        else:
+            got = s.consume(size)
+            if got is not None:
+                assert got == bytes(expected[:size])
+                del expected[:size]
+        assert 0 <= s.available <= s.capacity
+        assert s.head <= s.tail
+        assert s.available == len(expected)

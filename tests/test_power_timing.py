@@ -1,0 +1,137 @@
+"""Tests for the SRAM model, clock-period model, and power/area composition."""
+
+import pytest
+
+from repro.config import (
+    all_configs,
+    assasin_sb_core,
+    assasin_sp_core,
+    baseline_core,
+    udp_core,
+)
+from repro.core.timing import BASE_PERIOD_NS, ClockModel, clock_period_ns
+from repro.errors import ConfigError
+from repro.power.cacti import (
+    SRAMSpec,
+    l1_cache_spec,
+    scratchpad_spec,
+    sram_access_time_ns,
+    sram_area_mm2,
+    sram_energy_per_access_pj,
+    sram_power_mw,
+    streambuffer_head_fifo_spec,
+)
+from repro.power.models import config_cost, efficiency_table, table5_components
+from repro.utils.units import KIB
+
+
+class TestCactiLite:
+    def test_access_time_grows_with_size(self):
+        small = sram_access_time_ns(scratchpad_spec(8 * KIB))
+        large = sram_access_time_ns(scratchpad_spec(64 * KIB))
+        assert large > small
+
+    def test_access_time_grows_with_width(self):
+        narrow = sram_access_time_ns(scratchpad_spec(64 * KIB, width=8))
+        wide = sram_access_time_ns(scratchpad_spec(64 * KIB, width=64))
+        assert wide > narrow
+
+    def test_paper_anchor_streambuffer_half_ns(self):
+        # Figure 20: the SB head FIFO reaches ~0.5 ns even at 64 B width.
+        t = sram_access_time_ns(streambuffer_head_fifo_spec(64))
+        assert 0.4 <= t <= 0.6
+
+    def test_paper_anchor_64k_scratchpad_needs_two_cycles(self):
+        # Figure 20: 64 KB @ 8 B takes 2 cycles in a 1 GHz core.
+        t = sram_access_time_ns(scratchpad_spec(64 * KIB, width=8))
+        assert 1.0 < t <= 2.0
+
+    def test_area_scales_roughly_linearly(self):
+        a32 = sram_area_mm2(scratchpad_spec(32 * KIB))
+        a64 = sram_area_mm2(scratchpad_spec(64 * KIB))
+        assert 1.8 < a64 / a32 < 2.1
+
+    def test_cache_ways_cost_area_and_energy(self):
+        direct = SRAMSpec(32 * KIB, 8, 1)
+        assoc = SRAMSpec(32 * KIB, 8, 8)
+        assert sram_area_mm2(assoc) > sram_area_mm2(direct)
+        assert sram_energy_per_access_pj(assoc) > sram_energy_per_access_pj(direct)
+
+    def test_power_has_leakage_floor(self):
+        idle = sram_power_mw(l1_cache_spec(), utilisation=0.0)
+        busy = sram_power_mw(l1_cache_spec(), utilisation=1.0)
+        assert 0 < idle < busy
+
+    def test_utilisation_validated(self):
+        with pytest.raises(ConfigError):
+            sram_power_mw(l1_cache_spec(), utilisation=1.5)
+
+    def test_spec_validated(self):
+        with pytest.raises(ConfigError):
+            SRAMSpec(size_bytes=0)
+
+
+class TestClockModel:
+    def test_baseline_runs_at_1ghz(self):
+        result = clock_period_ns(baseline_core())
+        assert result.period_ns == pytest.approx(BASE_PERIOD_NS)
+
+    def test_assasin_sb_cycle_shrinks_11_percent(self):
+        # Figure 20/21: replacing the dcache with the SB head FIFO moves the
+        # critical path to IF, cutting the period ~11%.
+        result = clock_period_ns(assasin_sb_core())
+        assert result.period_ns == pytest.approx(0.89, abs=0.02)
+        assert result.critical_stage == "IF"
+        reduction = 1 - result.period_ns / BASE_PERIOD_NS
+        assert 0.08 <= reduction <= 0.14
+
+    def test_assasin_sp_keeps_period_but_pays_two_cycle_scratchpad(self):
+        result = clock_period_ns(assasin_sp_core())
+        assert result.period_ns == pytest.approx(BASE_PERIOD_NS)
+        assert result.scratchpad_cycles == 2
+
+    def test_udp_lane_scratchpad_multicycle(self):
+        result = clock_period_ns(udp_core())
+        assert result.period_ns == pytest.approx(BASE_PERIOD_NS)
+        assert result.scratchpad_cycles >= 2  # 256 KB is slower still
+
+    def test_clock_model_memoises(self):
+        model = ClockModel()
+        a = model.result(assasin_sb_core())
+        b = model.result(assasin_sb_core())
+        assert a is b
+        assert model.frequency_ghz(assasin_sb_core()) == pytest.approx(1 / a.period_ns)
+
+
+class TestPowerModels:
+    def test_table5_covers_all_configs(self):
+        costs = table5_components(all_configs())
+        assert set(costs) == set(all_configs())
+        for cost in costs.values():
+            assert cost.total_area_mm2 > 0 and cost.total_power_mw > 0
+
+    def test_l1_same_order_as_core_logic(self):
+        # Table V observation: an L1-sized SRAM rivals a small core's logic.
+        from repro.power.models import CORE_LOGIC_AREA_MM2
+
+        l1_area = sram_area_mm2(l1_cache_spec())
+        assert 0.5 < l1_area / CORE_LOGIC_AREA_MM2 < 10
+
+    def test_assasin_cheaper_than_baseline(self):
+        configs = all_configs()
+        base = config_cost(configs["Baseline"])
+        sb = config_cost(configs["AssasinSb"])
+        assert sb.total_area_mm2 < base.total_area_mm2
+        assert sb.total_power_mw < base.total_power_mw
+
+    def test_figure22_efficiency(self):
+        # Paper: ~2.0x power efficiency, ~3.2x area efficiency for AssasinSb.
+        configs = all_configs()
+        speedups = {"Baseline": 1.0, "UDP": 1.3, "AssasinSb": 1.9}
+        rows = {r.name: r for r in efficiency_table(configs, speedups)}
+        sb = rows["AssasinSb"]
+        assert 1.6 <= sb.power_efficiency <= 2.6
+        assert 2.2 <= sb.area_efficiency <= 4.0
+        assert rows["Baseline"].power_efficiency == pytest.approx(1.0)
+        assert sb.power_efficiency > rows["UDP"].power_efficiency
+        assert sb.area_efficiency > rows["UDP"].area_efficiency

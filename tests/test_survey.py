@@ -1,0 +1,56 @@
+"""Tests for the workload-survey data (Tables I and II)."""
+
+from repro.kernels import KERNEL_NAMES
+from repro.survey.functions import (
+    FUNCTIONS,
+    STUDIES,
+    Domain,
+    domain_counts,
+    functions_by_domain,
+    streaming_fraction,
+)
+
+
+def test_table1_has_22_studies():
+    assert len(STUDIES) == 22
+    assert len({s.name for s in STUDIES}) == 22
+
+
+def test_every_study_has_a_domain():
+    for study in STUDIES:
+        assert study.domains, study.name
+        assert all(isinstance(d, Domain) for d in study.domains)
+
+
+def test_domain_counts_sum():
+    counts = domain_counts()
+    assert sum(counts.values()) == sum(len(s.domains) for s in STUDIES)
+    assert counts[Domain.DATABASE] >= 10  # DB offloads dominate the survey
+
+
+def test_table2_has_14_function_families():
+    assert len(FUNCTIONS) == 14
+
+
+def test_most_functions_are_streaming():
+    # The paper's core claim from Section IV.
+    assert streaming_fraction() >= 12 / 14
+
+
+def test_function_state_is_bounded():
+    # "random accesses to function states of limited size": everything fits
+    # the 64 KiB scratchpad of Table IV.
+    for fn in FUNCTIONS:
+        assert fn.state_bound_bytes <= 64 * 1024, fn.name
+
+
+def test_referenced_kernels_exist():
+    for fn in FUNCTIONS:
+        if fn.kernel is not None:
+            assert fn.kernel in KERNEL_NAMES, fn.name
+
+
+def test_functions_by_domain_partition():
+    groups = functions_by_domain()
+    names = [f.name for fns in groups.values() for f in fns]
+    assert sorted(names) == sorted(f.name for f in FUNCTIONS)

@@ -1,0 +1,62 @@
+"""Tests for 32-bit helpers, including hypothesis properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    bit_select,
+    popcount,
+    rotl32,
+    rotr32,
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+)
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def test_to_signed32_examples():
+    assert to_signed32(0xFFFFFFFF) == -1
+    assert to_signed32(0x80000000) == -(2**31)
+    assert to_signed32(0x7FFFFFFF) == 2**31 - 1
+    assert to_signed32(0) == 0
+
+
+def test_sign_extend_examples():
+    assert sign_extend(0xFF, 8) == -1
+    assert sign_extend(0x7F, 8) == 127
+    assert sign_extend(0x800, 12) == -2048
+
+
+def test_sign_extend_rejects_nonpositive_bits():
+    with pytest.raises(ValueError):
+        sign_extend(1, 0)
+
+
+@given(u32)
+def test_signed_unsigned_roundtrip(value):
+    assert to_unsigned32(to_signed32(value)) == value
+
+
+@given(u32, st.integers(min_value=0, max_value=100))
+def test_rotl_rotr_inverse(value, amount):
+    assert rotr32(rotl32(value, amount), amount) == value
+
+
+@given(u32)
+def test_rotl32_by_32_identity(value):
+    assert rotl32(value, 32) == value
+
+
+@given(u32)
+def test_popcount_matches_bin(value):
+    assert popcount(value) == bin(value).count("1")
+
+
+def test_bit_select():
+    assert bit_select(0b1011_0000, 7, 4) == 0b1011
+    assert bit_select(0xFFFFFFFF, 31, 31) == 1
+    with pytest.raises(ValueError):
+        bit_select(0, 3, 5)

@@ -1,0 +1,54 @@
+"""Tests for the ASCII chart renderers."""
+
+from repro.utils.charts import bar_chart, grouped_bar_chart, series_sparkline
+
+
+def test_bar_chart_scales_to_max():
+    out = bar_chart([("a", 4.0), ("b", 2.0)], width=10)
+    lines = out.splitlines()
+    assert lines[0].count("#") == 10  # the max fills the width
+    assert lines[1].count("#") == 5
+    assert "4.00" in lines[0] and "2.00" in lines[1]
+
+
+def test_bar_chart_labels_aligned():
+    out = bar_chart([("long-label", 1.0), ("x", 1.0)])
+    lines = out.splitlines()
+    assert lines[0].index("|") == lines[1].index("|")
+
+
+def test_bar_chart_explicit_max_and_title():
+    out = bar_chart([("a", 4.0)], width=10, max_value=8.0, title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].count("#") == 5  # 4/8 of the width
+
+
+def test_bar_chart_clamps_overflow():
+    out = bar_chart([("a", 20.0)], width=10, max_value=10.0)
+    assert out.count("#") == 10
+
+
+def test_bar_chart_empty():
+    assert bar_chart([], title="nothing") == "nothing"
+
+
+def test_grouped_chart_shares_scale():
+    out = grouped_bar_chart(
+        [("g1", [("a", 8.0)]), ("g2", [("b", 4.0)])], width=8
+    )
+    lines = out.splitlines()
+    bars = [l for l in lines if "|" in l]
+    assert bars[0].count("#") == 8
+    assert bars[1].count("#") == 4
+    assert "[g1]" in out and "[g2]" in out
+
+
+def test_sparkline_monotonic():
+    spark = series_sparkline([1, 2, 4, 8], width=4)
+    assert len(spark) == 4
+    assert spark == "".join(sorted(spark, key=spark.index))  # trivially itself
+
+
+def test_sparkline_empty():
+    assert series_sparkline([]) == ""

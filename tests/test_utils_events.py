@@ -1,0 +1,69 @@
+"""Tests for the discrete-event queue."""
+
+import pytest
+
+from repro.utils.events import EventQueue
+
+
+def test_events_run_in_time_order():
+    q = EventQueue()
+    fired = []
+    q.schedule(30, lambda: fired.append("c"))
+    q.schedule(10, lambda: fired.append("a"))
+    q.schedule(20, lambda: fired.append("b"))
+    q.run()
+    assert fired == ["a", "b", "c"]
+    assert q.now == 30
+
+
+def test_ties_break_by_insertion_order():
+    q = EventQueue()
+    fired = []
+    for name in "abc":
+        q.schedule(5, lambda n=name: fired.append(n))
+    q.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_events_can_schedule_more_events():
+    q = EventQueue()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            q.schedule(1, lambda: chain(n + 1))
+
+    q.schedule(0, lambda: chain(0))
+    q.run()
+    assert fired == [0, 1, 2, 3]
+    assert q.now == 3
+
+
+def test_run_until_stops_and_advances_clock():
+    q = EventQueue()
+    fired = []
+    q.schedule(10, lambda: fired.append(1))
+    q.schedule(100, lambda: fired.append(2))
+    q.run(until_ns=50)
+    assert fired == [1]
+    assert q.now == 50
+    q.run()
+    assert fired == [1, 2]
+
+
+def test_cannot_schedule_into_the_past():
+    q = EventQueue()
+    q.schedule(10, lambda: None)
+    q.run()
+    with pytest.raises(ValueError):
+        q.schedule(-1, lambda: None)
+    with pytest.raises(ValueError):
+        q.schedule_at(q.now - 5, lambda: None)
+
+
+def test_len_and_bool():
+    q = EventQueue()
+    assert not q
+    q.schedule(1, lambda: None)
+    assert q and len(q) == 1

@@ -1,0 +1,54 @@
+"""Tests for statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import Accumulator, geomean, weighted_mean
+
+
+def test_geomean_examples():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean([1.5, 1.8]) == pytest.approx(math.sqrt(1.5 * 1.8))
+
+
+def test_geomean_rejects_empty_and_nonpositive():
+    with pytest.raises(ValueError):
+        geomean([])
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20))
+def test_geomean_bounded_by_min_max(values):
+    g = geomean(values)
+    assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+def test_weighted_mean():
+    assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == pytest.approx(2.0)
+    assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+    with pytest.raises(ValueError):
+        weighted_mean([1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        weighted_mean([1.0], [0.0])
+
+
+def test_accumulator_against_reference():
+    samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+    acc = Accumulator()
+    acc.extend(samples)
+    assert acc.count == len(samples)
+    assert acc.mean == pytest.approx(sum(samples) / len(samples))
+    mean = sum(samples) / len(samples)
+    var = sum((x - mean) ** 2 for x in samples) / len(samples)
+    assert acc.variance == pytest.approx(var)
+    assert acc.minimum == 1.0
+    assert acc.maximum == 9.0
+    assert acc.total == pytest.approx(sum(samples))
+
+
+def test_accumulator_empty_variance_zero():
+    assert Accumulator().variance == 0.0

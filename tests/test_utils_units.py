@@ -1,0 +1,46 @@
+"""Tests for unit constants and formatting helpers."""
+
+import pytest
+
+from repro.utils.units import (
+    GIB,
+    KIB,
+    MIB,
+    bytes_per_cycle_to_gbps,
+    fmt_bytes,
+    fmt_rate,
+    fmt_time_ns,
+)
+
+
+def test_binary_units_scale():
+    assert KIB == 1024
+    assert MIB == 1024 * KIB
+    assert GIB == 1024 * MIB
+
+
+def test_one_byte_per_cycle_at_1ghz_is_1gbps():
+    # The identity the paper uses for the 1 GB/s-per-core scan bound.
+    assert bytes_per_cycle_to_gbps(1.0, clock_ghz=1.0) == pytest.approx(1.0)
+
+
+def test_bytes_per_cycle_scales_with_clock():
+    assert bytes_per_cycle_to_gbps(1.0, clock_ghz=2.0) == pytest.approx(2.0)
+    assert bytes_per_cycle_to_gbps(0.5, clock_ghz=1.124) == pytest.approx(0.562)
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(64 * KIB) == "64.0 KiB"
+    assert fmt_bytes(2 * GIB) == "2.0 GiB"
+
+
+def test_fmt_rate():
+    assert fmt_rate(1.6e9) == "1.60 GB/s"
+    assert fmt_rate(500) == "500.00 B/s"
+
+
+def test_fmt_time_ns():
+    assert fmt_time_ns(12.5) == "12.50 ns"
+    assert fmt_time_ns(2_500) == "2.50 us"
+    assert fmt_time_ns(3_000_000) == "3.00 ms"

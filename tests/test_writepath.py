@@ -1,0 +1,61 @@
+"""Tests for write-path scomp offloads (Section V-D)."""
+
+import pytest
+
+from repro.config import assasin_sb_config, baseline_config
+from repro.errors import DeviceError
+from repro.kernels import get_kernel
+from repro.ssd.device import ComputationalSSD
+
+DATA = 8 << 20
+
+
+def test_raid6_ingest_writes_data_plus_parity():
+    device = ComputationalSSD(assasin_sb_config())
+    result = device.offload_write_path(get_kernel("raid6"), DATA)
+    # RAID6 k=4 stores the data (1.0) plus P and Q parity (0.5) to flash.
+    assert result.bytes_out == pytest.approx(1.5 * result.bytes_in, rel=0.02)
+    assert device.array.writes_served > 0
+    assert device.array.reads_served == 0  # pure ingest: nothing read
+
+
+def test_aes_ingest_writes_only_ciphertext():
+    device = ComputationalSSD(assasin_sb_config())
+    result = device.offload_write_path(get_kernel("aes"), DATA)
+    assert result.bytes_out == pytest.approx(result.bytes_in, rel=0.02)
+
+
+def test_assasin_beats_baseline_on_raid_ingest():
+    base = ComputationalSSD(baseline_config()).offload_write_path(get_kernel("raid6"), DATA)
+    sb = ComputationalSSD(assasin_sb_config()).offload_write_path(get_kernel("raid6"), DATA)
+    assert sb.throughput_gbps > 1.4 * base.throughput_gbps
+
+
+def test_write_path_bounded_by_host_link():
+    # Even a free kernel cannot ingest faster than PCIe delivers.
+    device = ComputationalSSD(assasin_sb_config())
+    result = device.offload_write_path(get_kernel("scan"), DATA)
+    assert result.throughput_gbps <= device.config.host.bandwidth_bytes_per_ns + 0.01
+
+
+def test_write_path_records_host_traffic():
+    device = ComputationalSSD(assasin_sb_config())
+    result = device.offload_write_path(get_kernel("aes"), DATA)
+    assert device.host.bytes_from_host == result.bytes_in
+    assert device.host.submissions[0].write_path
+
+
+def test_write_path_rejects_empty():
+    device = ComputationalSSD(assasin_sb_config())
+    with pytest.raises(DeviceError):
+        device.offload_write_path(get_kernel("aes"), 0)
+
+
+def test_baseline_write_path_pays_dram_both_ways():
+    device = ComputationalSSD(baseline_config())
+    result = device.offload_write_path(get_kernel("raid4"), DATA)
+    traffic = result.dram_traffic
+    # Host staging in + compute read-back + results/data staged out.
+    assert traffic.staging_in >= 1.0
+    assert traffic.staging_out >= 1.0
+    assert traffic.total >= 3.0
