@@ -4,6 +4,7 @@ Commands:
 
 * ``list``                      — kernels and configurations available
 * ``offload``                   — simulate one kernel offload on one config
+* ``serve``                     — multi-tenant QoS serving simulation
 * ``figure {5,13,14,15,16,19,20,21,22}`` — regenerate a paper figure
 * ``table {1,2,4,5}``           — regenerate a paper table
 * ``tpch``                      — run TPC-H queries on the mini engine
@@ -41,6 +42,50 @@ def _cmd_offload(args) -> int:
     print(f"limited by    : {result.limiter}")
     print(f"utilisation   : {result.mean_utilisation:.1%}")
     print(f"DRAM traffic  : {result.dram_traffic.total:.2f} B per input byte")
+    return 0
+
+
+def _parse_tenants(text: str):
+    """Parse ``name:weight:kind[:kernel[:pages[:interarrival_us]]],...``."""
+    from repro.serve import TenantSpec
+
+    specs = []
+    for chunk in text.split(","):
+        parts = chunk.strip().split(":")
+        if len(parts) < 3:
+            raise SystemExit(
+                f"bad tenant spec {chunk!r}; want name:weight:kind[:kernel[:pages[:us]]]"
+            )
+        kwargs = dict(name=parts[0], weight=float(parts[1]), kind=parts[2])
+        if len(parts) > 3 and parts[3] not in ("", "-"):
+            kwargs["kernel"] = parts[3]
+        if len(parts) > 4:
+            kwargs["pages_per_command"] = int(parts[4])
+        if len(parts) > 5:
+            kwargs["interarrival_ns"] = float(parts[5]) * 1e3
+        specs.append(TenantSpec(**kwargs))
+    return specs
+
+
+def _cmd_serve(args) -> int:
+    from repro.config import ServeConfig, named_config
+    from repro.serve import default_tenants, simulate_serve
+
+    tenants = _parse_tenants(args.tenants) if args.tenants else default_tenants()
+    serve_config = ServeConfig(
+        queue_depth=args.queue_depth,
+        arbitration=args.policy,
+        max_inflight=args.max_inflight,
+        quantum_pages=args.quantum_pages,
+    )
+    report = simulate_serve(
+        named_config(args.config),
+        tenants,
+        serve_config,
+        duration_ns=args.duration_us * 1e3,
+        seed=args.seed,
+    )
+    print(report.render())
     return 0
 
 
@@ -123,6 +168,22 @@ def build_parser() -> argparse.ArgumentParser:
     offload.add_argument("--data-mib", type=int, default=32)
     offload.add_argument("--skew", type=float, default=0.0)
     offload.set_defaults(fn=_cmd_offload)
+
+    serve = sub.add_parser("serve", help="multi-tenant QoS serving simulation")
+    serve.add_argument("--config", default="AssasinSb")
+    serve.add_argument("--policy", default="wrr", choices=["rr", "wrr", "drr"])
+    serve.add_argument(
+        "--tenants",
+        default="",
+        help="comma-separated name:weight:kind[:kernel[:pages[:interarrival_us]]] "
+        "(default: 3-tenant mixed scomp+read mix)",
+    )
+    serve.add_argument("--duration-us", type=float, default=2_000.0)
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--queue-depth", type=int, default=64)
+    serve.add_argument("--max-inflight", type=int, default=8)
+    serve.add_argument("--quantum-pages", type=int, default=8)
+    serve.set_defaults(fn=_cmd_serve)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", choices=sorted(_FIGURES))

@@ -245,6 +245,52 @@ class HostInterfaceConfig:
             raise ConfigError("host interface bandwidth must be positive")
 
 
+#: Arbitration policies understood by the serving layer (``repro.serve``).
+ARBITRATION_POLICIES: Tuple[str, ...] = ("rr", "wrr", "drr")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Multi-tenant serving-layer parameters (``repro.serve``).
+
+    Each tenant owns an NVMe submission/completion queue pair of
+    ``queue_depth`` entries. The device-side scheduler keeps at most
+    ``max_inflight`` commands dispatched onto the engines/channels at once,
+    picking the next queue with the ``arbitration`` policy:
+
+    * ``"rr"``  — plain round-robin over non-empty queues,
+    * ``"wrr"`` — smooth weighted round-robin (dispatch *count* proportional
+      to tenant weight),
+    * ``"drr"`` — deficit round-robin with a per-visit quantum of
+      ``quantum_pages * weight`` pages (dispatch *pages* proportional to
+      weight, fair under unequal command sizes).
+
+    ``weights`` optionally overrides the per-tenant weights positionally; an
+    empty tuple keeps each :class:`~repro.serve.workload.TenantSpec` weight.
+    """
+
+    queue_depth: int = 64
+    arbitration: str = "wrr"
+    max_inflight: int = 8
+    quantum_pages: int = 8
+    weights: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.queue_depth <= 0:
+            raise ConfigError("serve queue depth must be positive")
+        if self.max_inflight <= 0:
+            raise ConfigError("serve max_inflight must be positive")
+        if self.quantum_pages <= 0:
+            raise ConfigError("serve quantum_pages must be positive")
+        if self.arbitration not in ARBITRATION_POLICIES:
+            raise ConfigError(
+                f"unknown arbitration policy {self.arbitration!r}; "
+                f"known: {ARBITRATION_POLICIES}"
+            )
+        if any(w <= 0 for w in self.weights):
+            raise ConfigError("serve weights must be positive")
+
+
 @dataclass(frozen=True)
 class SSDConfig:
     """A complete computational SSD (Table IV row + shared substrate)."""

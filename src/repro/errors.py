@@ -44,6 +44,10 @@ class DeviceError(ReproError):
     """SSD device-level protocol error (bad scomp request, ...)."""
 
 
+class ServeError(ReproError):
+    """Multi-tenant serving layer misuse (bad tenant spec, queue protocol)."""
+
+
 class KernelError(ReproError):
     """An offloaded kernel was invoked with invalid parameters or data."""
 

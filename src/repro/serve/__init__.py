@@ -1,0 +1,75 @@
+"""Multi-tenant NVMe serving layer: queue pairs → arbiter → scheduler → cores.
+
+Where :func:`repro.ssd.simulate_offload` times *one* scomp end to end, this
+package serves *mixed traffic from many tenants* against one computational
+SSD: per-tenant NVMe submission/completion queue pairs, pluggable QoS
+arbitration (round-robin, weighted round-robin, deficit round-robin),
+bounded device-side dispatch onto the stream cores and flash channels, and
+per-tenant SLO metrics (p50/p95/p99 latency, throughput, queue depth,
+core/channel utilisation). :func:`simulate_serve` is the one-call entry
+point; :meth:`repro.ssd.device.ComputationalSSD.serve` runs the same layer
+on an existing device.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.config import ServeConfig, SSDConfig
+from repro.serve.arbiter import (
+    Arbiter,
+    DeficitRoundRobinArbiter,
+    RoundRobinArbiter,
+    WeightedRoundRobinArbiter,
+    make_arbiter,
+)
+from repro.serve.metrics import ServeReport, TenantMetrics
+from repro.serve.queues import CompletionQueue, QueuePair, ServeCommand, SubmissionQueue
+from repro.serve.scheduler import ServingLayer
+from repro.serve.workload import TenantSpec, WorkloadGenerator, default_tenants
+
+__all__ = [
+    "Arbiter",
+    "RoundRobinArbiter",
+    "WeightedRoundRobinArbiter",
+    "DeficitRoundRobinArbiter",
+    "make_arbiter",
+    "ServeCommand",
+    "SubmissionQueue",
+    "CompletionQueue",
+    "QueuePair",
+    "TenantSpec",
+    "WorkloadGenerator",
+    "default_tenants",
+    "TenantMetrics",
+    "ServeReport",
+    "ServingLayer",
+    "simulate_serve",
+]
+
+
+def simulate_serve(
+    config: SSDConfig,
+    tenants: Sequence[TenantSpec],
+    serve_config: Optional[ServeConfig] = None,
+    duration_ns: float = 2_000_000.0,
+    seed: int = 0,
+    layout_skew: float = 0.0,
+    samples: Optional[Dict[str, object]] = None,
+) -> ServeReport:
+    """Serve a multi-tenant workload on a fresh device (one-call entry point).
+
+    ``samples`` optionally supplies precomputed core-phase
+    :class:`~repro.core.core.CoreRunResult` objects keyed by kernel name, so
+    policy comparisons can reuse one sampling pass.
+    """
+    from repro.ssd.device import ComputationalSSD
+
+    device = ComputationalSSD(config, layout_skew=layout_skew)
+    return device.serve(
+        tenants,
+        serve_config=serve_config,
+        duration_ns=duration_ns,
+        seed=seed,
+        samples=samples,
+    )

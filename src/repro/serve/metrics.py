@@ -1,0 +1,171 @@
+"""Per-tenant SLO metrics and the device-level serve report.
+
+Latency percentiles use the shared nearest-rank :func:`repro.utils.stats.percentile`
+helper (the same convention as the firmware's background-IO p99), so a
+"p99 of X ns" always names a latency some real command actually saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.utils.stats import percentile
+
+
+@dataclass
+class TenantMetrics:
+    """Everything the serving layer observed about one tenant."""
+
+    tenant: str
+    weight: float
+    kind: str
+    latencies_ns: List[float] = field(default_factory=list)
+    wait_ns: List[float] = field(default_factory=list)
+    queue_depth_samples: List[int] = field(default_factory=list)
+    submitted: int = 0
+    completed: int = 0
+    dropped: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def record_completion(
+        self, latency_ns: float, wait_ns: float, bytes_in: int, bytes_out: int
+    ) -> None:
+        self.completed += 1
+        self.latencies_ns.append(latency_ns)
+        self.wait_ns.append(wait_ns)
+        self.bytes_in += bytes_in
+        self.bytes_out += bytes_out
+
+    # -- latency -------------------------------------------------------------
+
+    def _pct(self, pct: float) -> float:
+        return percentile(self.latencies_ns, pct) if self.latencies_ns else 0.0
+
+    @property
+    def p50_latency_ns(self) -> float:
+        return self._pct(50.0)
+
+    @property
+    def p95_latency_ns(self) -> float:
+        return self._pct(95.0)
+
+    @property
+    def p99_latency_ns(self) -> float:
+        return self._pct(99.0)
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return sum(self.latencies_ns) / len(self.latencies_ns) if self.latencies_ns else 0.0
+
+    @property
+    def mean_wait_ns(self) -> float:
+        return sum(self.wait_ns) / len(self.wait_ns) if self.wait_ns else 0.0
+
+    # -- queue/throughput ----------------------------------------------------
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max(self.queue_depth_samples) if self.queue_depth_samples else 0
+
+    @property
+    def mean_queue_depth(self) -> float:
+        samples = self.queue_depth_samples
+        return sum(samples) / len(samples) if samples else 0.0
+
+    def throughput_bytes_per_ns(self, horizon_ns: float) -> float:
+        return self.bytes_in / horizon_ns if horizon_ns > 0 else 0.0
+
+    def meets_slo(self, p99_slo_ns: float) -> bool:
+        """Did this tenant's observed p99 stay within its latency SLO?"""
+        return self.completed > 0 and self.p99_latency_ns <= p99_slo_ns
+
+
+@dataclass
+class ServeReport:
+    """Outcome of one multi-tenant serve run."""
+
+    config_name: str
+    policy: str
+    seed: int
+    duration_ns: float
+    horizon_ns: float
+    tenants: Dict[str, TenantMetrics]
+    core_utilisation: List[float]
+    channel_utilisation: List[float]
+
+    @property
+    def total_completed(self) -> int:
+        return sum(t.completed for t in self.tenants.values())
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(t.dropped for t in self.tenants.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.bytes_in for t in self.tenants.values())
+
+    @property
+    def throughput_gbps(self) -> float:
+        return self.total_bytes / self.horizon_ns if self.horizon_ns > 0 else 0.0
+
+    def slo_violations(self, p99_slo_ns: Dict[str, float]) -> Dict[str, bool]:
+        """Map tenant -> True where the tenant's p99 SLO was violated."""
+        return {
+            name: not self.tenants[name].meets_slo(slo)
+            for name, slo in p99_slo_ns.items()
+            if name in self.tenants
+        }
+
+    def fingerprint(self) -> Tuple:
+        """A deterministic digest of the run, for same-seed-same-result tests."""
+        return tuple(
+            (
+                name,
+                t.submitted,
+                t.completed,
+                t.dropped,
+                t.bytes_in,
+                t.bytes_out,
+                round(t.mean_latency_ns, 6),
+                round(t.p99_latency_ns, 6),
+            )
+            for name, t in self.tenants.items()
+        ) + (round(self.horizon_ns, 6),)
+
+    def render(self) -> str:
+        """Human-readable per-tenant table plus device utilisation."""
+        lines = [
+            f"serve: config={self.config_name} policy={self.policy} seed={self.seed}",
+            f"duration {self.duration_ns / 1e3:.0f} us, horizon {self.horizon_ns / 1e3:.0f} us, "
+            f"aggregate {self.throughput_gbps:.2f} GB/s, "
+            f"{self.total_completed} completed / {self.total_dropped} dropped",
+            "",
+            f"{'tenant':<10} {'wt':>4} {'kind':<6} {'done':>6} {'drop':>5} "
+            f"{'p50 us':>8} {'p95 us':>8} {'p99 us':>8} {'mean us':>8} {'GB/s':>6} {'maxQD':>5}",
+        ]
+        for name, t in self.tenants.items():
+            lines.append(
+                f"{name:<10} {t.weight:>4.1f} {t.kind:<6} {t.completed:>6d} {t.dropped:>5d} "
+                f"{t.p50_latency_ns / 1e3:>8.1f} {t.p95_latency_ns / 1e3:>8.1f} "
+                f"{t.p99_latency_ns / 1e3:>8.1f} {t.mean_latency_ns / 1e3:>8.1f} "
+                f"{t.throughput_bytes_per_ns(self.horizon_ns):>6.2f} {t.max_queue_depth:>5d}"
+            )
+        cores = " ".join(f"{u:.0%}" for u in self.core_utilisation)
+        channels = " ".join(f"{u:.0%}" for u in self.channel_utilisation)
+        lines += ["", f"core util    : {cores}", f"channel util : {channels}"]
+        return "\n".join(lines)
+
+
+def build_tenant_metrics(specs, weights: Optional[List[float]] = None) -> Dict[str, TenantMetrics]:
+    """One metrics bucket per tenant spec, in declaration order."""
+    if weights is None:
+        weights = [s.weight for s in specs]
+    return {
+        s.name: TenantMetrics(tenant=s.name, weight=w, kind=s.kind)
+        for s, w in zip(specs, weights)
+    }

@@ -1,0 +1,278 @@
+"""Device-side serving scheduler: queue pairs → arbiter → engines/channels.
+
+The :class:`ServingLayer` is the firmware's admission-and-dispatch loop for
+multi-tenant traffic. It runs on the shared :class:`~repro.utils.events.EventQueue`
+and keeps at most ``ServeConfig.max_inflight`` commands on the device at
+once; whenever a slot frees, the arbiter picks the next tenant queue.
+
+Service timing reuses the device's existing greedy timelines — the flash
+array (per-plane/per-bus FIFOs), the crossbar hop, the host link — so the
+serving layer sees exactly the contention the offload path models, and
+issue order is always nondecreasing in time because all issues happen at
+event-dispatch instants:
+
+* **read**: every page is fetched through the FTL + flash array, then the
+  data crosses the host link.
+* **write**: data crosses the link from the host, then each page takes a
+  channel-bus slot (program latency hides behind plane parallelism and the
+  write cache, as in the firmware write path).
+* **scomp**: pages are fetched through the FTL + array + crossbar to the
+  least-loaded stream core, which consumes them in order at the kernel's
+  sampled cycles/byte; only the (usually small) result crosses the link.
+
+Closed-loop tenants resubmit on completion; open-loop tenants arrive on
+their seeded process until ``duration_ns`` and the device then drains.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import ServeConfig
+from repro.errors import ServeError
+from repro.kernels import get_kernel
+from repro.serve.arbiter import make_arbiter
+from repro.serve.metrics import ServeReport, TenantMetrics, build_tenant_metrics
+from repro.serve.queues import QueuePair, ServeCommand, make_queue_pairs
+from repro.serve.workload import TenantSpec, WorkloadGenerator
+from repro.ssd.host_interface import ReadCommand, ScompCommand, WriteCommand
+from repro.utils.events import EventQueue
+
+#: LPA namespace for serve-path result/write pages; disjoint from tenant
+#: regions and from the firmware's offload-result namespace (1 << 40).
+_SERVE_OUT_LPA_BASE = 1 << 41
+
+
+class ServingLayer:
+    """Multi-tenant NVMe serving on top of one :class:`ComputationalSSD`."""
+
+    def __init__(
+        self,
+        device,
+        tenants: Sequence[TenantSpec],
+        config: Optional[ServeConfig] = None,
+        seed: int = 0,
+        samples: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if not tenants:
+            raise ServeError("serving layer needs at least one tenant")
+        self.device = device
+        self.specs = list(tenants)
+        self.config = config or ServeConfig()
+        self.seed = seed
+        self.events = EventQueue()
+        self.pairs: List[QueuePair] = make_queue_pairs(
+            self.specs, self.config.queue_depth, self.config.weights or None
+        )
+        self._pair_by_name = {p.tenant: p for p in self.pairs}
+        self._gen_by_name: Dict[str, WorkloadGenerator] = {}
+        self.arbiter = make_arbiter(self.config.arbitration, self.config.quantum_pages)
+        self.metrics: Dict[str, TenantMetrics] = build_tenant_metrics(
+            self.specs, [p.weight for p in self.pairs]
+        )
+
+        # Carve a private, pre-populated LPA region per tenant.
+        self.generators: List[WorkloadGenerator] = []
+        base = 0
+        for index, spec in enumerate(self.specs):
+            gen = WorkloadGenerator(spec, index, seed, base)
+            self.generators.append(gen)
+            self._gen_by_name[spec.name] = gen
+            self.device.ftl.populate(range(base, base + spec.region_pages))
+            base += spec.region_pages
+
+        # Core-phase samples per scomp kernel (cycles/byte, output ratio).
+        self._samples: Dict[str, object] = dict(samples or {})
+        for spec in self.specs:
+            if spec.kind == "scomp" and spec.kernel not in self._samples:
+                self._samples[spec.kernel] = self.device.sample_kernel(
+                    get_kernel(spec.kernel)
+                )
+
+        page = self.device.config.flash.page_bytes
+        period_ns = self.device.config.core.clock_period_ns
+        self._page_bytes = page
+        self._cpp_page_ns = {
+            name: s.cycles_per_byte * page * period_ns for name, s in self._samples.items()
+        }
+        self._out_ratio = {
+            name: (s.bytes_out / s.bytes_in if s.bytes_in else 0.0)
+            for name, s in self._samples.items()
+        }
+
+        n_cores = self.device.config.num_cores
+        self._core_free_ns = [0.0] * n_cores
+        self._core_busy_ns = [0.0] * n_cores
+        self._out_lpa = itertools.count(_SERVE_OUT_LPA_BASE)
+        self._inflight = 0
+        self._duration_ns = 0.0
+        self._horizon_ns = 0.0
+
+    # -- run loop --------------------------------------------------------------
+
+    def run(self, duration_ns: float = 2_000_000.0) -> ServeReport:
+        """Admit traffic for ``duration_ns``, drain, and report."""
+        if duration_ns <= 0:
+            raise ServeError("serve duration must be positive")
+        self._duration_ns = duration_ns
+        for gen in self.generators:
+            if gen.spec.closed_loop:
+                for _ in range(gen.spec.outstanding):
+                    self.events.schedule_at(0.0, lambda g=gen: self._submit(g))
+            else:
+                first = gen.next_interarrival_ns()
+                if first < duration_ns:
+                    self.events.schedule_at(first, lambda g=gen: self._arrive(g))
+        self.events.run()
+        return self._report()
+
+    # -- traffic ---------------------------------------------------------------
+
+    def _arrive(self, gen: WorkloadGenerator) -> None:
+        now = self.events.now
+        self._submit(gen)
+        next_ns = now + gen.next_interarrival_ns()
+        if next_ns < self._duration_ns:
+            self.events.schedule_at(next_ns, lambda: self._arrive(gen))
+
+    def _submit(self, gen: WorkloadGenerator) -> None:
+        now = self.events.now
+        if gen.spec.closed_loop and now >= self._duration_ns:
+            return  # closed loops stop resubmitting past the horizon
+        pair = self._pair_by_name[gen.spec.name]
+        metrics = self.metrics[gen.spec.name]
+        metrics.submitted += 1
+        cmd = gen.make_command(self.device.host, now)
+        if not pair.sq.push(cmd):
+            metrics.dropped += 1
+        else:
+            self.device.host.submit(cmd.command)
+        metrics.queue_depth_samples.append(len(pair.sq))
+        self._pump()
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _pump(self) -> None:
+        while self._inflight < self.config.max_inflight:
+            pair = self.arbiter.select(self.pairs)
+            if pair is None:
+                return
+            cmd = pair.sq.pop()
+            self._dispatch(cmd)
+
+    def _dispatch(self, cmd: ServeCommand) -> None:
+        now = self.events.now
+        cmd.dispatched_ns = now
+        done_ns = self._service(cmd, now)
+        cmd.completed_ns = done_ns
+        self._inflight += 1
+        self.events.schedule_at(done_ns, lambda: self._complete(cmd))
+
+    def _complete(self, cmd: ServeCommand) -> None:
+        self._inflight -= 1
+        self._horizon_ns = max(self._horizon_ns, cmd.completed_ns)
+        metrics = self.metrics[cmd.tenant]
+        metrics.record_completion(
+            cmd.latency_ns, cmd.wait_ns, cmd.bytes_in, cmd.bytes_out
+        )
+        pair = self._pair_by_name[cmd.tenant]
+        pair.cq.post(
+            self.device.host.complete(
+                cmd.command, cmd.submitted_ns, cmd.completed_ns, cmd.bytes_out or cmd.bytes_in
+            )
+        )
+        gen = self._gen_by_name[cmd.tenant]
+        if gen.spec.closed_loop:
+            self.events.schedule(gen.spec.think_ns, lambda: self._submit(gen))
+        self._pump()
+
+    # -- service models --------------------------------------------------------
+
+    def _service(self, cmd: ServeCommand, now: float) -> float:
+        if isinstance(cmd.command, ScompCommand):
+            return self._service_scomp(cmd, now)
+        if isinstance(cmd.command, ReadCommand):
+            return self._service_read(cmd, now)
+        if isinstance(cmd.command, WriteCommand):
+            return self._service_write(cmd, now)
+        raise ServeError(f"cannot service command {cmd.command!r}")
+
+    def _service_read(self, cmd: ServeCommand, now: float) -> float:
+        device = self.device
+        flash_done = now
+        for lpa in cmd.command.lpas:
+            record = device.array.service_read(device.ftl.lookup(lpa), now)
+            flash_done = max(flash_done, record.done_ns)
+        nbytes = cmd.pages * self._page_bytes
+        cmd.bytes_in = nbytes
+        cmd.bytes_out = nbytes
+        return device.host.transfer(nbytes, flash_done, to_host=True)
+
+    def _service_write(self, cmd: ServeCommand, now: float) -> float:
+        device = self.device
+        nbytes = cmd.pages * self._page_bytes
+        cmd.bytes_in = nbytes
+        landed = device.host.transfer(nbytes, now, to_host=False)
+        done = landed
+        for _ in range(cmd.pages):
+            ppa = device.ftl.write(next(self._out_lpa))
+            record = device.array.service_write(ppa, landed)
+            # As in the firmware write path: the command acks once the data
+            # is across the channel bus; tPROG hides behind plane
+            # parallelism and the controller write cache.
+            done = max(done, record.array_done_ns)
+        return done
+
+    def _service_scomp(self, cmd: ServeCommand, now: float) -> float:
+        device = self.device
+        kernel_name = cmd.command.kernel
+        try:
+            cpp_page_ns = self._cpp_page_ns[kernel_name]
+        except KeyError:
+            raise ServeError(f"no core-phase sample for kernel {kernel_name!r}") from None
+        core = min(range(len(self._core_free_ns)), key=self._core_free_ns.__getitem__)
+        first_page_ns = None
+        flash_done = now
+        for lpas in cmd.command.lpa_lists:
+            for lpa in lpas:
+                ppa = device.ftl.lookup(lpa)
+                record = device.array.service_read(ppa, now)
+                hop = (
+                    device.crossbar.route(core, ppa.channel, self._page_bytes)
+                    if device.crossbar.enabled
+                    else 0.0
+                )
+                arrival = record.done_ns + hop
+                flash_done = max(flash_done, arrival)
+                if first_page_ns is None or arrival < first_page_ns:
+                    first_page_ns = arrival
+        compute_ns = cmd.pages * cpp_page_ns
+        start = max(now, self._core_free_ns[core], first_page_ns or now)
+        # The core consumes pages in order, so it can neither start before
+        # the first page lands nor finish before the last one does.
+        done = max(start + compute_ns, flash_done)
+        self._core_free_ns[core] = done
+        self._core_busy_ns[core] += compute_ns
+        cmd.bytes_in = cmd.pages * self._page_bytes
+        cmd.bytes_out = int(cmd.bytes_in * self._out_ratio.get(kernel_name, 0.0))
+        return device.host.transfer(max(cmd.bytes_out, 1), done, to_host=True)
+
+    # -- reporting -------------------------------------------------------------
+
+    def _report(self) -> ServeReport:
+        horizon = max(self._horizon_ns, self.events.now)
+        return ServeReport(
+            config_name=self.device.config.name,
+            policy=self.config.arbitration,
+            seed=self.seed,
+            duration_ns=self._duration_ns,
+            horizon_ns=horizon,
+            tenants=self.metrics,
+            core_utilisation=[
+                busy / horizon if horizon > 0 else 0.0 for busy in self._core_busy_ns
+            ],
+            channel_utilisation=self.device.array.channel_utilisations(horizon)
+            if horizon > 0
+            else [0.0] * self.device.config.flash.channels,
+        )

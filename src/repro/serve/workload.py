@@ -1,0 +1,136 @@
+"""Tenant workload specifications and deterministic traffic generators.
+
+Two classic load models from queueing-system evaluation:
+
+* **open loop** — commands arrive on a seeded stochastic process (Poisson
+  or fixed-period) regardless of how the device keeps up; overload shows
+  up as queue growth and drops. This is the model for "heavy traffic from
+  many users".
+* **closed loop** — each tenant keeps a fixed number of commands
+  outstanding and submits the next one ``think_ns`` after a completion;
+  load self-regulates, which is the model for batch/analytics clients.
+
+Every random draw comes from one ``random.Random`` seeded from
+``(global seed, tenant index)``, so a serve run is a pure function of its
+inputs: same seed → identical arrival times, offsets, and metrics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ServeError
+from repro.serve.queues import ServeCommand
+from repro.ssd.host_interface import HostInterface, NVMeCommand, ReadCommand, ScompCommand, WriteCommand
+
+COMMAND_KINDS = ("scomp", "read", "write")
+ARRIVAL_PROCESSES = ("poisson", "fixed")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's identity, QoS weight, and traffic shape."""
+
+    name: str
+    weight: float = 1.0
+    kind: str = "scomp"  # 'scomp' | 'read' | 'write'
+    kernel: str = "stat"  # scomp only: registry name of the offloaded kernel
+    pages_per_command: int = 8
+    interarrival_ns: float = 20_000.0  # open loop: mean gap between arrivals
+    arrival: str = "poisson"  # 'poisson' | 'fixed'
+    closed_loop: bool = False
+    outstanding: int = 4  # closed loop: commands kept in flight
+    think_ns: float = 0.0  # closed loop: completion-to-resubmit gap
+    region_pages: int = 4096  # size of the tenant's private LPA region
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServeError("tenant needs a name")
+        if self.weight <= 0:
+            raise ServeError(f"tenant {self.name!r}: weight must be positive")
+        if self.kind not in COMMAND_KINDS:
+            raise ServeError(
+                f"tenant {self.name!r}: unknown kind {self.kind!r}; known: {COMMAND_KINDS}"
+            )
+        if self.arrival not in ARRIVAL_PROCESSES:
+            raise ServeError(
+                f"tenant {self.name!r}: unknown arrival process {self.arrival!r}; "
+                f"known: {ARRIVAL_PROCESSES}"
+            )
+        if self.pages_per_command <= 0:
+            raise ServeError(f"tenant {self.name!r}: pages_per_command must be positive")
+        if self.interarrival_ns <= 0:
+            raise ServeError(f"tenant {self.name!r}: interarrival_ns must be positive")
+        if self.closed_loop and self.outstanding <= 0:
+            raise ServeError(f"tenant {self.name!r}: outstanding must be positive")
+        if self.think_ns < 0:
+            raise ServeError(f"tenant {self.name!r}: think_ns cannot be negative")
+        if self.region_pages < self.pages_per_command:
+            raise ServeError(
+                f"tenant {self.name!r}: region_pages must cover at least one command"
+            )
+
+
+class WorkloadGenerator:
+    """Deterministic per-tenant command source over a private LPA region."""
+
+    def __init__(self, spec: TenantSpec, index: int, seed: int, lpa_base: int) -> None:
+        self.spec = spec
+        self.index = index
+        self.lpa_base = lpa_base
+        # One independent stream per (seed, tenant index); the constants
+        # just decorrelate nearby seeds, any fixed primes would do.
+        self.rng = random.Random((seed + 1) * 1_000_003 + index * 7_919)
+        self.generated = 0
+
+    def next_interarrival_ns(self) -> float:
+        """Gap to the next open-loop arrival (exponential or fixed)."""
+        if self.spec.arrival == "poisson":
+            return self.rng.expovariate(1.0 / self.spec.interarrival_ns)
+        return self.spec.interarrival_ns
+
+    def _pick_lpas(self) -> List[int]:
+        span = self.spec.region_pages - self.spec.pages_per_command
+        start = self.lpa_base + (self.rng.randrange(span + 1) if span else 0)
+        return list(range(start, start + self.spec.pages_per_command))
+
+    def make_command(self, host: HostInterface, now_ns: float) -> ServeCommand:
+        """Mint the tenant's next command with a device-unique command id."""
+        lpas = self._pick_lpas()
+        command: NVMeCommand
+        if self.spec.kind == "scomp":
+            command = ScompCommand(
+                command_id=host.next_id(), kernel=self.spec.kernel, lpa_lists=[lpas]
+            )
+        elif self.spec.kind == "read":
+            command = ReadCommand(command_id=host.next_id(), lpas=lpas)
+        else:
+            command = WriteCommand(command_id=host.next_id(), lpas=lpas)
+        self.generated += 1
+        return ServeCommand(
+            tenant=self.spec.name,
+            command=command,
+            submitted_ns=now_ns,
+            pages=len(lpas),
+        )
+
+
+def default_tenants() -> List[TenantSpec]:
+    """The CLI's stock mix: a weighted hot scomp tenant, a batch scomp
+    tenant, and a plain-read tenant sharing the same device."""
+    return [
+        TenantSpec(
+            name="hot", weight=4.0, kind="scomp", kernel="stat",
+            pages_per_command=8, interarrival_ns=18_000.0,
+        ),
+        TenantSpec(
+            name="batch", weight=1.0, kind="scomp", kernel="scan",
+            pages_per_command=16, interarrival_ns=30_000.0,
+        ),
+        TenantSpec(
+            name="reader", weight=1.0, kind="read",
+            pages_per_command=4, interarrival_ns=20_000.0,
+        ),
+    ]

@@ -31,6 +31,7 @@ from repro.flash.array import FlashArray
 from repro.ftl.mapping import PageMapFTL
 from repro.ssd.crossbar import Crossbar
 from repro.ssd.dram_buffer import DRAMBuffer, TrafficBreakdown
+from repro.utils.stats import percentile
 
 #: Pages of read-ahead the firmware keeps in flight per engine. The scomp
 #: LPA lists are known upfront, so controllers can queue deeply; 32 pages
@@ -61,8 +62,7 @@ class BackgroundIO:
     def p99_latency_ns(self) -> float:
         if not self.latencies_ns:
             return 0.0
-        ordered = sorted(self.latencies_ns)
-        return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+        return percentile(self.latencies_ns, 99.0)
 
 
 @dataclass

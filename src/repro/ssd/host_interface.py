@@ -71,6 +71,7 @@ class HostInterface:
     def __init__(self, config: HostInterfaceConfig) -> None:
         self.config = config
         self._ids = itertools.count(1)
+        self._issued_ids: set = set()
         self.submissions: List[NVMeCommand] = []
         self.completions: List[Completion] = []
         self.link_free_at_ns = 0.0
@@ -81,8 +82,9 @@ class HostInterface:
         return next(self._ids)
 
     def submit(self, command: NVMeCommand) -> None:
-        if any(c.command_id == command.command_id for c in self.submissions):
+        if command.command_id in self._issued_ids:
             raise DeviceError(f"duplicate command id {command.command_id}")
+        self._issued_ids.add(command.command_id)
         self.submissions.append(command)
 
     def transfer(self, nbytes: int, ready_ns: float, to_host: bool) -> float:

@@ -17,6 +17,23 @@ def geomean(values: Iterable[float]) -> float:
     return math.exp(sum(math.log(v) for v in items) / len(items))
 
 
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile: the smallest observed value whose cumulative
+    frequency is at least ``pct`` percent.
+
+    This is the convention used for latency SLOs (a p99 of X means 99 % of
+    requests finished within X); it always returns an actual sample, never an
+    interpolated one.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 < pct <= 100.0:
+        raise ValueError(f"percentile must be in (0, 100], got {pct}")
+    ordered = sorted(float(v) for v in values)
+    rank = math.ceil(pct / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
 def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
     """Arithmetic mean of ``values`` weighted by ``weights``."""
     if len(values) != len(weights):

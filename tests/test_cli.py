@@ -38,6 +38,41 @@ def test_offload_with_skew(capsys):
     assert gbps <= 1.05
 
 
+SERVE_ARGS = (
+    "serve",
+    "--tenants",
+    "hot:4:scomp:stat:4:10,batch:1:scomp:scan:8:25,reader:1:read:-:4:15",
+    "--duration-us", "300",
+    "--seed", "11",
+)
+
+
+def test_serve_command_mixed_tenants(capsys):
+    code, out = run_cli(capsys, *SERVE_ARGS)
+    assert code == 0
+    assert "policy=wrr" in out
+    assert "hot" in out and "batch" in out and "reader" in out
+    assert "scomp" in out and "read" in out
+    assert "p99 us" in out and "core util" in out
+
+
+def test_serve_command_is_deterministic(capsys):
+    _, first = run_cli(capsys, *SERVE_ARGS)
+    _, second = run_cli(capsys, *SERVE_ARGS)
+    assert first == second
+
+
+def test_serve_policy_flag(capsys):
+    code, out = run_cli(capsys, *SERVE_ARGS, "--policy", "drr")
+    assert code == 0
+    assert "policy=drr" in out
+
+
+def test_serve_rejects_bad_tenant_spec(capsys):
+    with pytest.raises(SystemExit):
+        main(["serve", "--tenants", "only-a-name"])
+
+
 @pytest.mark.parametrize("number", ["1", "2", "3", "4"])
 def test_table_commands(capsys, number):
     code, out = run_cli(capsys, "table", number)

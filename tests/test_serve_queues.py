@@ -1,0 +1,80 @@
+"""Tests for per-tenant NVMe queue pairs."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.queues import QueuePair, ServeCommand, SubmissionQueue, make_queue_pairs
+from repro.serve.workload import TenantSpec
+from repro.ssd.host_interface import ReadCommand, ScompCommand, WriteCommand
+
+
+def _cmd(tenant="t", command_id=1, pages=4, submitted=0.0, kind="read"):
+    if kind == "scomp":
+        nvme = ScompCommand(command_id=command_id, kernel="stat", lpa_lists=[list(range(pages))])
+    elif kind == "write":
+        nvme = WriteCommand(command_id=command_id, lpas=list(range(pages)))
+    else:
+        nvme = ReadCommand(command_id=command_id, lpas=list(range(pages)))
+    return ServeCommand(tenant=tenant, command=nvme, submitted_ns=submitted, pages=pages)
+
+
+def test_submission_queue_is_fifo():
+    sq = SubmissionQueue("t", depth=8)
+    for i in range(3):
+        assert sq.push(_cmd(command_id=i))
+    assert sq.head().command.command_id == 0
+    assert [sq.pop().command.command_id for _ in range(3)] == [0, 1, 2]
+    assert not sq
+
+
+def test_submission_queue_bounded_depth_rejects():
+    sq = SubmissionQueue("t", depth=2)
+    assert sq.push(_cmd(command_id=1))
+    assert sq.push(_cmd(command_id=2))
+    assert not sq.push(_cmd(command_id=3))
+    assert sq.total_rejected == 1
+    assert sq.peak_depth == 2
+    sq.pop()
+    assert sq.push(_cmd(command_id=4))
+
+
+def test_pop_empty_queue_raises():
+    sq = SubmissionQueue("t", depth=2)
+    with pytest.raises(ServeError):
+        sq.pop()
+    with pytest.raises(ServeError):
+        sq.head()
+
+
+def test_command_kind_and_latency():
+    cmd = _cmd(kind="scomp", submitted=100.0)
+    assert cmd.kind == "scomp"
+    with pytest.raises(ServeError):
+        cmd.latency_ns
+    cmd.dispatched_ns = 150.0
+    cmd.completed_ns = 400.0
+    assert cmd.wait_ns == 50.0
+    assert cmd.latency_ns == 300.0
+    assert _cmd(kind="write").kind == "write"
+    assert _cmd(kind="read").kind == "read"
+
+
+def test_make_queue_pairs_weights_and_overrides():
+    specs = [TenantSpec(name="a", weight=2.0), TenantSpec(name="b", weight=1.0)]
+    pairs = make_queue_pairs(specs, queue_depth=4)
+    assert [p.weight for p in pairs] == [2.0, 1.0]
+    pairs = make_queue_pairs(specs, queue_depth=4, weight_overrides=(5.0, 3.0))
+    assert [p.weight for p in pairs] == [5.0, 3.0]
+    with pytest.raises(ServeError):
+        make_queue_pairs(specs, queue_depth=4, weight_overrides=(1.0,))
+
+
+def test_duplicate_tenant_names_rejected():
+    specs = [TenantSpec(name="a"), TenantSpec(name="a")]
+    with pytest.raises(ServeError):
+        make_queue_pairs(specs, queue_depth=4)
+
+
+def test_queue_pair_requires_positive_weight():
+    with pytest.raises(ServeError):
+        QueuePair.create("t", weight=0.0, depth=4)

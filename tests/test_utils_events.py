@@ -67,3 +67,81 @@ def test_len_and_bool():
     assert not q
     q.schedule(1, lambda: None)
     assert q and len(q) == 1
+
+
+def test_interleaved_schedule_and_schedule_at_equal_timestamps():
+    # Mixing relative and absolute scheduling at one timestamp must still
+    # fire in global insertion order — the determinism the serving layer
+    # and firmware rely on.
+    q = EventQueue()
+    fired = []
+    q.schedule(50, lambda: fired.append("rel-a"))
+    q.schedule_at(50, lambda: fired.append("abs-b"))
+    q.schedule(50, lambda: fired.append("rel-c"))
+    q.schedule_at(50, lambda: fired.append("abs-d"))
+    q.run()
+    assert fired == ["rel-a", "abs-b", "rel-c", "abs-d"]
+    assert q.now == 50
+
+
+def test_equal_timestamp_events_scheduled_from_actions_run_last():
+    q = EventQueue()
+    fired = []
+    q.schedule_at(10, lambda: (fired.append("first"), q.schedule(0, lambda: fired.append("nested"))))
+    q.schedule_at(10, lambda: fired.append("second"))
+    q.run()
+    # The nested zero-delay event lands at t=10 too, but after every event
+    # inserted earlier (seq-order tie break).
+    assert fired == ["first", "second", "nested"]
+
+
+def test_identical_schedules_replay_identically():
+    def drive():
+        q = EventQueue()
+        fired = []
+        q.schedule(5, lambda: fired.append("a"))
+        q.schedule_at(5, lambda: fired.append("b"))
+        q.schedule(3, lambda: q.schedule(2, lambda: fired.append("c")))
+        q.run()
+        return fired, q.now, q.processed
+
+    assert drive() == drive()
+
+
+def test_run_until_exactly_at_event_time_fires_event():
+    q = EventQueue()
+    fired = []
+    q.schedule(10, lambda: fired.append(1))
+    q.schedule(20, lambda: fired.append(2))
+    q.run(until_ns=10)
+    assert fired == [1]
+    assert q.now == 10
+
+
+def test_run_until_advances_clock_on_empty_queue():
+    q = EventQueue()
+    q.run(until_ns=40)
+    assert q.now == 40
+    # A later run with an earlier bound must not rewind the clock.
+    q.run(until_ns=15)
+    assert q.now == 40
+
+
+def test_run_until_advances_clock_past_last_event():
+    q = EventQueue()
+    q.schedule(10, lambda: None)
+    q.run(until_ns=100)
+    assert q.now == 100
+    assert q.processed == 1
+
+
+def test_run_max_events_budget():
+    q = EventQueue()
+    fired = []
+    for i in range(5):
+        q.schedule(i + 1, lambda i=i: fired.append(i))
+    q.run(max_events=2)
+    assert fired == [0, 1]
+    assert len(q) == 3
+    q.run()
+    assert fired == [0, 1, 2, 3, 4]

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.utils.stats import Accumulator, geomean, weighted_mean
+from repro.utils.stats import Accumulator, geomean, percentile, weighted_mean
 
 
 def test_geomean_examples():
@@ -25,6 +25,45 @@ def test_geomean_rejects_empty_and_nonpositive():
 def test_geomean_bounded_by_min_max(values):
     g = geomean(values)
     assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+def test_percentile_nearest_rank():
+    values = list(range(1, 101))  # 1..100
+    assert percentile(values, 50.0) == 50
+    assert percentile(values, 95.0) == 95
+    assert percentile(values, 99.0) == 99
+    assert percentile(values, 100.0) == 100
+    assert percentile(values, 0.5) == 1
+
+
+def test_percentile_always_returns_a_sample():
+    values = [12.5, 99.0, 3.0]
+    for pct in (1.0, 50.0, 90.0, 100.0):
+        assert percentile(values, pct) in values
+    assert percentile([7.0], 99.0) == 7.0
+
+
+def test_percentile_unsorted_input():
+    assert percentile([9.0, 1.0, 5.0, 3.0], 50.0) == 3.0
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(ValueError):
+        percentile([], 99.0)
+    with pytest.raises(ValueError):
+        percentile([1.0], 0.0)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101.0)
+
+
+@given(
+    st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+    st.floats(min_value=0.01, max_value=100.0),
+)
+def test_percentile_bounded_and_monotone(values, pct):
+    p = percentile(values, pct)
+    assert min(values) <= p <= max(values)
+    assert percentile(values, 100.0) == max(values)
 
 
 def test_weighted_mean():
