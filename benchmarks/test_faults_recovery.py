@@ -1,0 +1,127 @@
+"""Fault-recovery bench: p99 latency and goodput under a fault campaign.
+
+One seeded campaign injects correctable noise, uncorrectable bursts
+(transient and permanent), and slow-die latency outliers into ~1% of read
+pages while a read + scomp tenant mix runs; an identical clean run is the
+baseline. The acceptance properties are the ones a storage array actually
+ships against:
+
+* ≥ 99% of commands complete successfully (inline ECC, read-retry, or
+  RAID-group reconstruction) — no fault class leaks to the host,
+* zero corruption: every byte served (and every page left on the device)
+  matches the golden copy programmed at preload,
+* recovery is paid for in the tail, not correctness: faulty p99 ≥ clean
+  p99 while goodput stays within a modest factor,
+* determinism: the same seed reproduces the campaign fingerprint exactly.
+
+Set ``FAULTS_SMOKE=1`` to shrink the campaign to a seconds-long CI smoke
+run (fewer pages, shorter horizon, same assertions).
+"""
+
+import os
+
+import pytest
+from conftest import run_once
+
+from repro.config import FaultConfig, ServeConfig, assasin_sb_config
+from repro.faults import clean_baseline, run_campaign
+from repro.serve import TenantSpec
+
+SMOKE = bool(os.environ.get("FAULTS_SMOKE"))
+DURATION_NS = 200_000.0 if SMOKE else 1_500_000.0
+REGION_PAGES = 64 if SMOKE else 256
+SEED = 11
+
+FAULTS = FaultConfig(
+    seed=SEED,
+    page_error_rate=0.02,
+    uncorrectable_rate=0.01,  # ≤ 1% of read pages go uncorrectable
+    transient_fraction=0.5,
+    slow_read_rate=0.02,
+    raid_k=4,
+)
+SERVE = ServeConfig(arbitration="wrr")
+
+
+def _tenants():
+    return [
+        TenantSpec(
+            name="reader", weight=2.0, kind="read",
+            pages_per_command=4, interarrival_ns=15_000.0,
+            region_pages=REGION_PAGES,
+        ),
+        TenantSpec(
+            name="scanner", weight=1.0, kind="scomp", kernel="scan",
+            pages_per_command=8, interarrival_ns=40_000.0,
+            region_pages=REGION_PAGES,
+        ),
+    ]
+
+
+def _run_pair():
+    campaign = run_campaign(
+        assasin_sb_config(), FAULTS, tenants=_tenants(),
+        serve_config=SERVE, duration_ns=DURATION_NS, seed=SEED,
+    )
+    clean = clean_baseline(
+        assasin_sb_config(), tenants=_tenants(),
+        serve_config=SERVE, duration_ns=DURATION_NS, seed=SEED,
+    )
+    return campaign, clean
+
+
+@pytest.mark.faults
+def test_recovery_keeps_serving_under_faults(benchmark):
+    campaign, clean = run_once(benchmark, _run_pair)
+    print(f"\n--- faulty ---\n{campaign.render()}")
+    print(f"\n--- clean ---\n{clean.render()}")
+
+    faulty = campaign.serve
+
+    # The device kept serving: ≥99% command success under ~1% uncorrectable.
+    assert faulty.total_completed > 0
+    assert faulty.success_rate >= 0.99
+    # ... and served only correct bytes, during the run and after it.
+    assert campaign.corruption_events == 0
+    assert campaign.integrity_errors == 0
+    assert campaign.healthy
+
+    # The recovery machinery actually fired (this is not a vacuous pass).
+    counters = campaign.recovery_counters
+    assert counters.get("corrected_pages", 0) > 0
+    if not SMOKE:
+        assert counters.get("uncorrectable_reads", 0) > 0
+        assert (
+            counters.get("retry_recovered_pages", 0)
+            + counters.get("reconstructed_pages", 0)
+            > 0
+        )
+
+    # Recovery costs tail latency, not correctness: the faulty run is never
+    # faster than clean, and goodput degrades boundedly.
+    for name, tenant in clean.tenants.items():
+        assert faulty.tenants[name].p99_latency_ns >= tenant.p99_latency_ns * 0.999
+    assert faulty.goodput_gbps > 0
+    assert faulty.goodput_gbps <= clean.goodput_gbps * 1.001
+    assert faulty.goodput_gbps >= clean.goodput_gbps * 0.5
+
+    # Any RAID rebuilds were timed and show up in the report.
+    if counters.get("reconstructed_pages", 0):
+        assert len(faulty.reconstruction_ns) == counters["reconstructed_pages"]
+        assert faulty.reconstruction_p99_ns > 0
+
+
+@pytest.mark.faults
+def test_campaign_fingerprint_is_reproducible(benchmark):
+    first = run_once(
+        benchmark,
+        lambda: run_campaign(
+            assasin_sb_config(), FAULTS, tenants=_tenants(),
+            serve_config=SERVE, duration_ns=DURATION_NS, seed=SEED,
+        ),
+    )
+    second = run_campaign(
+        assasin_sb_config(), FAULTS, tenants=_tenants(),
+        serve_config=SERVE, duration_ns=DURATION_NS, seed=SEED,
+    )
+    assert first.fingerprint() == second.fingerprint()

@@ -5,6 +5,7 @@ Commands:
 * ``list``                      — kernels and configurations available
 * ``offload``                   — simulate one kernel offload on one config
 * ``serve``                     — multi-tenant QoS serving simulation
+* ``faults``                    — seeded fault campaign with RAID recovery
 * ``figure {5,13,14,15,16,19,20,21,22}`` — regenerate a paper figure
 * ``table {1,2,4,5}``           — regenerate a paper table
 * ``tpch``                      — run TPC-H queries on the mini engine
@@ -87,6 +88,58 @@ def _cmd_serve(args) -> int:
     )
     print(report.render())
     return 0
+
+
+def _cmd_faults(args) -> int:
+    from repro.config import FaultConfig, ServeConfig, named_config
+    from repro.faults import clean_baseline, run_campaign
+
+    config = named_config(args.config)
+    tenants = _parse_tenants(args.tenants) if args.tenants else None
+    fault_config = FaultConfig(
+        seed=args.seed,
+        page_error_rate=args.page_error_rate,
+        uncorrectable_rate=args.uncorrectable_rate,
+        transient_fraction=args.transient_fraction,
+        slow_read_rate=args.slow_read_rate,
+        max_read_retries=args.read_retries,
+        raid_k=args.raid_k,
+    )
+    serve_config = ServeConfig(
+        arbitration=args.policy,
+        command_timeout_ns=args.timeout_us * 1e3,
+        max_command_retries=args.cmd_retries,
+    )
+    report = run_campaign(
+        config,
+        fault_config,
+        tenants=tenants,
+        serve_config=serve_config,
+        duration_ns=args.duration_us * 1e3,
+        seed=args.seed,
+    )
+    print(report.render())
+    if args.baseline:
+        clean = clean_baseline(
+            config,
+            tenants=tenants,
+            serve_config=serve_config,
+            duration_ns=args.duration_us * 1e3,
+            seed=args.seed,
+        )
+        print()
+        print("vs clean baseline:")
+        for name, t in clean.tenants.items():
+            faulty = report.serve.tenants[name]
+            print(
+                f"  {name:<10} p99 {t.p99_latency_ns / 1e3:8.1f} -> "
+                f"{faulty.p99_latency_ns / 1e3:8.1f} us"
+            )
+        print(
+            f"  goodput    {clean.goodput_gbps:.2f} -> "
+            f"{report.serve.goodput_gbps:.2f} GB/s"
+        )
+    return 0 if report.healthy else 1
 
 
 _FIGURES = {
@@ -184,6 +237,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-inflight", type=int, default=8)
     serve.add_argument("--quantum-pages", type=int, default=8)
     serve.set_defaults(fn=_cmd_serve)
+
+    faults = sub.add_parser("faults", help="seeded fault campaign with RAID recovery")
+    faults.add_argument("--config", default="AssasinSb")
+    faults.add_argument("--seed", type=int, default=1)
+    faults.add_argument("--duration-us", type=float, default=500.0)
+    faults.add_argument("--page-error-rate", type=float, default=0.02)
+    faults.add_argument("--uncorrectable-rate", type=float, default=0.005)
+    faults.add_argument("--transient-fraction", type=float, default=0.5)
+    faults.add_argument("--slow-read-rate", type=float, default=0.01)
+    faults.add_argument("--read-retries", type=int, default=3)
+    faults.add_argument("--raid-k", type=int, default=4)
+    faults.add_argument("--policy", default="wrr", choices=["rr", "wrr", "drr"])
+    faults.add_argument("--timeout-us", type=float, default=0.0)
+    faults.add_argument("--cmd-retries", type=int, default=1)
+    faults.add_argument(
+        "--tenants",
+        default="",
+        help="same syntax as `serve`; default: small reader+scanner mix",
+    )
+    faults.add_argument(
+        "--baseline", action="store_true", help="also run and compare a clean run"
+    )
+    faults.set_defaults(fn=_cmd_faults)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", choices=sorted(_FIGURES))

@@ -245,6 +245,105 @@ class HostInterfaceConfig:
             raise ConfigError("host interface bandwidth must be positive")
 
 
+#: Fault scopes a :class:`HardFault` can take out at once.
+HARD_FAULT_KINDS: Tuple[str, ...] = ("channel", "chip", "plane")
+
+
+@dataclass(frozen=True)
+class HardFault:
+    """A permanent hardware failure with an onset time.
+
+    From ``onset_ns`` on, every read landing inside the failed scope
+    returns no data: a ``"channel"`` fault kills all chips behind one
+    channel, a ``"chip"`` fault one chip, and a ``"plane"`` fault one
+    (die, plane) pair of one chip. Pages in the dead zone are only
+    recoverable through RAID-group reconstruction.
+    """
+
+    kind: str
+    channel: int
+    chip: int = -1
+    die: int = -1
+    plane: int = -1
+    onset_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in HARD_FAULT_KINDS:
+            raise ConfigError(
+                f"unknown hard-fault kind {self.kind!r}; known: {HARD_FAULT_KINDS}"
+            )
+        if self.channel < 0:
+            raise ConfigError("hard fault needs a channel")
+        if self.kind in ("chip", "plane") and self.chip < 0:
+            raise ConfigError(f"{self.kind} fault needs a chip index")
+        if self.kind == "plane" and (self.die < 0 or self.plane < 0):
+            raise ConfigError("plane fault needs die and plane indices")
+        if self.onset_ns < 0:
+            raise ConfigError("hard-fault onset cannot be negative")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Seeded fault-campaign parameters (``repro.faults``).
+
+    Media faults are sampled per page-read attempt from an RNG keyed by
+    ``(seed, physical page, per-page read count)``, so a campaign is a pure
+    function of its seed: same seed, same corrupted bits, same recovery
+    report.
+
+    * ``page_error_rate`` — probability a read picks up sparse raw-NAND
+      noise (``noisy_bits`` flips spread over distinct ECC codewords;
+      always correctable by SECDED, scrubbed after correction).
+    * ``uncorrectable_rate`` — probability a read picks up a dense burst
+      (multiple flips in one codeword; uncorrectable). A fraction
+      ``transient_fraction`` of bursts clears on a read-retry (shifted
+      sense threshold); the rest are permanent media faults that need
+      RAID reconstruction plus block retirement.
+    * ``slow_read_rate`` — probability of a latency outlier ("slow die")
+      adding ``slow_read_extra_ns`` to the read.
+    * ``failures`` — scheduled :class:`HardFault` whole-unit failures.
+    * Read-retry: up to ``max_read_retries`` re-reads with exponential
+      backoff (``retry_backoff_ns * 2**attempt``).
+    * ``raid_k`` — data stripes per RAID-4 recovery group (parity page per
+      ``raid_k`` data pages).
+    """
+
+    seed: int = 1
+    page_error_rate: float = 0.0
+    noisy_bits: int = 3
+    uncorrectable_rate: float = 0.0
+    transient_fraction: float = 0.5
+    slow_read_rate: float = 0.0
+    slow_read_extra_ns: float = 150_000.0
+    failures: Tuple[HardFault, ...] = ()
+    max_read_retries: int = 3
+    retry_backoff_ns: float = 4_000.0
+    raid_k: int = 4
+
+    def __post_init__(self) -> None:
+        for name in (
+            "page_error_rate",
+            "uncorrectable_rate",
+            "transient_fraction",
+            "slow_read_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be within [0, 1], got {value}")
+        if self.page_error_rate + self.uncorrectable_rate > 1.0:
+            raise ConfigError("page_error_rate + uncorrectable_rate cannot exceed 1")
+        if self.noisy_bits <= 0:
+            raise ConfigError("noisy_bits must be positive")
+        if self.slow_read_extra_ns < 0:
+            raise ConfigError("slow_read_extra_ns cannot be negative")
+        if self.max_read_retries < 0:
+            raise ConfigError("max_read_retries cannot be negative")
+        if self.retry_backoff_ns < 0:
+            raise ConfigError("retry_backoff_ns cannot be negative")
+        if not 2 <= self.raid_k <= 6:
+            raise ConfigError("raid_k must be within 2..6 (RAID-4 stripe math)")
+
+
 #: Arbitration policies understood by the serving layer (``repro.serve``).
 ARBITRATION_POLICIES: Tuple[str, ...] = ("rr", "wrr", "drr")
 
@@ -267,6 +366,11 @@ class ServeConfig:
 
     ``weights`` optionally overrides the per-tenant weights positionally; an
     empty tuple keeps each :class:`~repro.serve.workload.TenantSpec` weight.
+
+    ``command_timeout_ns`` (0 disables) bounds one service attempt: an
+    attempt that overruns the deadline is aborted and re-issued, up to
+    ``max_command_retries`` times; the final attempt always runs to
+    completion and is flagged as timed out if it too overruns.
     """
 
     queue_depth: int = 64
@@ -274,6 +378,8 @@ class ServeConfig:
     max_inflight: int = 8
     quantum_pages: int = 8
     weights: Tuple[float, ...] = ()
+    command_timeout_ns: float = 0.0
+    max_command_retries: int = 1
 
     def __post_init__(self) -> None:
         if self.queue_depth <= 0:
@@ -282,6 +388,10 @@ class ServeConfig:
             raise ConfigError("serve max_inflight must be positive")
         if self.quantum_pages <= 0:
             raise ConfigError("serve quantum_pages must be positive")
+        if self.command_timeout_ns < 0:
+            raise ConfigError("command_timeout_ns cannot be negative")
+        if self.max_command_retries < 0:
+            raise ConfigError("max_command_retries cannot be negative")
         if self.arbitration not in ARBITRATION_POLICIES:
             raise ConfigError(
                 f"unknown arbitration policy {self.arbitration!r}; "

@@ -48,6 +48,10 @@ class ServeError(ReproError):
     """Multi-tenant serving layer misuse (bad tenant spec, queue protocol)."""
 
 
+class FaultError(ReproError):
+    """Fault-injection campaign misuse (bad rates, unmapped RAID group)."""
+
+
 class KernelError(ReproError):
     """An offloaded kernel was invoked with invalid parameters or data."""
 

@@ -1,0 +1,79 @@
+"""RAID-4 recovery groups over the logical address space.
+
+The campaign groups consecutive data LPAs into stripes of ``raid_k`` pages
+and stores one XOR parity page per group in a dedicated LPA namespace
+(``PARITY_LPA_BASE``, disjoint from tenant regions, firmware offload
+results at ``1 << 40``, and serve-path writes at ``1 << 41``). Any single
+lost page of a group — data or the parity itself — is the XOR of the
+surviving members, which is exactly the parity math of
+:class:`repro.kernels.raid.Raid4Kernel`.
+
+A trailing remainder group may hold fewer than ``raid_k`` data pages; a
+single-page group degenerates to replication (its parity *is* the page).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FaultError
+
+#: Parity pages live above every other LPA namespace the device hands out.
+PARITY_LPA_BASE = 1 << 39
+
+
+class RaidGroupMap:
+    """Immutable LPA → stripe-group map with mate resolution."""
+
+    def __init__(self, groups: Sequence[Tuple[Tuple[int, ...], int]]) -> None:
+        self._groups: List[Tuple[Tuple[int, ...], int]] = list(groups)
+        self._group_of: Dict[int, int] = {}
+        for index, (members, parity) in enumerate(self._groups):
+            for lpa in members:
+                if lpa in self._group_of:
+                    raise FaultError(f"LPA {lpa} belongs to two RAID groups")
+                self._group_of[lpa] = index
+            self._group_of[parity] = index
+
+    @classmethod
+    def build(cls, data_lpas: Sequence[int], raid_k: int) -> "RaidGroupMap":
+        """Chunk ``data_lpas`` (in order) into groups of ``raid_k``."""
+        if not 2 <= raid_k <= 6:
+            raise FaultError("raid_k must be within 2..6")
+        lpas = list(data_lpas)
+        groups = []
+        for start in range(0, len(lpas), raid_k):
+            members = tuple(lpas[start : start + raid_k])
+            groups.append((members, PARITY_LPA_BASE + len(groups)))
+        return cls(groups)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    @property
+    def parity_lpas(self) -> List[int]:
+        return [parity for _, parity in self._groups]
+
+    def members(self, group: int) -> Tuple[int, ...]:
+        return self._groups[group][0]
+
+    def parity(self, group: int) -> int:
+        return self._groups[group][1]
+
+    def group_for(self, lpa: int) -> Optional[int]:
+        return self._group_of.get(lpa)
+
+    def stripe_mates(self, lpa: int) -> Optional[List[int]]:
+        """The pages whose XOR reconstructs ``lpa`` (None if ungrouped).
+
+        For a data page: its surviving group-mates plus the parity page.
+        For a parity page: the group's data members. A single-page group
+        returns just the replica.
+        """
+        index = self._group_of.get(lpa)
+        if index is None:
+            return None
+        members, parity = self._groups[index]
+        if lpa == parity:
+            return list(members)
+        return [m for m in members if m != lpa] + [parity]

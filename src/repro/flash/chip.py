@@ -61,6 +61,7 @@ class FlashChip:
         self._data: Dict[Tuple[int, int, int, int], bytes] = {}
         self._spare: Dict[Tuple[int, int, int, int], bytes] = {}
         self.erase_counts: Dict[Tuple[int, int, int], int] = {}
+        self._inject_rounds: Dict[Tuple[int, int, int, int], int] = {}
         self.ecc_corrections = 0
         self.ecc_failures = 0
 
@@ -139,6 +140,7 @@ class FlashChip:
             self._state.pop((die, plane, block, page), None)
             self._data.pop((die, plane, block, page), None)
             self._spare.pop((die, plane, block, page), None)
+            self._inject_rounds.pop((die, plane, block, page), None)
         key = (die, plane, block)
         self.erase_counts[key] = self.erase_counts.get(key, 0) + 1
         return done
@@ -148,15 +150,63 @@ class FlashChip:
         self._check(die, plane, block, page)
         return self._data.get((die, plane, block, page))
 
-    def corrupt_page(self, die: int, plane: int, block: int, page: int,
-                     nbits: int, seed: int = 1) -> None:
-        """Inject raw-NAND bit errors into a programmed page's data."""
-        from repro.flash.ecc import inject_bit_errors
+    def inject_errors(self, die: int, plane: int, block: int, page: int,
+                      nbits: int, seed: int = 1) -> None:
+        """Inject ``nbits`` raw-NAND bit errors into a programmed page.
 
+        Raises :class:`FlashError` (never ``KeyError``) when the target page
+        was never programmed with data, or the address is outside the chip.
+
+        Seed-threading contract: the RNG for each injection is derived from
+        ``(seed, page address, number of prior injections into that page)``.
+        Repeated injections with the same seed therefore flip *fresh*,
+        reproducible bit sets instead of cancelling the previous flips, and
+        two runs issuing the same call sequence corrupt identical bits.
+        Erasing the block resets the page's injection count.
+        """
+        self._check(die, plane, block, page)
         key = (die, plane, block, page)
         if key not in self._data:
-            raise FlashError(f"page {key} holds no data to corrupt")
-        self._data[key] = inject_bit_errors(self._data[key], nbits, seed)
+            raise FlashError(
+                f"cannot inject errors into page {key}: never programmed with data"
+            )
+        from repro.flash.ecc import inject_bit_errors
+
+        rounds = self._inject_rounds.get(key, 0)
+        derived = (seed * 1_000_003 + rounds) * 7_919 + self._flat(key)
+        self._data[key] = inject_bit_errors(self._data[key], nbits, derived)
+        self._inject_rounds[key] = rounds + 1
+
+    def corrupt_page(self, die: int, plane: int, block: int, page: int,
+                     nbits: int, seed: int = 1) -> None:
+        """Historical alias for :meth:`inject_errors`."""
+        self.inject_errors(die, plane, block, page, nbits, seed)
+
+    def overwrite_raw(self, die: int, plane: int, block: int, page: int,
+                      data: bytes) -> None:
+        """Replace a programmed page's raw cell contents in place.
+
+        The hook behind read-retry recalibration, scrubbing, and targeted
+        fault injection: it changes what the sense amps will read *without*
+        a program cycle and leaves the spare-area ECC untouched, so
+        restoring the originally programmed bytes makes the page decode
+        clean again.
+        """
+        self._check(die, plane, block, page)
+        key = (die, plane, block, page)
+        if key not in self._data:
+            raise FlashError(f"cannot overwrite page {key}: never programmed with data")
+        if len(data) != len(self._data[key]):
+            raise FlashError(
+                f"overwrite of {len(data)}B does not match stored {len(self._data[key])}B"
+            )
+        self._data[key] = bytes(data)
+
+    def _flat(self, key: Tuple[int, int, int, int]) -> int:
+        die, plane, block, page = key
+        c = self.config
+        return ((die * c.planes_per_die + plane) * c.blocks_per_plane + block) \
+            * c.pages_per_block + page
 
     def read_data_checked(self, die: int, plane: int, block: int, page: int):
         """ECC-checked read: returns (data, status) after correction.
@@ -164,6 +214,11 @@ class FlashChip:
         Models the controller's ECC engine: single-bit upsets per codeword
         are transparently repaired; multi-bit upsets surface as
         uncorrectable (the device would retry/recover via RAID).
+
+        This is the *only* place :attr:`ecc_failures` is incremented: every
+        uncorrectable decode bumps the counter exactly once per read, so
+        callers must come through here rather than calling
+        :func:`repro.flash.ecc.decode_page` directly.
         """
         from repro.flash.ecc import ECCStatus, decode_page
 

@@ -62,14 +62,51 @@ def _parity64(value: int) -> int:
     return value & 1
 
 
+def _hamming_tables() -> List[List[int]]:
+    """Per-(byte position, byte value) contribution to the 7 Hamming bits.
+
+    Parity is linear over GF(2), so the Hamming bits of a 64-bit word are
+    the XOR of one table lookup per byte; this turns the 7-mask loop into 8
+    lookups, which matters once every programmed page is ECC-encoded and
+    fault campaigns decode on every corrupted read.
+    """
+    tables = []
+    for pos in range(8):
+        row = [0] * 256
+        for value in range(256):
+            word = value << (8 * pos)
+            ham = 0
+            for p, mask in enumerate(_MASKS):
+                ham |= _parity64(word & mask) << p
+            row[value] = ham
+        tables.append(row)
+    return tables
+
+
+_HAMMING_TABLE = _hamming_tables()
+_BYTE_PARITY = bytes(bin(v).count("1") & 1 for v in range(256))
+
+
+def _hamming_bits(word: int) -> int:
+    t = _HAMMING_TABLE
+    return (
+        t[0][word & 0xFF]
+        ^ t[1][(word >> 8) & 0xFF]
+        ^ t[2][(word >> 16) & 0xFF]
+        ^ t[3][(word >> 24) & 0xFF]
+        ^ t[4][(word >> 32) & 0xFF]
+        ^ t[5][(word >> 40) & 0xFF]
+        ^ t[6][(word >> 48) & 0xFF]
+        ^ t[7][(word >> 56) & 0xFF]
+    )
+
+
 def encode_word(word: int) -> int:
     """Compute the 8-bit ECC byte (7 Hamming bits + overall parity)."""
     if not 0 <= word < (1 << _DATA_BITS):
         raise FlashError("ECC codeword must be a 64-bit value")
-    ecc = 0
-    for p, mask in enumerate(_MASKS):
-        ecc |= _parity64(word & mask) << p
-    overall = _parity64(word) ^ _parity64(ecc)
+    ecc = _hamming_bits(word)
+    overall = _parity64(word) ^ _BYTE_PARITY[ecc]
     return ecc | (overall << 7)
 
 
@@ -104,9 +141,7 @@ def decode_word(word: int, ecc_byte: int) -> ECCResult:
     """
     stored_hamming = ecc_byte & 0x7F
     stored_overall = (ecc_byte >> 7) & 1
-    recomputed = 0
-    for p, mask in enumerate(_MASKS):
-        recomputed |= _parity64(word & mask) << p
+    recomputed = _hamming_bits(word)
     syndrome = recomputed ^ stored_hamming
     total_parity = _parity64(word) ^ _parity8(stored_hamming) ^ stored_overall
     if syndrome == 0 and total_parity == 0:

@@ -62,6 +62,7 @@ class PageAllocator:
             _ChannelCursor(config, ch, wear) for ch in range(config.channels)
         ]
         self.allocated = 0
+        self.retired_blocks: set = set()
 
     def _pick_channel(self) -> int:
         """Weighted round-robin by share (largest accumulated deficit wins)."""
@@ -88,6 +89,21 @@ class PageAllocator:
     def free_block(self, ppa: PhysicalPageAddress) -> None:
         """Return an erased block to its channel's free pool (GC path)."""
         self._cursors[ppa.channel].release_block(ppa)
+
+    def retire_block(self, ppa: PhysicalPageAddress) -> bool:
+        """Permanently remove a block from service (grown bad block).
+
+        A retired block is dropped from its unit's free pool, closed if it
+        was the open write point, and can never be resurrected by
+        :meth:`free_block`. Returns True the first time the block is
+        retired, False if it already was.
+        """
+        key = (ppa.channel, ppa.chip, ppa.die, ppa.plane, ppa.block)
+        if key in self.retired_blocks:
+            return False
+        self.retired_blocks.add(key)
+        self._cursors[ppa.channel].retire_block(ppa)
+        return True
 
     def open_blocks(self):
         """Blocks currently serving as write points (GC must skip them)."""
@@ -130,6 +146,13 @@ class _ChannelCursor:
                 return
         raise FTLError("release_block: unit not found")
 
+    def retire_block(self, ppa: PhysicalPageAddress) -> None:
+        for unit in self._units:
+            if (unit.chip, unit.die, unit.plane) == (ppa.chip, ppa.die, ppa.plane):
+                unit.retire_block(ppa.block)
+                return
+        raise FTLError("retire_block: unit not found")
+
 
 class _UnitCursor:
     """Write point within one (chip, die, plane)."""
@@ -144,6 +167,7 @@ class _UnitCursor:
         self.plane = plane
         self.wear = wear
         self._free_blocks = list(range(config.blocks_per_plane - 1, -1, -1))
+        self._retired: set = set()
         self._current_block: int = -1
         self._next_page = config.pages_per_block  # forces opening a block
 
@@ -177,4 +201,15 @@ class _UnitCursor:
     def release_block(self, block: int) -> None:
         if block == self._current_block:
             raise FTLError("cannot release the open write block")
+        if block in self._retired:
+            return  # grown bad blocks never rejoin the pool
         self._free_blocks.insert(0, block)
+
+    def retire_block(self, block: int) -> None:
+        self._retired.add(block)
+        if block in self._free_blocks:
+            self._free_blocks.remove(block)
+        if block == self._current_block:
+            # Close the write point; the next allocation opens a fresh block.
+            self._current_block = -1
+            self._next_page = self.config.pages_per_block

@@ -28,17 +28,39 @@ class TenantMetrics:
     dropped: int = 0
     bytes_in: int = 0
     bytes_out: int = 0
+    #: Fault-campaign degradation accounting (all zero on clean runs).
+    failed: int = 0
+    recovered: int = 0
+    timeouts: int = 0
+    cmd_retries: int = 0
 
     # -- recording -----------------------------------------------------------
 
     def record_completion(
-        self, latency_ns: float, wait_ns: float, bytes_in: int, bytes_out: int
+        self,
+        latency_ns: float,
+        wait_ns: float,
+        bytes_in: int,
+        bytes_out: int,
+        status: str = "ok",
+        timed_out: bool = False,
     ) -> None:
         self.completed += 1
         self.latencies_ns.append(latency_ns)
         self.wait_ns.append(wait_ns)
         self.bytes_in += bytes_in
         self.bytes_out += bytes_out
+        if status == "failed":
+            self.failed += 1
+        elif status == "recovered":
+            self.recovered += 1
+        if timed_out:
+            self.timeouts += 1
+
+    @property
+    def succeeded(self) -> int:
+        """Completions that returned correct data (possibly after recovery)."""
+        return self.completed - self.failed
 
     # -- latency -------------------------------------------------------------
 
@@ -96,10 +118,48 @@ class ServeReport:
     tenants: Dict[str, TenantMetrics]
     core_utilisation: List[float]
     channel_utilisation: List[float]
+    #: Per-fault-class counters from the recovery controller (empty on
+    #: clean runs) and the latency of every RAID reconstruction performed.
+    faults: Dict[str, int] = field(default_factory=dict)
+    reconstruction_ns: List[float] = field(default_factory=list)
 
     @property
     def total_completed(self) -> int:
         return sum(t.completed for t in self.tenants.values())
+
+    @property
+    def total_failed(self) -> int:
+        return sum(t.failed for t in self.tenants.values())
+
+    @property
+    def total_recovered(self) -> int:
+        return sum(t.recovered for t in self.tenants.values())
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of completed commands that returned correct data."""
+        done = self.total_completed
+        return (done - self.total_failed) / done if done else 1.0
+
+    @property
+    def goodput_gbps(self) -> float:
+        """Throughput counting only successfully served bytes."""
+        ok_bytes = sum(
+            t.bytes_in for t in self.tenants.values() if t.completed
+        ) - sum(
+            # Failed commands moved no useful data; approximate their share
+            # by the tenant's mean command size.
+            (t.bytes_in / t.completed) * t.failed
+            for t in self.tenants.values()
+            if t.completed
+        )
+        return ok_bytes / self.horizon_ns if self.horizon_ns > 0 else 0.0
+
+    @property
+    def reconstruction_p99_ns(self) -> float:
+        if not self.reconstruction_ns:
+            return 0.0
+        return percentile(self.reconstruction_ns, 99.0)
 
     @property
     def total_dropped(self) -> int:
@@ -133,9 +193,17 @@ class ServeReport:
                 t.bytes_out,
                 round(t.mean_latency_ns, 6),
                 round(t.p99_latency_ns, 6),
+                t.failed,
+                t.recovered,
+                t.timeouts,
+                t.cmd_retries,
             )
             for name, t in self.tenants.items()
-        ) + (round(self.horizon_ns, 6),)
+        ) + (
+            round(self.horizon_ns, 6),
+            tuple(sorted(self.faults.items())),
+            round(sum(self.reconstruction_ns), 6),
+        )
 
     def render(self) -> str:
         """Human-readable per-tenant table plus device utilisation."""
@@ -158,6 +226,20 @@ class ServeReport:
         cores = " ".join(f"{u:.0%}" for u in self.core_utilisation)
         channels = " ".join(f"{u:.0%}" for u in self.channel_utilisation)
         lines += ["", f"core util    : {cores}", f"channel util : {channels}"]
+        if self.faults or self.total_failed or self.total_recovered:
+            lines += [
+                "",
+                f"recovery     : {self.success_rate:.2%} command success, "
+                f"{self.total_recovered} recovered, {self.total_failed} failed, "
+                f"goodput {self.goodput_gbps:.2f} GB/s",
+            ]
+            if self.reconstruction_ns:
+                lines.append(
+                    f"reconstruct  : {len(self.reconstruction_ns)} rebuilds, "
+                    f"p99 {self.reconstruction_p99_ns / 1e3:.1f} us"
+                )
+            for name, count in sorted(self.faults.items()):
+                lines.append(f"  {name:<26}: {count}")
         return "\n".join(lines)
 
 

@@ -30,6 +30,12 @@ class ServeCommand:
     completed_ns: float = -1.0
     bytes_in: int = 0
     bytes_out: int = 0
+    #: 'ok' | 'recovered' (retry or RAID rebuild was needed) | 'failed'
+    status: str = "ok"
+    attempts: int = 0  # service attempts (1 + command-level retries)
+    page_retries: int = 0
+    reconstructions: int = 0
+    timed_out: bool = False
 
     @property
     def kind(self) -> str:

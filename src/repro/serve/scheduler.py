@@ -54,6 +54,7 @@ class ServingLayer:
         config: Optional[ServeConfig] = None,
         seed: int = 0,
         samples: Optional[Dict[str, object]] = None,
+        recovery=None,
     ) -> None:
         if not tenants:
             raise ServeError("serving layer needs at least one tenant")
@@ -61,6 +62,11 @@ class ServingLayer:
         self.specs = list(tenants)
         self.config = config or ServeConfig()
         self.seed = seed
+        #: Optional :class:`~repro.ssd.firmware.RecoveryController`; when
+        #: set, every read/scomp page fetch runs the retry → RAID-rebuild
+        #: ladder and commands complete with degraded/failed statuses
+        #: instead of silently serving corrupt data.
+        self.recovery = recovery
         self.events = EventQueue()
         self.pairs: List[QueuePair] = make_queue_pairs(
             self.specs, self.config.queue_depth, self.config.weights or None
@@ -164,7 +170,23 @@ class ServingLayer:
     def _dispatch(self, cmd: ServeCommand) -> None:
         now = self.events.now
         cmd.dispatched_ns = now
-        done_ns = self._service(cmd, now)
+        timeout = self.config.command_timeout_ns
+        issue = now
+        while True:
+            cmd.attempts += 1
+            done_ns = self._service(cmd, issue)
+            if timeout <= 0 or done_ns - issue <= timeout:
+                break
+            if cmd.attempts > self.config.max_command_retries:
+                # Out of retries: let the final attempt run to completion
+                # but flag the SLO breach.
+                cmd.timed_out = True
+                break
+            # The host aborts at the deadline and re-issues; the work the
+            # aborted attempt queued on the timelines stays (wasted slots),
+            # exactly like a real abort racing in-flight flash operations.
+            self.metrics[cmd.tenant].cmd_retries += 1
+            issue += timeout
         cmd.completed_ns = done_ns
         self._inflight += 1
         self.events.schedule_at(done_ns, lambda: self._complete(cmd))
@@ -174,7 +196,12 @@ class ServingLayer:
         self._horizon_ns = max(self._horizon_ns, cmd.completed_ns)
         metrics = self.metrics[cmd.tenant]
         metrics.record_completion(
-            cmd.latency_ns, cmd.wait_ns, cmd.bytes_in, cmd.bytes_out
+            cmd.latency_ns,
+            cmd.wait_ns,
+            cmd.bytes_in,
+            cmd.bytes_out,
+            status=cmd.status,
+            timed_out=cmd.timed_out,
         )
         pair = self._pair_by_name[cmd.tenant]
         pair.cq.post(
@@ -190,6 +217,11 @@ class ServingLayer:
     # -- service models --------------------------------------------------------
 
     def _service(self, cmd: ServeCommand, now: float) -> float:
+        # Each attempt starts from a clean fault slate; only the attempt
+        # that actually completes determines the command's final status.
+        cmd.status = "ok"
+        cmd.page_retries = 0
+        cmd.reconstructions = 0
         if isinstance(cmd.command, ScompCommand):
             return self._service_scomp(cmd, now)
         if isinstance(cmd.command, ReadCommand):
@@ -198,12 +230,29 @@ class ServingLayer:
             return self._service_write(cmd, now)
         raise ServeError(f"cannot service command {cmd.command!r}")
 
+    def _fetch_page(self, cmd: ServeCommand, lpa: int, now: float) -> float:
+        """Fetch one page through the recovery ladder; returns its done time."""
+        outcome = self.recovery.read_lpa(lpa, now)
+        cmd.page_retries += outcome.retries
+        if outcome.status == "reconstructed":
+            cmd.reconstructions += 1
+        if outcome.status == "failed":
+            cmd.status = "failed"
+        elif outcome.status in ("retried", "reconstructed") and cmd.status == "ok":
+            # In-line ECC correction ('corrected') is the routine path and
+            # stays 'ok'; only the retry ladder / RAID rebuild degrade.
+            cmd.status = "recovered"
+        return outcome.done_ns
+
     def _service_read(self, cmd: ServeCommand, now: float) -> float:
         device = self.device
         flash_done = now
         for lpa in cmd.command.lpas:
-            record = device.array.service_read(device.ftl.lookup(lpa), now)
-            flash_done = max(flash_done, record.done_ns)
+            if self.recovery is not None:
+                flash_done = max(flash_done, self._fetch_page(cmd, lpa, now))
+            else:
+                record = device.array.service_read(device.ftl.lookup(lpa), now)
+                flash_done = max(flash_done, record.done_ns)
         nbytes = cmd.pages * self._page_bytes
         cmd.bytes_in = nbytes
         cmd.bytes_out = nbytes
@@ -237,13 +286,16 @@ class ServingLayer:
         for lpas in cmd.command.lpa_lists:
             for lpa in lpas:
                 ppa = device.ftl.lookup(lpa)
-                record = device.array.service_read(ppa, now)
+                if self.recovery is not None:
+                    page_done = self._fetch_page(cmd, lpa, now)
+                else:
+                    page_done = device.array.service_read(ppa, now).done_ns
                 hop = (
                     device.crossbar.route(core, ppa.channel, self._page_bytes)
                     if device.crossbar.enabled
                     else 0.0
                 )
-                arrival = record.done_ns + hop
+                arrival = page_done + hop
                 flash_done = max(flash_done, arrival)
                 if first_page_ns is None or arrival < first_page_ns:
                     first_page_ns = arrival
@@ -275,4 +327,8 @@ class ServingLayer:
             channel_utilisation=self.device.array.channel_utilisations(horizon)
             if horizon > 0
             else [0.0] * self.device.config.flash.channels,
+            faults=dict(self.recovery.fault_counters()) if self.recovery else {},
+            reconstruction_ns=list(self.recovery.reconstruction_ns)
+            if self.recovery
+            else [],
         )

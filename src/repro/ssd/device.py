@@ -209,18 +209,24 @@ class ComputationalSSD:
         duration_ns: float = 2_000_000.0,
         seed: int = 0,
         samples=None,
+        recovery=None,
     ):
         """Serve a multi-tenant mixed scomp/read/write workload (QoS path).
 
         ``tenants`` is a sequence of :class:`~repro.serve.workload.TenantSpec`;
         ``serve_config`` a :class:`~repro.config.ServeConfig` (queue depths,
-        arbitration policy, in-flight bound). Returns a
-        :class:`~repro.serve.metrics.ServeReport` with per-tenant
-        p50/p95/p99 latency, throughput, and device utilisation.
+        arbitration policy, in-flight bound). Pass a
+        :class:`~repro.ssd.firmware.RecoveryController` as ``recovery`` to
+        route page reads through the retry/RAID-rebuild ladder (fault
+        campaigns). Returns a :class:`~repro.serve.metrics.ServeReport`
+        with per-tenant p50/p95/p99 latency, throughput, device
+        utilisation, and — under faults — recovery counters.
         """
         from repro.serve.scheduler import ServingLayer
 
-        layer = ServingLayer(self, tenants, config=serve_config, seed=seed, samples=samples)
+        layer = ServingLayer(
+            self, tenants, config=serve_config, seed=seed, samples=samples, recovery=recovery
+        )
         return layer.run(duration_ns)
 
     def offload_functional(self, kernel, data: bytes):

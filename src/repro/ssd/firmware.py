@@ -21,13 +21,15 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.config import SSDConfig
+from repro.config import FaultConfig, SSDConfig
 from repro.core.core import CoreRunResult
 from repro.errors import DeviceError
 from repro.flash.array import FlashArray
+from repro.flash.ecc import ECCStatus
 from repro.ftl.mapping import PageMapFTL
 from repro.ssd.crossbar import Crossbar
 from repro.ssd.dram_buffer import DRAMBuffer, TrafficBreakdown
@@ -516,4 +518,217 @@ class Firmware:
         record = self.array.service_read(ppa, when)
         hop = self.crossbar.route(task.core_id, ppa.channel, page)
         return record.done_ns + hop
+
+
+# ---------------------------------------------------------------------------
+# Device-side read recovery (fault campaigns, ``repro.faults``)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PageReadOutcome:
+    """What one logical-page read cost and how it ended.
+
+    ``status`` is one of ``'clean'``, ``'corrected'`` (ECC repaired sparse
+    noise inline), ``'retried'`` (read-retry with backoff recovered the
+    page), ``'reconstructed'`` (RAID-group rebuild + remap), or
+    ``'failed'`` (unrecoverable: no RAID group, or stripe-mates were lost
+    too).
+    """
+
+    lpa: int
+    data: Optional[bytes]
+    done_ns: float
+    status: str
+    retries: int = 0
+
+
+class RecoveryController:
+    """The firmware's error path for reads: retry → RAID rebuild → remap.
+
+    Sits between the serving layer / campaign driver and the raw flash
+    array. Every read attempt is timed on the shared array timelines and
+    run past the :class:`~repro.faults.injector.FaultInjector` (which may
+    corrupt the page's stored bytes); decode goes through the chip's
+    checked read path so ECC counters stay centralised.
+
+    Escalation ladder per logical page:
+
+    1. **Inline ECC** — sparse noise is corrected by SECDED; the page is
+       scrubbed back to pristine afterwards (read-disturb noise does not
+       accumulate).
+    2. **Read-retry** — an uncorrectable page is re-read up to
+       ``max_read_retries`` times with exponential backoff
+       (``retry_backoff_ns * 2**attempt``); transient sense-threshold
+       bursts clear here.
+    3. **RAID reconstruction** — the page's stripe-mates (resolved through
+       the FTL mapping via the campaign's RAID-group map) are read and
+       XORed with the RAID-4 parity math of
+       :class:`repro.kernels.raid.Raid4Kernel`; the rebuilt page is
+       written to a fresh physical page (FTL remap) and the dead block is
+       retired from the allocator (grown-bad-block bookkeeping).
+    """
+
+    def __init__(
+        self,
+        device,
+        fault_config: FaultConfig,
+        injector=None,
+        raid_map=None,
+        golden: Optional[Dict[int, bytes]] = None,
+    ) -> None:
+        self.device = device
+        self.array: FlashArray = device.array
+        self.ftl: PageMapFTL = device.ftl
+        self.cfg = fault_config
+        self.injector = injector
+        self.raid = raid_map
+        self.golden = golden or {}
+        self.counters: Counter = Counter()
+        self.reconstruction_ns: List[float] = []
+        self.corruption_events = 0
+
+    # -- public entry ---------------------------------------------------------
+
+    def read_lpa(self, lpa: int, now_ns: float) -> PageReadOutcome:
+        """Read one logical page with the full recovery ladder."""
+        issue = now_ns
+        for attempt in range(self.cfg.max_read_retries + 1):
+            data, ok, done, corrected = self._attempt_read(lpa, issue)
+            if ok:
+                if attempt == 0:
+                    status = "corrected" if corrected else "clean"
+                else:
+                    self.counters["retry_recovered_pages"] += 1
+                    status = "retried"
+                self._verify(lpa, data)
+                return PageReadOutcome(lpa, data, done, status, retries=attempt)
+            if attempt < self.cfg.max_read_retries:
+                self.counters["read_retries"] += 1
+                issue = done + self.cfg.retry_backoff_ns * (2 ** attempt)
+            else:
+                issue = done
+        return self._reconstruct(lpa, issue, retries=self.cfg.max_read_retries)
+
+    # -- single attempt -------------------------------------------------------
+
+    def _attempt_read(self, lpa: int, issue_ns: float):
+        """One timed read attempt; returns (data, ok, done_ns, corrected)."""
+        ppa = self.ftl.lookup(lpa)
+        chip = self.array.chips[ppa.channel][ppa.chip]
+        record = self.array.service_read(ppa, issue_ns)
+        done = record.done_ns
+        if self.injector is None:
+            return chip.read_data(ppa.die, ppa.plane, ppa.block, ppa.page), True, done, False
+        fault = self.injector.on_read(chip, ppa, issue_ns)
+        if fault.slow_extra_ns:
+            self.counters["slow_reads"] += 1
+            done += fault.slow_extra_ns
+        if fault.kind == "hard":
+            self.counters["hard_fault_reads"] += 1
+            return None, False, done, False
+        if fault.kind is None and not fault.touched:
+            # Untouched media: skip the (expensive) full-page decode.
+            return chip.read_data(ppa.die, ppa.plane, ppa.block, ppa.page), True, done, False
+        data, status = chip.read_data_checked(ppa.die, ppa.plane, ppa.block, ppa.page)
+        if status is ECCStatus.UNCORRECTABLE:
+            self.counters["uncorrectable_reads"] += 1
+            return None, False, done, False
+        corrected = status is ECCStatus.CORRECTED
+        if corrected:
+            self.counters["corrected_pages"] += 1
+            if fault.scrub is not None:
+                # Correction succeeded: scrub the cells back to pristine.
+                chip.overwrite_raw(ppa.die, ppa.plane, ppa.block, ppa.page, fault.scrub)
+        return data, True, done, corrected
+
+    # -- RAID escalation ------------------------------------------------------
+
+    def _reconstruct(self, lpa: int, issue_ns: float, retries: int) -> PageReadOutcome:
+        mates = self.raid.stripe_mates(lpa) if self.raid is not None else None
+        if not mates:
+            self.counters["unrecoverable_pages"] += 1
+            return PageReadOutcome(lpa, None, issue_ns, "failed", retries=retries)
+        started = issue_ns
+        pages: List[bytes] = []
+        done = issue_ns
+        for mate in mates:
+            # Mates get the same retry ladder (a transient burst on a
+            # surviving stripe member must not doom the rebuild), but not
+            # recursive RAID: two simultaneous permanent faults in one
+            # stripe are genuinely unrecoverable under single parity.
+            data, ok, mate_done = self._read_with_retries(mate, issue_ns)
+            done = max(done, mate_done)
+            if not ok or data is None:
+                self.counters["reconstruction_failures"] += 1
+                self.counters["unrecoverable_pages"] += 1
+                return PageReadOutcome(lpa, None, done, "failed", retries=retries)
+            pages.append(data)
+        rebuilt = self._parity_rebuild(pages)
+        # One pass through the parity engine at channel speed.
+        done += self.device.config.flash.page_transfer_ns
+        self.counters["reconstructed_pages"] += 1
+        self.reconstruction_ns.append(done - started)
+        self._verify(lpa, rebuilt)
+        self._retire_and_remap(lpa, rebuilt, done)
+        return PageReadOutcome(lpa, rebuilt, done, "reconstructed", retries=retries)
+
+    def _read_with_retries(self, lpa: int, issue_ns: float):
+        """The retry ladder without RAID escalation; (data, ok, done_ns)."""
+        issue = issue_ns
+        done = issue_ns
+        for attempt in range(self.cfg.max_read_retries + 1):
+            data, ok, done, _ = self._attempt_read(lpa, issue)
+            if ok:
+                return data, True, done
+            if attempt < self.cfg.max_read_retries:
+                self.counters["read_retries"] += 1
+                issue = done + self.cfg.retry_backoff_ns * (2 ** attempt)
+        return None, False, done
+
+    @staticmethod
+    def _parity_rebuild(pages: List[bytes]) -> bytes:
+        """XOR the surviving stripe members back into the missing page."""
+        if len(pages) == 1:
+            return pages[0]  # single-page remainder group: parity is a replica
+        from repro.kernels.raid import Raid4Kernel
+
+        width = max(len(p) for p in pages)
+        padded = [p + b"\x00" * (width - len(p)) for p in pages]
+        return Raid4Kernel(k=len(padded)).reference(padded)[0]
+
+    def _retire_and_remap(self, lpa: int, data: bytes, now_ns: float) -> None:
+        """Grown-bad-block bookkeeping after a successful rebuild."""
+        dead = self.ftl.lookup(lpa)
+        allocator = self.ftl.allocator
+        if allocator.retire_block(dead):
+            self.counters["retired_blocks"] += 1
+        if self.injector is not None:
+            self.injector.forget(dead)
+        new_ppa = self.ftl.write(lpa)
+        if self.injector is not None:
+            # Avoid remapping straight into a dead zone: retire and retry.
+            for _ in range(64):
+                if not self.injector.hard_failed(new_ppa, now_ns):
+                    break
+                if allocator.retire_block(new_ppa):
+                    self.counters["retired_blocks"] += 1
+                new_ppa = self.ftl.write(lpa)
+        self.array.service_write(new_ppa, now_ns, data=data)
+        self.counters["remapped_pages"] += 1
+
+    # -- integrity ------------------------------------------------------------
+
+    def _verify(self, lpa: int, data: Optional[bytes]) -> None:
+        """Compare served bytes against the campaign's golden copy."""
+        expected = self.golden.get(lpa)
+        if expected is not None and data is not None and data != expected:
+            self.corruption_events += 1
+
+    def fault_counters(self) -> Dict[str, int]:
+        """Stable, render-ready snapshot of the per-fault-class counters."""
+        merged = Counter(self.counters)
+        if self.injector is not None:
+            merged.update(self.injector.counters)
+        return dict(sorted(merged.items()))
 

@@ -73,6 +73,28 @@ def test_serve_rejects_bad_tenant_spec(capsys):
         main(["serve", "--tenants", "only-a-name"])
 
 
+FAULTS_ARGS = ("faults", "--duration-us", "100", "--seed", "7")
+
+
+def test_faults_command(capsys):
+    code, out = run_cli(capsys, *FAULTS_ARGS)
+    assert code == 0  # exit status reflects campaign health
+    assert "fault campaign" in out and "HEALTHY" in out
+    assert "integrity" in out and "golden data" in out
+
+
+def test_faults_command_is_deterministic(capsys):
+    _, first = run_cli(capsys, *FAULTS_ARGS)
+    _, second = run_cli(capsys, *FAULTS_ARGS)
+    assert first == second
+
+
+def test_faults_baseline_comparison(capsys):
+    code, out = run_cli(capsys, *FAULTS_ARGS, "--baseline")
+    assert code == 0
+    assert "vs clean baseline" in out and "goodput" in out
+
+
 @pytest.mark.parametrize("number", ["1", "2", "3", "4"])
 def test_table_commands(capsys, number):
     code, out = run_cli(capsys, "table", number)

@@ -160,3 +160,45 @@ def test_chip_corrupt_requires_data():
     chip = FlashChip(FlashConfig(), 0, 0)
     with pytest.raises(FlashError):
         chip.corrupt_page(0, 0, 0, 0, nbits=1)
+
+
+def test_page_double_error_detected_in_every_codeword():
+    """Two flips land in *any* one codeword of a page: always detected."""
+    page = bytes((i * 59) & 0xFF for i in range(256))  # 32 codewords
+    spare = encode_page(page)
+    for word in range(len(page) // 8):
+        corrupted = bytearray(page)
+        corrupted[word * 8] ^= 1 << 1
+        corrupted[word * 8 + 5] ^= 1 << 6
+        decoded, status, _ = decode_page(bytes(corrupted), spare)
+        assert status is ECCStatus.UNCORRECTABLE
+        # The other codewords decode untouched — no collateral damage.
+        for other in range(len(page) // 8):
+            if other != word:
+                assert decoded[other * 8 : other * 8 + 8] == page[other * 8 : other * 8 + 8]
+
+
+def test_page_spare_area_corruption_leaves_data_intact():
+    """A flip in the parity byte itself must never alter the data."""
+    page = bytes(range(128))
+    spare = encode_page(page)
+    for index in (0, 7, len(spare) - 1):
+        for bit in range(8):
+            bad_spare = bytearray(spare)
+            bad_spare[index] ^= 1 << bit
+            decoded, status, _ = decode_page(page, bytes(bad_spare))
+            assert decoded == page
+            assert status in (ECCStatus.CLEAN, ECCStatus.CORRECTED)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(min_size=8, max_size=512), st.integers(min_value=0, max_value=2**31))
+def test_seeded_random_page_roundtrip(raw, seed):
+    """Random pages round-trip clean, and any single flip is repaired."""
+    page = raw + b"\x00" * (-len(raw) % 8)
+    spare = encode_page(page)
+    decoded, status, n = decode_page(page, spare)
+    assert decoded == page and status is ECCStatus.CLEAN and n == 0
+    corrupted = inject_bit_errors(page, 1, seed=seed)
+    decoded, status, n = decode_page(corrupted, spare)
+    assert decoded == page and status is ECCStatus.CORRECTED and n == 1
