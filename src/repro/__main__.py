@@ -6,6 +6,8 @@ Commands:
 * ``offload``                   — simulate one kernel offload on one config
 * ``serve``                     — multi-tenant QoS serving simulation
 * ``faults``                    — seeded fault campaign with RAID recovery
+* ``trace``                     — serve run with tracing on; Chrome/Perfetto JSON out
+* ``profile``                   — ISA-level cycle-attribution profile of one kernel
 * ``figure {5,13,14,15,16,19,20,21,22}`` — regenerate a paper figure
 * ``table {1,2,4,5}``           — regenerate a paper table
 * ``tpch``                      — run TPC-H queries on the mini engine
@@ -142,6 +144,57 @@ def _cmd_faults(args) -> int:
     return 0 if report.healthy else 1
 
 
+def _cmd_trace(args) -> int:
+    from repro.config import ServeConfig, named_config
+    from repro.serve import default_tenants, simulate_serve
+    from repro.telemetry import Telemetry, span_tracks, validate_chrome_trace
+
+    tenants = _parse_tenants(args.tenants) if args.tenants else default_tenants()
+    serve_config = ServeConfig(
+        queue_depth=args.queue_depth,
+        arbitration=args.policy,
+        max_inflight=args.max_inflight,
+    )
+    telemetry = Telemetry.tracing("repro-serve")
+    report = simulate_serve(
+        named_config(args.config),
+        tenants,
+        serve_config,
+        duration_ns=args.duration_us * 1e3,
+        seed=args.seed,
+        telemetry=telemetry,
+    )
+    trace = telemetry.tracer.to_chrome_trace()
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for problem in problems:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        return 1
+    telemetry.tracer.write(args.out)
+    tracks = span_tracks(trace)
+    print(f"trace written : {args.out} ({len(trace['traceEvents'])} events)")
+    print(f"span tracks   : {len(tracks)} ({', '.join(tracks[:8])}{', ...' if len(tracks) > 8 else ''})")
+    print(f"open it at    : https://ui.perfetto.dev or chrome://tracing")
+    print()
+    print(report.render())
+    if args.counters:
+        print()
+        print(telemetry.counters.render())
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.config import named_config
+    from repro.kernels import get_kernel
+    from repro.telemetry import profile_kernel
+
+    kernel = get_kernel(args.kernel)
+    core = named_config(args.config).core
+    profile = profile_kernel(kernel, core_config=core, sample_bytes=args.sample_kib << 10)
+    print(profile.report(top=args.top))
+    return 0
+
+
 _FIGURES = {
     "5": ("repro.experiments.fig05", {}),
     "13": ("repro.experiments.fig13", {"data_bytes": 32 << 20}),
@@ -260,6 +313,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", action="store_true", help="also run and compare a clean run"
     )
     faults.set_defaults(fn=_cmd_faults)
+
+    trace = sub.add_parser(
+        "trace", help="serve run with tracing on; writes Chrome/Perfetto JSON"
+    )
+    trace.add_argument("--config", default="AssasinSb")
+    trace.add_argument("--policy", default="wrr", choices=["rr", "wrr", "drr"])
+    trace.add_argument(
+        "--tenants",
+        default="",
+        help="same syntax as `serve`; default: 3-tenant mixed scomp+read mix",
+    )
+    trace.add_argument("--duration-us", type=float, default=300.0)
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("--queue-depth", type=int, default=64)
+    trace.add_argument("--max-inflight", type=int, default=8)
+    trace.add_argument("--out", default="trace.json", help="output trace path")
+    trace.add_argument(
+        "--counters", action="store_true", help="also dump the counter registry"
+    )
+    trace.set_defaults(fn=_cmd_trace)
+
+    profile = sub.add_parser(
+        "profile", help="ISA-level cycle attribution for one kernel"
+    )
+    profile.add_argument("--kernel", default="scan")
+    profile.add_argument("--config", default="AssasinSb")
+    profile.add_argument(
+        "--sample-kib", type=int, default=0, help="input window KiB (0: kernel default)"
+    )
+    profile.add_argument("--top", type=int, default=10, help="rows in the hot-spot tables")
+    profile.set_defaults(fn=_cmd_profile)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", choices=sorted(_FIGURES))

@@ -115,6 +115,7 @@ class FaultCampaign:
         duration_ns: float = 500_000.0,
         seed: int = 0,
         verify_integrity: bool = True,
+        telemetry=None,
     ) -> None:
         if duration_ns <= 0:
             raise FaultError("campaign duration must be positive")
@@ -125,6 +126,9 @@ class FaultCampaign:
         self.duration_ns = duration_ns
         self.seed = seed
         self.verify_integrity = verify_integrity
+        #: Optional :class:`~repro.telemetry.Telemetry` bundle for the
+        #: device under test (tracing + the shared counter registry).
+        self.telemetry = telemetry
         # Populated by run(), kept for white-box inspection in tests.
         self.device = None
         self.layer = None
@@ -186,7 +190,7 @@ class FaultCampaign:
         from repro.ssd.device import ComputationalSSD
         from repro.ssd.firmware import RecoveryController
 
-        self.device = ComputationalSSD(self.config)
+        self.device = ComputationalSSD(self.config, telemetry=self.telemetry)
         # The layer's constructor carves and maps the tenant regions; the
         # recovery controller needs the resulting golden set, so it is
         # attached after preload.
@@ -194,7 +198,11 @@ class FaultCampaign:
             self.device, self.tenants, config=self.serve_config, seed=self.seed
         )
         self._preload()
-        self.injector = FaultInjector(self.fault_config, self.device.config.flash)
+        self.injector = FaultInjector(
+            self.fault_config,
+            self.device.config.flash,
+            registry=self.device.telemetry.counters,
+        )
         self.recovery = RecoveryController(
             self.device,
             self.fault_config,
@@ -238,6 +246,7 @@ def run_campaign(
     duration_ns: float = 500_000.0,
     seed: int = 0,
     verify_integrity: bool = True,
+    telemetry=None,
 ) -> CampaignReport:
     """One-call entry point: build, run, and report a fault campaign."""
     return FaultCampaign(
@@ -248,6 +257,7 @@ def run_campaign(
         duration_ns=duration_ns,
         seed=seed,
         verify_integrity=verify_integrity,
+        telemetry=telemetry,
     ).run()
 
 

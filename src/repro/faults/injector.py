@@ -72,10 +72,16 @@ class _ActiveFault:
 class FaultInjector:
     """Seeded per-read fault source over one flash array geometry."""
 
-    def __init__(self, config: FaultConfig, flash: FlashConfig) -> None:
+    def __init__(self, config: FaultConfig, flash: FlashConfig, registry=None) -> None:
         self.cfg = config
         self.flash = flash
-        self.counters: Counter = Counter()
+        #: With a :class:`~repro.telemetry.counters.CounterRegistry` the
+        #: injection tallies publish as ``faults.*`` in the device snapshot;
+        #: standalone injectors keep a private Counter (same interface).
+        if registry is None:
+            self.counters = Counter()
+        else:
+            self.counters = registry.group("faults")
         self._reads: Dict[int, int] = {}  # flat ppa -> read attempts seen
         self._active: Dict[int, _ActiveFault] = {}
 

@@ -65,17 +65,29 @@ class ServiceRecord:
 class FlashArray:
     """All channels and chips of the SSD's flash."""
 
-    def __init__(self, config: FlashConfig) -> None:
+    def __init__(self, config: FlashConfig, telemetry=None) -> None:
+        if telemetry is None:
+            from repro.telemetry import Telemetry
+
+            telemetry = Telemetry()
         self.config = config
         self.chips: List[List[FlashChip]] = [
             [FlashChip(config, ch, i) for i in range(config.chips_per_channel)]
             for ch in range(config.channels)
         ]
         self.channels: List[ChannelBus] = [
-            ChannelBus(config, ch) for ch in range(config.channels)
+            ChannelBus(config, ch, telemetry=telemetry) for ch in range(config.channels)
         ]
-        self.reads_served = 0
-        self.writes_served = 0
+        self._reads = telemetry.counters.counter("flash.reads_served")
+        self._writes = telemetry.counters.counter("flash.writes_served")
+
+    @property
+    def reads_served(self) -> int:
+        return int(self._reads.value)
+
+    @property
+    def writes_served(self) -> int:
+        return int(self._writes.value)
 
     def _chip(self, ppa: PhysicalPageAddress) -> FlashChip:
         if not 0 <= ppa.channel < self.config.channels:
@@ -89,7 +101,7 @@ class FlashArray:
         chip = self._chip(ppa)
         array_done = chip.start_read(ppa.die, ppa.plane, ppa.block, ppa.page, issue_ns)
         done = self.channels[ppa.channel].transfer(self.config.page_bytes, array_done)
-        self.reads_served += 1
+        self._reads.inc()
         return ServiceRecord(ppa, issue_ns, array_done, done)
 
     def service_write(
@@ -99,7 +111,7 @@ class FlashArray:
         chip = self._chip(ppa)
         transferred = self.channels[ppa.channel].transfer(self.config.page_bytes, issue_ns)
         done = chip.start_program(ppa.die, ppa.plane, ppa.block, ppa.page, transferred, data)
-        self.writes_served += 1
+        self._writes.inc()
         return ServiceRecord(ppa, issue_ns, transferred, done)
 
     def erase(self, ppa: PhysicalPageAddress, issue_ns: float) -> float:

@@ -4,6 +4,12 @@ Chips on a channel operate independently, but their page transfers
 serialise on the bus (paper Section II-A) — the greedy timeline here is
 what bounds a channel to its 1 GB/s and creates the hot-spot when data
 layout is skewed (Section VI-E).
+
+Each bus publishes its byte/occupancy totals into the device's
+:class:`~repro.telemetry.counters.CounterRegistry` and emits one span per
+transfer on its ``flash/ch<n>`` trace track; with the default
+:class:`~repro.telemetry.tracer.NullTracer` the span call is a no-op and
+timing is unchanged.
 """
 
 from __future__ import annotations
@@ -15,12 +21,27 @@ from repro.errors import FlashError
 class ChannelBus:
     """Greedy timeline for one channel's transfer slots."""
 
-    def __init__(self, config: FlashConfig, channel: int) -> None:
+    def __init__(self, config: FlashConfig, channel: int, telemetry=None) -> None:
+        if telemetry is None:
+            from repro.telemetry import Telemetry
+
+            telemetry = Telemetry()
         self.config = config
         self.channel = channel
         self.free_at_ns: float = 0.0
-        self.bytes_transferred: int = 0
-        self.busy_ns: float = 0.0
+        self._track = f"flash/ch{channel}"
+        self._tracer = telemetry.tracer
+        self._bytes = telemetry.counters.counter(f"flash.ch{channel}.bytes")
+        self._busy = telemetry.counters.counter(f"flash.ch{channel}.busy_ns")
+        self._transfers = telemetry.counters.counter(f"flash.ch{channel}.transfers")
+
+    @property
+    def bytes_transferred(self) -> int:
+        return int(self._bytes.value)
+
+    @property
+    def busy_ns(self) -> float:
+        return self._busy.value
 
     def transfer(self, nbytes: int, ready_ns: float) -> float:
         """Schedule a transfer of ``nbytes`` that can start at ``ready_ns``.
@@ -34,8 +55,10 @@ class ChannelBus:
         start = max(ready_ns, self.free_at_ns)
         done = start + duration
         self.free_at_ns = done
-        self.bytes_transferred += nbytes
-        self.busy_ns += duration
+        self._bytes.inc(nbytes)
+        self._busy.inc(duration)
+        self._transfers.inc()
+        self._tracer.complete(self._track, "xfer", start, done)
         return done
 
     def utilisation(self, until_ns: float) -> float:

@@ -56,16 +56,19 @@ def simulate_serve(
     seed: int = 0,
     layout_skew: float = 0.0,
     samples: Optional[Dict[str, object]] = None,
+    telemetry=None,
 ) -> ServeReport:
     """Serve a multi-tenant workload on a fresh device (one-call entry point).
 
     ``samples`` optionally supplies precomputed core-phase
     :class:`~repro.core.core.CoreRunResult` objects keyed by kernel name, so
-    policy comparisons can reuse one sampling pass.
+    policy comparisons can reuse one sampling pass. ``telemetry`` (a
+    :class:`~repro.telemetry.Telemetry`) attaches a tracer/registry to the
+    fresh device — pass ``Telemetry.tracing()`` to record a Chrome trace.
     """
     from repro.ssd.device import ComputationalSSD
 
-    device = ComputationalSSD(config, layout_skew=layout_skew)
+    device = ComputationalSSD(config, layout_skew=layout_skew, telemetry=telemetry)
     return device.serve(
         tenants,
         serve_config=serve_config,

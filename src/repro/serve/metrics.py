@@ -1,8 +1,12 @@
 """Per-tenant SLO metrics and the device-level serve report.
 
-Latency percentiles use the shared nearest-rank :func:`repro.utils.stats.percentile`
-helper (the same convention as the firmware's background-IO p99), so a
-"p99 of X ns" always names a latency some real command actually saw.
+Latency tallies live in shared :class:`repro.telemetry.counters.Histogram`
+objects (nearest-rank percentiles through
+:func:`repro.utils.stats.percentile`, the same convention as the
+firmware's background-IO p99), so a "p99 of X ns" always names a latency
+some real command actually saw, and the serve numbers appear in the
+device-wide :class:`~repro.telemetry.counters.CounterRegistry` snapshot
+under ``serve.<tenant>.*`` instead of private per-module lists.
 """
 
 from __future__ import annotations
@@ -10,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.telemetry.counters import CounterRegistry, Histogram
 from repro.utils.stats import percentile
 
 
@@ -20,9 +25,9 @@ class TenantMetrics:
     tenant: str
     weight: float
     kind: str
-    latencies_ns: List[float] = field(default_factory=list)
-    wait_ns: List[float] = field(default_factory=list)
-    queue_depth_samples: List[int] = field(default_factory=list)
+    latency: Histogram = field(default_factory=lambda: Histogram("latency_ns"))
+    wait: Histogram = field(default_factory=lambda: Histogram("wait_ns"))
+    queue_depth: Histogram = field(default_factory=lambda: Histogram("queue_depth"))
     submitted: int = 0
     completed: int = 0
     dropped: int = 0
@@ -46,8 +51,8 @@ class TenantMetrics:
         timed_out: bool = False,
     ) -> None:
         self.completed += 1
-        self.latencies_ns.append(latency_ns)
-        self.wait_ns.append(wait_ns)
+        self.latency.observe(latency_ns)
+        self.wait.observe(wait_ns)
         self.bytes_in += bytes_in
         self.bytes_out += bytes_out
         if status == "failed":
@@ -64,39 +69,48 @@ class TenantMetrics:
 
     # -- latency -------------------------------------------------------------
 
-    def _pct(self, pct: float) -> float:
-        return percentile(self.latencies_ns, pct) if self.latencies_ns else 0.0
+    @property
+    def latencies_ns(self) -> List[float]:
+        """Raw latency samples (the histogram's backing list)."""
+        return self.latency.values
+
+    @property
+    def wait_ns(self) -> List[float]:
+        return self.wait.values
+
+    @property
+    def queue_depth_samples(self) -> List[float]:
+        return self.queue_depth.values
 
     @property
     def p50_latency_ns(self) -> float:
-        return self._pct(50.0)
+        return self.latency.percentile(50.0)
 
     @property
     def p95_latency_ns(self) -> float:
-        return self._pct(95.0)
+        return self.latency.percentile(95.0)
 
     @property
     def p99_latency_ns(self) -> float:
-        return self._pct(99.0)
+        return self.latency.percentile(99.0)
 
     @property
     def mean_latency_ns(self) -> float:
-        return sum(self.latencies_ns) / len(self.latencies_ns) if self.latencies_ns else 0.0
+        return self.latency.mean
 
     @property
     def mean_wait_ns(self) -> float:
-        return sum(self.wait_ns) / len(self.wait_ns) if self.wait_ns else 0.0
+        return self.wait.mean
 
     # -- queue/throughput ----------------------------------------------------
 
     @property
     def max_queue_depth(self) -> int:
-        return max(self.queue_depth_samples) if self.queue_depth_samples else 0
+        return int(self.queue_depth.maximum) if self.queue_depth.count else 0
 
     @property
     def mean_queue_depth(self) -> float:
-        samples = self.queue_depth_samples
-        return sum(samples) / len(samples) if samples else 0.0
+        return self.queue_depth.mean
 
     def throughput_bytes_per_ns(self, horizon_ns: float) -> float:
         return self.bytes_in / horizon_ns if horizon_ns > 0 else 0.0
@@ -243,11 +257,32 @@ class ServeReport:
         return "\n".join(lines)
 
 
-def build_tenant_metrics(specs, weights: Optional[List[float]] = None) -> Dict[str, TenantMetrics]:
-    """One metrics bucket per tenant spec, in declaration order."""
+def build_tenant_metrics(
+    specs,
+    weights: Optional[List[float]] = None,
+    registry: Optional[CounterRegistry] = None,
+) -> Dict[str, TenantMetrics]:
+    """One metrics bucket per tenant spec, in declaration order.
+
+    With a ``registry`` the latency/wait/queue-depth histograms are
+    allocated through it (named ``serve.<tenant>.*``), so the serve-layer
+    tallies show up in the device-wide telemetry snapshot alongside the
+    flash and host counters.
+    """
     if weights is None:
         weights = [s.weight for s in specs]
-    return {
-        s.name: TenantMetrics(tenant=s.name, weight=w, kind=s.kind)
-        for s, w in zip(specs, weights)
-    }
+    out: Dict[str, TenantMetrics] = {}
+    for s, w in zip(specs, weights):
+        if registry is not None:
+            hist = lambda leaf: registry.histogram(f"serve.{s.name}.{leaf}")  # noqa: E731
+            out[s.name] = TenantMetrics(
+                tenant=s.name,
+                weight=w,
+                kind=s.kind,
+                latency=hist("latency_ns"),
+                wait=hist("wait_ns"),
+                queue_depth=hist("queue_depth"),
+            )
+        else:
+            out[s.name] = TenantMetrics(tenant=s.name, weight=w, kind=s.kind)
+    return out

@@ -67,7 +67,13 @@ class ServingLayer:
         #: ladder and commands complete with degraded/failed statuses
         #: instead of silently serving corrupt data.
         self.recovery = recovery
-        self.events = EventQueue()
+        #: Shared device telemetry: the event queue stamps one instant per
+        #: dispatched callback, the serving layer adds queue-wait, firmware
+        #: service, and stream-core spans, and the per-tenant histograms
+        #: live in the device's counter registry (``serve.<tenant>.*``).
+        self.telemetry = device.telemetry
+        self._tracer = self.telemetry.tracer
+        self.events = EventQueue(tracer=self._tracer)
         self.pairs: List[QueuePair] = make_queue_pairs(
             self.specs, self.config.queue_depth, self.config.weights or None
         )
@@ -75,7 +81,7 @@ class ServingLayer:
         self._gen_by_name: Dict[str, WorkloadGenerator] = {}
         self.arbiter = make_arbiter(self.config.arbitration, self.config.quantum_pages)
         self.metrics: Dict[str, TenantMetrics] = build_tenant_metrics(
-            self.specs, [p.weight for p in self.pairs]
+            self.specs, [p.weight for p in self.pairs], registry=self.telemetry.counters
         )
 
         # Carve a private, pre-populated LPA region per tenant.
@@ -125,11 +131,15 @@ class ServingLayer:
         for gen in self.generators:
             if gen.spec.closed_loop:
                 for _ in range(gen.spec.outstanding):
-                    self.events.schedule_at(0.0, lambda g=gen: self._submit(g))
+                    self.events.schedule_at(
+                        0.0, lambda g=gen: self._submit(g), label=f"submit:{gen.spec.name}"
+                    )
             else:
                 first = gen.next_interarrival_ns()
                 if first < duration_ns:
-                    self.events.schedule_at(first, lambda g=gen: self._arrive(g))
+                    self.events.schedule_at(
+                        first, lambda g=gen: self._arrive(g), label=f"arrive:{gen.spec.name}"
+                    )
         self.events.run()
         return self._report()
 
@@ -140,7 +150,9 @@ class ServingLayer:
         self._submit(gen)
         next_ns = now + gen.next_interarrival_ns()
         if next_ns < self._duration_ns:
-            self.events.schedule_at(next_ns, lambda: self._arrive(gen))
+            self.events.schedule_at(
+                next_ns, lambda: self._arrive(gen), label=f"arrive:{gen.spec.name}"
+            )
 
     def _submit(self, gen: WorkloadGenerator) -> None:
         now = self.events.now
@@ -152,9 +164,11 @@ class ServingLayer:
         cmd = gen.make_command(self.device.host, now)
         if not pair.sq.push(cmd):
             metrics.dropped += 1
+            self._tracer.instant(f"queue/{gen.spec.name}", "drop", now)
         else:
             self.device.host.submit(cmd.command)
-        metrics.queue_depth_samples.append(len(pair.sq))
+            self._tracer.instant(f"queue/{gen.spec.name}", "submit", now)
+        metrics.queue_depth.observe(len(pair.sq))
         self._pump()
 
     # -- dispatch --------------------------------------------------------------
@@ -170,6 +184,8 @@ class ServingLayer:
     def _dispatch(self, cmd: ServeCommand) -> None:
         now = self.events.now
         cmd.dispatched_ns = now
+        # Time spent sitting in the tenant submission queue.
+        self._tracer.complete(f"queue/{cmd.tenant}", "wait", cmd.submitted_ns, now)
         timeout = self.config.command_timeout_ns
         issue = now
         while True:
@@ -188,8 +204,20 @@ class ServingLayer:
             self.metrics[cmd.tenant].cmd_retries += 1
             issue += timeout
         cmd.completed_ns = done_ns
+        if isinstance(cmd.command, ScompCommand):
+            kind = "scomp"
+        elif isinstance(cmd.command, ReadCommand):
+            kind = "read"
+        else:
+            kind = "write"
+        self._tracer.complete("scheduler", f"dispatch:{cmd.tenant}", now, now)
+        # One firmware track per command kind: spans of in-flight commands
+        # overlap freely, and same-named spans keep the B/E pairing valid.
+        self._tracer.complete(f"firmware/{kind}", f"service:{kind}", now, done_ns)
         self._inflight += 1
-        self.events.schedule_at(done_ns, lambda: self._complete(cmd))
+        self.events.schedule_at(
+            done_ns, lambda: self._complete(cmd), label=f"complete:{cmd.tenant}"
+        )
 
     def _complete(self, cmd: ServeCommand) -> None:
         self._inflight -= 1
@@ -211,7 +239,9 @@ class ServingLayer:
         )
         gen = self._gen_by_name[cmd.tenant]
         if gen.spec.closed_loop:
-            self.events.schedule(gen.spec.think_ns, lambda: self._submit(gen))
+            self.events.schedule(
+                gen.spec.think_ns, lambda: self._submit(gen), label=f"think:{gen.spec.name}"
+            )
         self._pump()
 
     # -- service models --------------------------------------------------------
@@ -304,6 +334,7 @@ class ServingLayer:
         # The core consumes pages in order, so it can neither start before
         # the first page lands nor finish before the last one does.
         done = max(start + compute_ns, flash_done)
+        self._tracer.complete(f"core/{core}", f"scomp:{kernel_name}", start, done)
         self._core_free_ns[core] = done
         self._core_busy_ns[core] += compute_ns
         cmd.bytes_in = cmd.pages * self._page_bytes

@@ -31,6 +31,7 @@ from repro.ssd.crossbar import Crossbar
 from repro.ssd.dram_buffer import DRAMBuffer
 from repro.ssd.firmware import Firmware, OffloadResult
 from repro.ssd.host_interface import HostInterface, ScompCommand
+from repro.telemetry import Telemetry
 
 DEFAULT_SAMPLE_BYTES = 64 * 1024
 _SAMPLE_BYTES_BY_KERNEL = {
@@ -45,15 +46,23 @@ _SAMPLE_BYTES_BY_KERNEL = {
 class ComputationalSSD:
     """One computational SSD instance of a Table IV configuration."""
 
-    def __init__(self, config: SSDConfig, layout_skew: float = 0.0) -> None:
+    def __init__(
+        self,
+        config: SSDConfig,
+        layout_skew: float = 0.0,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.config = config
-        self.array = FlashArray(config.flash)
+        #: Tracer + counter registry shared by every component of this
+        #: device; defaults to a NullTracer bundle (zero observable effect).
+        self.telemetry = telemetry or Telemetry()
+        self.array = FlashArray(config.flash, telemetry=self.telemetry)
         self.ftl = PageMapFTL(config.flash, skew=layout_skew)
         self.crossbar = Crossbar(
             config.flash.channels, config.num_cores, enabled=config.crossbar
         )
         self.dram = DRAMBuffer(config.dram)
-        self.host = HostInterface(config.host)
+        self.host = HostInterface(config.host, telemetry=self.telemetry)
         self.firmware = Firmware(self.config, self.array, self.ftl, self.crossbar, self.dram)
         if config.core.engine is EngineKind.UDP:
             self.engine = UDPLaneModel(config.core)

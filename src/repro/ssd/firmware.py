@@ -33,7 +33,7 @@ from repro.flash.ecc import ECCStatus
 from repro.ftl.mapping import PageMapFTL
 from repro.ssd.crossbar import Crossbar
 from repro.ssd.dram_buffer import DRAMBuffer, TrafficBreakdown
-from repro.utils.stats import percentile
+from repro.telemetry.counters import Histogram
 
 #: Pages of read-ahead the firmware keeps in flight per engine. The scomp
 #: LPA lists are known upfront, so controllers can queue deeply; 32 pages
@@ -49,22 +49,25 @@ class BackgroundIO:
     of read/write requests that do not exploit computational storage with
     computational storage operations". One page read is issued every
     ``interval_ns`` over ``lpas`` (cycling); measured service latencies land
-    in :attr:`latencies_ns`.
+    in the :attr:`latency` histogram.
     """
 
     lpas: List[int]
     interval_ns: float
-    latencies_ns: List[float] = field(default_factory=list)
+    latency: Histogram = field(default_factory=lambda: Histogram("bg_latency_ns"))
+
+    @property
+    def latencies_ns(self) -> List[float]:
+        """Raw latency samples (the histogram's backing list)."""
+        return self.latency.values
 
     @property
     def mean_latency_ns(self) -> float:
-        return sum(self.latencies_ns) / len(self.latencies_ns) if self.latencies_ns else 0.0
+        return self.latency.mean
 
     @property
     def p99_latency_ns(self) -> float:
-        if not self.latencies_ns:
-            return 0.0
-        return percentile(self.latencies_ns, 99.0)
+        return self.latency.percentile(99.0)
 
 
 @dataclass
@@ -480,7 +483,7 @@ class Firmware:
                 index = task  # the background read counter
                 lpa = background.lpas[index % len(background.lpas)]
                 record = self.array.service_read(self.ftl.lookup(lpa), when)
-                background.latencies_ns.append(record.done_ns - when)
+                background.latency.observe(record.done_ns - when)
                 next_when = when + background.interval_ns
                 if next_when <= nominal_span:
                     heapq.heappush(heap, (next_when, next(seq), "bg", index + 1))
@@ -584,9 +587,19 @@ class RecoveryController:
         self.injector = injector
         self.raid = raid_map
         self.golden = golden or {}
-        self.counters: Counter = Counter()
-        self.reconstruction_ns: List[float] = []
+        #: Dict-style facade over the device registry's ``recovery.*``
+        #: counters; tally sites keep their ``counters[name] += 1`` shape.
+        self.counters = device.telemetry.counters.group("recovery")
+        self._reconstruction = device.telemetry.counters.histogram(
+            "recovery.reconstruction_ns"
+        )
+        self._tracer = device.telemetry.tracer
         self.corruption_events = 0
+
+    @property
+    def reconstruction_ns(self) -> List[float]:
+        """Latency of every RAID rebuild (the histogram's backing list)."""
+        return self._reconstruction.values
 
     # -- public entry ---------------------------------------------------------
 
@@ -605,6 +618,7 @@ class RecoveryController:
                 return PageReadOutcome(lpa, data, done, status, retries=attempt)
             if attempt < self.cfg.max_read_retries:
                 self.counters["read_retries"] += 1
+                self._tracer.instant("recovery", "retry", done)
                 issue = done + self.cfg.retry_backoff_ns * (2 ** attempt)
             else:
                 issue = done
@@ -648,6 +662,7 @@ class RecoveryController:
         mates = self.raid.stripe_mates(lpa) if self.raid is not None else None
         if not mates:
             self.counters["unrecoverable_pages"] += 1
+            self._tracer.instant("recovery", "unrecoverable", issue_ns)
             return PageReadOutcome(lpa, None, issue_ns, "failed", retries=retries)
         started = issue_ns
         pages: List[bytes] = []
@@ -662,13 +677,15 @@ class RecoveryController:
             if not ok or data is None:
                 self.counters["reconstruction_failures"] += 1
                 self.counters["unrecoverable_pages"] += 1
+                self._tracer.instant("recovery", "unrecoverable", done)
                 return PageReadOutcome(lpa, None, done, "failed", retries=retries)
             pages.append(data)
         rebuilt = self._parity_rebuild(pages)
         # One pass through the parity engine at channel speed.
         done += self.device.config.flash.page_transfer_ns
         self.counters["reconstructed_pages"] += 1
-        self.reconstruction_ns.append(done - started)
+        self._reconstruction.observe(done - started)
+        self._tracer.complete("recovery", "rebuild", started, done)
         self._verify(lpa, rebuilt)
         self._retire_and_remap(lpa, rebuilt, done)
         return PageReadOutcome(lpa, rebuilt, done, "reconstructed", retries=retries)
@@ -727,7 +744,7 @@ class RecoveryController:
 
     def fault_counters(self) -> Dict[str, int]:
         """Stable, render-ready snapshot of the per-fault-class counters."""
-        merged = Counter(self.counters)
+        merged = Counter(self.counters.as_dict())
         if self.injector is not None:
             merged.update(self.injector.counters)
         return dict(sorted(merged.items()))

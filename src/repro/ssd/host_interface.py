@@ -66,17 +66,35 @@ class Completion:
 
 
 class HostInterface:
-    """Submission/completion queues plus link-transfer timing."""
+    """Submission/completion queues plus link-transfer timing.
 
-    def __init__(self, config: HostInterfaceConfig) -> None:
+    Link occupancy is traced as spans on the ``host-link`` track and the
+    directional byte totals publish into the device's counter registry
+    (no-ops under the default :class:`~repro.telemetry.tracer.NullTracer`).
+    """
+
+    def __init__(self, config: HostInterfaceConfig, telemetry=None) -> None:
+        if telemetry is None:
+            from repro.telemetry import Telemetry
+
+            telemetry = Telemetry()
         self.config = config
         self._ids = itertools.count(1)
         self._issued_ids: set = set()
         self.submissions: List[NVMeCommand] = []
         self.completions: List[Completion] = []
         self.link_free_at_ns = 0.0
-        self.bytes_to_host = 0
-        self.bytes_from_host = 0
+        self._tracer = telemetry.tracer
+        self._to_host = telemetry.counters.counter("host.bytes_to_host")
+        self._from_host = telemetry.counters.counter("host.bytes_from_host")
+
+    @property
+    def bytes_to_host(self) -> int:
+        return int(self._to_host.value)
+
+    @property
+    def bytes_from_host(self) -> int:
+        return int(self._from_host.value)
 
     def next_id(self) -> int:
         return next(self._ids)
@@ -95,9 +113,11 @@ class HostInterface:
         done = start + nbytes / self.config.bandwidth_bytes_per_ns
         self.link_free_at_ns = done
         if to_host:
-            self.bytes_to_host += nbytes
+            self._to_host.inc(nbytes)
+            self._tracer.complete("host-link", "to-host", start, done)
         else:
-            self.bytes_from_host += nbytes
+            self._from_host.inc(nbytes)
+            self._tracer.complete("host-link", "from-host", start, done)
         return done
 
     def complete(self, command: NVMeCommand, submitted_ns: float, completed_ns: float,

@@ -1,0 +1,81 @@
+"""Structural validation of exported Chrome ``trace_event`` JSON.
+
+Shared by the test suite and the CI trace-smoke job: a trace is only
+useful if Perfetto can load it, so we check the invariants the exporter
+promises — required keys on every event, nondecreasing timestamps, and
+balanced, correctly named B/E span pairs per track.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+_REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+_KNOWN_PHASES = ("B", "E", "i", "M", "X")
+
+
+def validate_chrome_trace(trace: dict) -> List[str]:
+    """Return a list of human-readable problems (empty = valid)."""
+    problems: List[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top-level 'traceEvents' list is missing"]
+
+    last_ts = None
+    open_spans: Dict[Tuple[int, int], List[str]] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index} is not an object")
+            continue
+        missing = [key for key in _REQUIRED_KEYS if key not in event]
+        if missing:
+            problems.append(f"event {index} ({event.get('name')!r}) missing keys {missing}")
+            continue
+        phase = event["ph"]
+        if phase not in _KNOWN_PHASES:
+            problems.append(f"event {index} has unknown phase {phase!r}")
+            continue
+        if phase == "M":
+            continue  # metadata carries no timeline semantics
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {index} has non-numeric ts {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(
+                f"event {index} ({event['name']!r}) ts {ts} precedes previous ts {last_ts}"
+            )
+        last_ts = ts
+        key = (event["pid"], event["tid"])
+        if phase == "B":
+            open_spans.setdefault(key, []).append(event["name"])
+        elif phase == "E":
+            stack = open_spans.get(key)
+            if not stack:
+                problems.append(
+                    f"event {index}: E for {event['name']!r} on track {key} with no open B"
+                )
+            else:
+                opened = stack.pop()
+                if opened != event["name"]:
+                    problems.append(
+                        f"event {index}: E named {event['name']!r} closes B named {opened!r}"
+                    )
+    for key, stack in open_spans.items():
+        if stack:
+            problems.append(f"track {key} left spans open: {stack}")
+    return problems
+
+
+def span_tracks(trace: dict) -> List[str]:
+    """Names of tracks that contain at least one complete span."""
+    events = trace.get("traceEvents", [])
+    names_by_tid: Dict[Tuple[int, int], str] = {}
+    span_tids = set()
+    for event in events:
+        key = (event.get("pid"), event.get("tid"))
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            names_by_tid[key] = event.get("args", {}).get("name", "")
+        elif event.get("ph") in ("B", "X"):
+            span_tids.add(key)
+    return sorted(names_by_tid.get(key, f"tid{key}") for key in span_tids)

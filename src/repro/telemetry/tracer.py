@@ -1,0 +1,194 @@
+"""Event tracing against simulated time, exported as Chrome ``trace_event`` JSON.
+
+A :class:`Tracer` records three event shapes on named *tracks* (one track
+per simulated component: a tenant queue, the scheduler, a flash channel, a
+stream core, the host link):
+
+* ``complete(track, name, start_ns, end_ns)`` — a span whose start and end
+  are both known at record time (the common case for greedy timelines);
+* ``begin``/``end`` — a span opened and closed separately;
+* ``instant`` — a point event (an EventQueue dispatch, a retry).
+
+Timestamps are **simulated nanoseconds**, never wall clock, so traces are
+deterministic: the export sorts stably, serialises with fixed separators,
+and two same-seed runs produce byte-identical files.
+
+:class:`NullTracer` is the disabled implementation every component holds by
+default: every method is a no-op that allocates nothing, so instrumented
+hot paths cost one dynamic dispatch when tracing is off.
+
+Export targets the Chrome/Perfetto ``trace_event`` format (JSON object with
+a ``traceEvents`` list); ``ts`` is in microseconds per the spec, so one
+simulated nanosecond is ``ts = ns / 1000``. Load the file at
+https://ui.perfetto.dev or chrome://tracing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class TraceError(ReproError):
+    """Malformed trace usage (unbalanced spans, unknown track)."""
+
+
+class NullTracer:
+    """Tracing disabled: every record call is an allocation-free no-op."""
+
+    enabled = False
+
+    def begin(self, track: str, name: str, ts_ns: float) -> None:
+        pass
+
+    def end(self, track: str, ts_ns: float) -> None:
+        pass
+
+    def complete(self, track: str, name: str, start_ns: float, end_ns: float) -> None:
+        pass
+
+    def instant(self, track: str, name: str, ts_ns: float) -> None:
+        pass
+
+    def to_chrome_trace(self) -> dict:
+        return {"traceEvents": [], "displayTimeUnit": "ns"}
+
+    def to_json(self) -> str:
+        return _dump(self.to_chrome_trace())
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+
+#: Shared disabled tracer. Stateless, so one instance serves every component.
+NULL_TRACER = NullTracer()
+
+
+class Tracer(NullTracer):
+    """Records spans and instants against simulated nanoseconds."""
+
+    enabled = True
+
+    def __init__(self, process_name: str = "repro") -> None:
+        self.process_name = process_name
+        # (ts_ns, seq, phase, track, name)
+        self._events: List[Tuple[float, int, str, str, str]] = []
+        self._tracks: Dict[str, int] = {}
+        self._open: Dict[str, List[str]] = {}
+        self._seq = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def _track_id(self, track: str) -> int:
+        tid = self._tracks.get(track)
+        if tid is None:
+            tid = len(self._tracks)
+            self._tracks[track] = tid
+        return tid
+
+    def _record(self, ts_ns: float, phase: str, track: str, name: str) -> None:
+        self._track_id(track)
+        self._events.append((ts_ns, self._seq, phase, track, name))
+        self._seq += 1
+
+    def begin(self, track: str, name: str, ts_ns: float) -> None:
+        self._open.setdefault(track, []).append(name)
+        self._record(ts_ns, "B", track, name)
+
+    def end(self, track: str, ts_ns: float) -> None:
+        stack = self._open.get(track)
+        if not stack:
+            raise TraceError(f"end() on track {track!r} with no open span")
+        name = stack.pop()
+        self._record(ts_ns, "E", track, name)
+
+    def complete(self, track: str, name: str, start_ns: float, end_ns: float) -> None:
+        """A span with both endpoints known; emitted as a balanced B/E pair."""
+        if end_ns < start_ns:
+            raise TraceError(
+                f"span {name!r} on {track!r} ends ({end_ns}) before it starts ({start_ns})"
+            )
+        self._record(start_ns, "B", track, name)
+        self._record(end_ns, "E", track, name)
+
+    def instant(self, track: str, name: str, ts_ns: float) -> None:
+        self._record(ts_ns, "i", track, name)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def num_events(self) -> int:
+        return len(self._events)
+
+    def track_names(self) -> List[str]:
+        return list(self._tracks)
+
+    def events_on(self, track: str) -> List[Tuple[float, str, str]]:
+        """(ts_ns, phase, name) for one track, in export order."""
+        return [
+            (ts, ph, name)
+            for ts, _, ph, tr, name in sorted(self._events)
+            if tr == track
+        ]
+
+    # -- export --------------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """The Chrome ``trace_event`` JSON object (ts sorted, µs units)."""
+        if any(self._open.values()):
+            dangling = [t for t, stack in self._open.items() if stack]
+            raise TraceError(f"unclosed spans on tracks: {dangling}")
+        events: List[dict] = []
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": self.process_name},
+            }
+        )
+        for track, tid in self._tracks.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        for ts_ns, _, phase, track, name in sorted(self._events):
+            event = {
+                "name": name,
+                "ph": phase,
+                "ts": ts_ns / 1000.0,
+                "pid": 1,
+                "tid": self._tracks[track],
+            }
+            if phase == "i":
+                event["s"] = "t"  # thread-scoped instant
+            events.append(event)
+        return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+    def to_json(self) -> str:
+        return _dump(self.to_chrome_trace())
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+
+def _dump(trace: dict) -> str:
+    """Deterministic serialisation: fixed key order and separators."""
+    return json.dumps(trace, sort_keys=True, separators=(",", ":"))
+
+
+def make_tracer(enabled: bool, process_name: str = "repro") -> NullTracer:
+    """The standard way to pick an implementation from a flag."""
+    return Tracer(process_name) if enabled else NULL_TRACER

@@ -24,11 +24,22 @@ class Event:
 
 
 class EventQueue:
-    """Deterministic priority queue of :class:`Event` ordered by time then seq."""
+    """Deterministic priority queue of :class:`Event` ordered by time then seq.
 
-    def __init__(self) -> None:
+    ``tracer`` (a :class:`repro.telemetry.tracer.NullTracer` by default)
+    gets one instant event per dispatched callback on the ``scheduler``
+    track, named by the event's label — telemetry only observes, it never
+    changes ordering or timing.
+    """
+
+    def __init__(self, tracer=None) -> None:
+        if tracer is None:
+            from repro.telemetry.tracer import NULL_TRACER
+
+            tracer = NULL_TRACER
         self._heap: List[Tuple[float, int, Event]] = []
         self._counter = itertools.count()
+        self._tracer = tracer
         self.now: float = 0.0
         self.processed: int = 0
 
@@ -57,6 +68,7 @@ class EventQueue:
         _, _, event = heapq.heappop(self._heap)
         self.now = event.time_ns
         self.processed += 1
+        self._tracer.instant("scheduler", event.label or "event", event.time_ns)
         event.action()
         return True
 

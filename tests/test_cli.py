@@ -140,3 +140,46 @@ def test_reproduce_writes_report(tmp_path, capsys, monkeypatch):
     assert code == 0
     text = out_file.read_text()
     assert "### Table I" in text and "### Table II" in text
+
+
+def test_trace_command_writes_valid_chrome_json(tmp_path, capsys):
+    import json
+
+    from repro.telemetry import validate_chrome_trace
+
+    out_file = tmp_path / "trace.json"
+    code, out = run_cli(
+        capsys, "trace", "--duration-us", "120", "--out", str(out_file), "--counters"
+    )
+    assert code == 0
+    assert "trace written" in out and "span tracks" in out
+    assert "perfetto" in out.lower()
+    assert "flash.reads_served" in out  # --counters dump
+    trace = json.loads(out_file.read_text())
+    assert validate_chrome_trace(trace) == []
+
+
+def test_trace_command_is_deterministic(tmp_path, capsys):
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    for path in (first, second):
+        code, _ = run_cli(
+            capsys, "trace", "--duration-us", "120", "--seed", "42", "--out", str(path)
+        )
+        assert code == 0
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_profile_command_prints_attribution(capsys):
+    code, out = run_cli(capsys, "profile", "--kernel", "scan", "--top", "5")
+    assert code == 0
+    assert "profile scan on AssasinSb" in out
+    assert "attribution" in out and "compute" in out
+
+
+def test_profile_command_aes_memory_config(capsys):
+    code, out = run_cli(
+        capsys, "profile", "--kernel", "aes", "--config", "Baseline", "--sample-kib", "32"
+    )
+    assert code == 0
+    assert "profile aes on Baseline" in out

@@ -1,0 +1,106 @@
+"""Tests for the ISA-level cycle-attribution profiler.
+
+The load-bearing invariant: the profile is an exact decomposition of the
+run — per-PC cycles sum to the run's cycle count and per-PC execution
+counts sum to its instruction count, for both the stream path (AssasinSb)
+and the chunked memory path (Baseline caches).
+"""
+
+import pytest
+
+from repro.config import named_config
+from repro.core.core import CoreModel
+from repro.kernels import get_kernel
+from repro.telemetry import IsaProfiler, basic_block_ranges, profile_kernel
+
+
+@pytest.mark.parametrize("kernel_name", ["scan", "aes"])
+def test_profile_totals_match_run_exactly(kernel_name):
+    profile = profile_kernel(get_kernel(kernel_name))
+    assert profile.total_cycles == profile.cycles
+    assert profile.total_instructions == profile.instructions
+    stats = profile.profiler.pc_stats()
+    assert sum(s.count for s in stats) == profile.instructions
+    assert sum(s.cycles for s in stats) == pytest.approx(profile.cycles)
+
+
+@pytest.mark.parametrize("kernel_name", ["scan", "aes"])
+def test_attribution_buckets_decompose_each_pc(kernel_name):
+    profile = profile_kernel(get_kernel(kernel_name))
+    for s in profile.profiler.pc_stats():
+        assert s.cycles == pytest.approx(s.compute + s.mem_stall + s.stream_stall)
+        assert s.count > 0
+
+
+def test_memory_path_profile_accumulates_across_chunks():
+    # Baseline runs the memory program chunk by chunk through the caches;
+    # the profiler must absorb every chunk and still balance exactly.
+    core = named_config("Baseline").core
+    profile = profile_kernel(get_kernel("scan"), core_config=core, sample_bytes=32 * 1024)
+    assert profile.total_cycles == profile.cycles
+    assert profile.total_instructions == profile.instructions
+    # Cache-based loads pay memory stalls somewhere in the loop.
+    assert sum(s.mem_stall for s in profile.profiler.pc_stats()) > 0
+
+
+def test_stream_kernel_attributes_to_stream_ops():
+    profile = profile_kernel(get_kernel("scan"))
+    by_op = {}
+    for s in profile.profiler.pc_stats():
+        by_op.setdefault(s.op, 0.0)
+        by_op[s.op] += s.cycles
+    # The stream ISA's point: the hot loop runs on sloads + ALU ops.
+    assert any(op.startswith("sload") for op in by_op)
+
+
+def test_basic_blocks_partition_the_program():
+    program = get_kernel("scan").build_stream_program(0x1000)
+    ranges = basic_block_ranges(program)
+    covered = []
+    for start, end in ranges:
+        assert start <= end
+        covered.extend(range(start, end + 1))
+    assert covered == list(range(len(program.instrs)))
+
+
+def test_block_rollup_balances_with_pc_stats():
+    profile = profile_kernel(get_kernel("scan"))
+    blocks = profile.profiler.basic_blocks()
+    assert sum(b.cycles for b in blocks) == pytest.approx(profile.cycles)
+
+
+def test_profiler_requires_program_for_blocks():
+    with pytest.raises(ValueError):
+        IsaProfiler().basic_blocks()
+
+
+def test_report_renders_hotspots():
+    profile = profile_kernel(get_kernel("scan"))
+    text = profile.report(top=5)
+    assert "profile scan on AssasinSb" in text
+    assert "attribution" in text and "compute" in text
+    assert "block" in text and "pc" in text
+
+
+def test_profiler_attaches_to_core_model():
+    core = named_config("AssasinSb").core
+    engine = CoreModel(core)
+    engine.profiler = IsaProfiler()
+    kernel = get_kernel("scan")
+    result = engine.run(kernel, kernel.make_inputs(16 * 1024))
+    assert engine.profiler.total_cycles == result.cycles
+    assert engine.profiler.total_instructions == result.instructions
+    assert engine.profiler.program is not None
+
+
+def test_unprofiled_run_is_unchanged():
+    core = named_config("AssasinSb").core
+    kernel = get_kernel("scan")
+    inputs = kernel.make_inputs(16 * 1024)
+    plain = CoreModel(core).run(kernel, inputs)
+    profiled_engine = CoreModel(core)
+    profiled_engine.profiler = IsaProfiler()
+    profiled = profiled_engine.run(kernel, inputs)
+    assert plain.cycles == profiled.cycles
+    assert plain.instructions == profiled.instructions
+    assert plain.outputs == profiled.outputs

@@ -1,0 +1,191 @@
+"""Tests for the tracer and its Chrome ``trace_event`` export.
+
+The exported JSON must be loadable by Perfetto (schema invariants) and
+byte-identical across same-seed runs (determinism), and a traced serve run
+must cover every component track the issue names: tenant queues, the
+scheduler, firmware service, flash channels, stream cores.
+"""
+
+import json
+
+import pytest
+
+from repro.config import ServeConfig, named_config
+from repro.serve import default_tenants, simulate_serve
+from repro.telemetry import (
+    NULL_TRACER,
+    Telemetry,
+    TraceError,
+    Tracer,
+    make_tracer,
+    span_tracks,
+    validate_chrome_trace,
+)
+
+DURATION_NS = 120_000.0
+
+
+def traced_serve(seed: int = 42):
+    telemetry = Telemetry.tracing("serve")
+    report = simulate_serve(
+        named_config("AssasinSb"),
+        default_tenants(),
+        ServeConfig(),
+        duration_ns=DURATION_NS,
+        seed=seed,
+        telemetry=telemetry,
+    )
+    return report, telemetry
+
+
+# -- unit behaviour -----------------------------------------------------------
+
+
+def test_null_tracer_is_inert():
+    NULL_TRACER.begin("t", "x", 0.0)
+    NULL_TRACER.end("t", 1.0)
+    NULL_TRACER.complete("t", "x", 0.0, 1.0)
+    NULL_TRACER.instant("t", "x", 0.0)
+    assert not NULL_TRACER.enabled
+    assert NULL_TRACER.to_chrome_trace() == {"traceEvents": [], "displayTimeUnit": "ns"}
+
+
+def test_make_tracer_picks_implementation():
+    assert make_tracer(False) is NULL_TRACER
+    assert isinstance(make_tracer(True), Tracer) and make_tracer(True).enabled
+
+
+def test_complete_and_instant_round_trip():
+    t = Tracer()
+    t.complete("ch0", "xfer", 100.0, 250.0)
+    t.instant("sched", "submit:hot", 50.0)
+    assert t.num_events == 3
+    assert t.track_names() == ["ch0", "sched"]
+    assert t.events_on("ch0") == [(100.0, "B", "xfer"), (250.0, "E", "xfer")]
+
+
+def test_begin_end_nest_and_unbalanced_end_raises():
+    t = Tracer()
+    t.begin("fw", "outer", 0.0)
+    t.begin("fw", "inner", 5.0)
+    t.end("fw", 7.0)
+    t.end("fw", 9.0)
+    assert [name for _, ph, name in t.events_on("fw") if ph == "E"] == ["inner", "outer"]
+    with pytest.raises(TraceError):
+        t.end("fw", 10.0)
+
+
+def test_backwards_span_raises():
+    with pytest.raises(TraceError):
+        Tracer().complete("t", "x", 10.0, 5.0)
+
+
+def test_export_refuses_unclosed_spans():
+    t = Tracer()
+    t.begin("t", "open", 0.0)
+    with pytest.raises(TraceError):
+        t.to_chrome_trace()
+
+
+def test_chrome_trace_shape():
+    t = Tracer(process_name="proc")
+    t.complete("track-a", "span", 2_000.0, 4_000.0)
+    t.instant("track-a", "tick", 3_000.0)
+    trace = t.to_chrome_trace()
+    meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+    timeline = [e for e in trace["traceEvents"] if e["ph"] != "M"]
+    # ts is microseconds (simulated ns / 1000), sorted nondecreasing.
+    assert [e["ts"] for e in timeline] == [2.0, 3.0, 4.0]
+    instant = next(e for e in timeline if e["ph"] == "i")
+    assert instant["s"] == "t"
+    assert validate_chrome_trace(trace) == []
+
+
+# -- schema validation --------------------------------------------------------
+
+
+def test_validator_flags_broken_traces():
+    assert validate_chrome_trace({}) == ["top-level 'traceEvents' list is missing"]
+    bad_keys = {"traceEvents": [{"ph": "B"}]}
+    assert any("missing keys" in p for p in validate_chrome_trace(bad_keys))
+    dangling = {
+        "traceEvents": [{"name": "x", "ph": "B", "ts": 0, "pid": 1, "tid": 0}]
+    }
+    assert any("left spans open" in p for p in validate_chrome_trace(dangling))
+    mismatched = {
+        "traceEvents": [
+            {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 0},
+            {"name": "b", "ph": "E", "ts": 1, "pid": 1, "tid": 0},
+        ]
+    }
+    assert any("closes B named" in p for p in validate_chrome_trace(mismatched))
+    backwards = {
+        "traceEvents": [
+            {"name": "a", "ph": "i", "ts": 5, "pid": 1, "tid": 0},
+            {"name": "b", "ph": "i", "ts": 1, "pid": 1, "tid": 0},
+        ]
+    }
+    assert any("precedes" in p for p in validate_chrome_trace(backwards))
+
+
+# -- traced serve run ---------------------------------------------------------
+
+
+def test_serve_trace_validates_and_covers_component_tracks():
+    _, telemetry = traced_serve()
+    trace = telemetry.tracer.to_chrome_trace()
+    assert validate_chrome_trace(trace) == []
+    tracks = span_tracks(trace)
+    assert any(t.startswith("queue/") for t in tracks)
+    assert "scheduler" in tracks
+    assert any(t.startswith("firmware/") for t in tracks)
+    assert any(t.startswith("flash/ch") for t in tracks)
+    assert any(t.startswith("core/") for t in tracks)
+    assert "host-link" in tracks
+    assert len(tracks) >= 5
+
+
+def test_serve_trace_required_event_keys():
+    _, telemetry = traced_serve()
+    for event in telemetry.tracer.to_chrome_trace()["traceEvents"]:
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            assert key in event
+        assert event["name"], "events must be named"
+
+
+def test_scheduler_instants_carry_event_labels():
+    # Satellite: every serve-layer schedule() call site passes a label, so
+    # no scheduler instant falls back to the anonymous "event" name.
+    _, telemetry = traced_serve()
+    names = [
+        name for _, ph, name in telemetry.tracer.events_on("scheduler") if ph == "i"
+    ]
+    assert names, "the event queue must stamp dispatch instants"
+    assert "event" not in names
+    assert any(n.startswith("arrive:") for n in names)
+    assert any(n.startswith("complete:") for n in names)
+
+
+def test_same_seed_traces_are_byte_identical():
+    _, first = traced_serve(seed=42)
+    _, second = traced_serve(seed=42)
+    a, b = first.tracer.to_json(), second.tracer.to_json()
+    assert a == b
+    # And really deterministic JSON: stable key order + separators.
+    assert json.loads(a) == first.tracer.to_chrome_trace()
+
+
+def test_different_seed_traces_differ():
+    _, first = traced_serve(seed=42)
+    _, second = traced_serve(seed=43)
+    assert first.tracer.to_json() != second.tracer.to_json()
+
+
+def test_trace_write_round_trips(tmp_path):
+    _, telemetry = traced_serve()
+    path = tmp_path / "trace.json"
+    telemetry.tracer.write(str(path))
+    loaded = json.loads(path.read_text())
+    assert validate_chrome_trace(loaded) == []
+    assert loaded == telemetry.tracer.to_chrome_trace()

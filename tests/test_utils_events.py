@@ -145,3 +145,36 @@ def test_run_max_events_budget():
     assert len(q) == 3
     q.run()
     assert fired == [0, 1, 2, 3, 4]
+
+
+def test_schedule_labels_surface_as_tracer_instants():
+    from repro.telemetry import Tracer
+
+    tracer = Tracer()
+    q = EventQueue(tracer=tracer)
+    q.schedule(10, lambda: None, label="arrive:hot")
+    q.schedule_at(25, lambda: None, label="complete:hot")
+    q.run()
+    names = [name for _, ph, name in tracer.events_on("scheduler") if ph == "i"]
+    assert names == ["arrive:hot", "complete:hot"]
+
+
+def test_unlabeled_schedule_falls_back_to_anonymous_instant():
+    from repro.telemetry import Tracer
+
+    tracer = Tracer()
+    q = EventQueue(tracer=tracer)
+    q.schedule(5, lambda: None)
+    q.run()
+    assert [name for _, _, name in tracer.events_on("scheduler")] == ["event"]
+
+
+def test_instants_fire_only_when_events_run():
+    from repro.telemetry import Tracer
+
+    tracer = Tracer()
+    q = EventQueue(tracer=tracer)
+    q.schedule(10, lambda: None, label="early")
+    q.schedule(50, lambda: None, label="late")
+    q.run(until_ns=20)
+    assert [name for _, _, name in tracer.events_on("scheduler")] == ["early"]
