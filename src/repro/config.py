@@ -52,6 +52,14 @@ class EngineKind(enum.Enum):
     UDP = "udp"
 
 
+#: Execution engines for the functional ISA simulation. ``"reference"`` is
+#: the per-instruction interpreter loop (``repro.isa.interpreter``);
+#: ``"fast"`` is the predecoding superblock engine (``repro.isa.fastpath``),
+#: bit-exact with the reference and the default since the differential
+#: conformance suite locked the two together.
+EXEC_ENGINES: Tuple[str, ...] = ("reference", "fast")
+
+
 @dataclass(frozen=True)
 class CacheConfig:
     """A set-associative write-back cache level."""
@@ -133,10 +141,18 @@ class CoreConfig:
     pingpong: Optional[ScratchpadConfig] = None
     streambuffer: Optional[StreamBufferConfig] = None
     stream_isa: bool = False
+    #: Functional execution engine: "fast" (predecoded superblocks) or
+    #: "reference" (per-instruction interpreter). Architecturally identical;
+    #: see docs/ARCHITECTURE.md "Execution engines".
+    exec_engine: str = "fast"
 
     def __post_init__(self) -> None:
         if self.frequency_ghz <= 0:
             raise ConfigError("core frequency must be positive")
+        if self.exec_engine not in EXEC_ENGINES:
+            raise ConfigError(
+                f"unknown exec engine {self.exec_engine!r}; known: {EXEC_ENGINES}"
+            )
         if self.stream_isa and self.streambuffer is None:
             raise ConfigError("stream ISA requires a stream buffer")
         if self.data_source is DataSource.FLASH_STREAM:
@@ -428,6 +444,10 @@ class SSDConfig:
     def with_cores(self, num_cores: int) -> "SSDConfig":
         """A copy with a different engine count (used by the scaling study)."""
         return replace(self, num_cores=num_cores)
+
+    def with_exec_engine(self, exec_engine: str) -> "SSDConfig":
+        """A copy whose cores use the given functional execution engine."""
+        return replace(self, core=replace(self.core, exec_engine=exec_engine))
 
 
 # ---------------------------------------------------------------------------

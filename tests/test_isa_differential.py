@@ -18,7 +18,7 @@ from repro.utils.bitops import to_signed32
 REGS = list(range(1, 16))  # avoid x0 as destination for simpler modelling
 
 _ALU_R = ["add", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu",
-          "mul", "mulh", "mulhu", "div", "divu", "rem", "remu"]
+          "mul", "mulh", "mulhu", "mulhsu", "div", "divu", "rem", "remu"]
 _ALU_I = ["addi", "andi", "ori", "xori", "slti", "sltiu"]
 _SHIFT_I = ["slli", "srli", "srai"]
 
@@ -90,6 +90,8 @@ def golden_eval(instrs, seeds):
             v = (s(a) * s(b)) >> 32
         elif op == "mulhu":
             v = (a * b) >> 32
+        elif op == "mulhsu":
+            v = (s(a) * b) >> 32
         elif op == "div":
             if s(b) == 0:
                 v = -1

@@ -1,9 +1,18 @@
-"""Tests for instruction definitions, kinds and validation."""
+"""Tests for instruction definitions, kinds and validation, plus the
+table-driven sign-extension/overflow edge-case audit that locks both
+execution engines to RV32IM semantics (SRA on negatives, SLTU wraparound,
+MULH* variants, div/rem overflow, misaligned/ring-wrapping StreamLoads)."""
 
 import pytest
 
+from repro.config import StreamBufferConfig
 from repro.errors import AssemblyError
+from repro.isa.fastpath import FastEngine
 from repro.isa.instructions import Instr, InstrKind, kind_of, validate_instr
+from repro.isa.interpreter import Interpreter
+from repro.isa.program import Program
+from repro.mem.memory import FlatMemory
+from repro.mem.streambuffer import StreamBufferSet
 
 
 def test_kind_classification():
@@ -65,3 +74,197 @@ def test_str_forms():
     assert str(Instr("halt")) == "halt"
     assert "beq" in str(Instr("beq", rs1=1, rs2=2, imm=7, label="loop"))
     assert str(Instr("lw", rd=3, rs1=2, imm=8)) == "lw x3, 8(x2)"
+
+
+# ---------------------------------------------------------------------------
+# Sign-extension / overflow edge-case audit, run on BOTH execution engines.
+# ---------------------------------------------------------------------------
+
+ENGINES = ("reference", "fast")
+
+INT_MIN = 0x80000000
+ALL_ONES = 0xFFFFFFFF
+
+
+def _run_instr(instr, engine, regs=()):
+    """Execute one instruction (then halt) and return the register file."""
+    program = Program("edge", (instr, Instr("halt")))
+    interp = Interpreter(program, FlatMemory(64))
+    for reg, value in regs:
+        interp.regs.write(reg, value)
+    if engine == "fast":
+        FastEngine(program).run(interp)
+    else:
+        interp.run()
+    return interp.regs
+
+
+# (op, rs1 value, rs2 value, expected rd) — register-register forms.
+RR_EDGE_CASES = [
+    # SRA on negative values: arithmetic shift must replicate the sign bit.
+    ("sra", INT_MIN, 1, 0xC0000000),
+    ("sra", INT_MIN, 31, ALL_ONES),
+    ("sra", INT_MIN, 0, INT_MIN),
+    ("sra", ALL_ONES, 4, ALL_ONES),
+    ("sra", 0x7FFFFFFF, 31, 0),
+    ("sra", 0xF0000000, 35, 0xFE000000),  # shift amount masked to 3
+    # Logical shifts: amount masked to 5 bits, zero fill.
+    ("srl", INT_MIN, 31, 1),
+    ("srl", ALL_ONES, 32, ALL_ONES),  # 32 & 31 == 0
+    ("sll", 1, 33, 2),  # 33 & 31 == 1
+    ("sll", ALL_ONES, 4, 0xFFFFFFF0),
+    # SLT/SLTU wraparound: 0x80000000 is INT_MIN signed but huge unsigned.
+    ("slt", INT_MIN, 0x7FFFFFFF, 1),
+    ("sltu", INT_MIN, 0x7FFFFFFF, 0),
+    ("slt", ALL_ONES, 0, 1),  # -1 < 0 signed
+    ("sltu", ALL_ONES, 0, 0),  # 2^32-1 > 0 unsigned
+    ("sltu", 0, ALL_ONES, 1),
+    ("sltu", 5, 5, 0),
+    # MULH* variants: upper 32 bits under each signedness combination.
+    ("mul", INT_MIN, ALL_ONES, INT_MIN),
+    ("mulh", INT_MIN, INT_MIN, 0x40000000),
+    ("mulh", ALL_ONES, ALL_ONES, 0),
+    ("mulh", INT_MIN, ALL_ONES, 0),
+    ("mulhu", ALL_ONES, ALL_ONES, 0xFFFFFFFE),
+    ("mulhu", INT_MIN, 2, 1),
+    ("mulhsu", ALL_ONES, ALL_ONES, ALL_ONES),
+    ("mulhsu", INT_MIN, ALL_ONES, INT_MIN),
+    ("mulhsu", 0x7FFFFFFF, ALL_ONES, 0x7FFFFFFE),
+    # Division: RV32 overflow case INT_MIN / -1, division by zero, and
+    # truncation toward zero for mixed signs.
+    ("div", INT_MIN, ALL_ONES, INT_MIN),
+    ("rem", INT_MIN, ALL_ONES, 0),
+    ("div", 7, 0, ALL_ONES),
+    ("divu", 7, 0, ALL_ONES),
+    ("rem", 0xFFFFFFF9, 0, 0xFFFFFFF9),  # rem by zero returns dividend
+    ("remu", 7, 0, 7),
+    ("div", 0xFFFFFFF9, 2, 0xFFFFFFFD),  # -7 / 2 == -3 (truncating)
+    ("rem", 0xFFFFFFF9, 2, ALL_ONES),  # -7 % 2 == -1
+    ("div", 7, 0xFFFFFFFE, 0xFFFFFFFD),  # 7 / -2 == -3
+    ("rem", 7, 0xFFFFFFFE, 1),  # 7 % -2 == 1
+    ("divu", ALL_ONES, 2, 0x7FFFFFFF),
+    ("remu", ALL_ONES, 0xFFFFFFFE, 1),
+]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("op,a,b,expected", RR_EDGE_CASES)
+def test_rr_edge_case(op, a, b, expected, engine):
+    regs = _run_instr(Instr(op, rd=3, rs1=1, rs2=2), engine,
+                      regs=[(1, a), (2, b)])
+    assert regs.read(3) == expected, f"{op}({a:#x}, {b:#x})"
+
+
+# (op, rs1 value, imm, expected rd) — immediate forms.
+IMM_EDGE_CASES = [
+    ("srai", INT_MIN, 1, 0xC0000000),
+    ("srai", ALL_ONES, 31, ALL_ONES),
+    ("srli", INT_MIN, 31, 1),
+    ("slti", 0, -1, 0),  # 0 < -1 is false signed
+    ("sltiu", 0, -1, 1),  # imm sign-extends to 0xFFFFFFFF unsigned
+    ("sltiu", ALL_ONES, -1, 0),
+    ("slti", 0xFFFFFFFE, -1, 1),  # -2 < -1 signed
+    ("andi", 0xF0F0F0F0, -1, 0xF0F0F0F0),  # imm -1 masks to all ones
+    ("ori", 0, -2048, 0xFFFFF800),
+    ("xori", ALL_ONES, -1, 0),
+    ("addi", ALL_ONES, 1, 0),  # wraparound add
+    ("addi", 0, -1, ALL_ONES),
+]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("op,a,imm,expected", IMM_EDGE_CASES)
+def test_imm_edge_case(op, a, imm, expected, engine):
+    regs = _run_instr(Instr(op, rd=3, rs1=1, imm=imm), engine,
+                      regs=[(1, a)])
+    assert regs.read(3) == expected, f"{op}({a:#x}, {imm})"
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_writes_to_x0_are_discarded(engine):
+    regs = _run_instr(Instr("addi", rd=0, rs1=0, imm=123), engine)
+    assert regs.read(0) == 0
+
+
+# ---------------------------------------------------------------------------
+# Misaligned / ring-wrapping StreamLoad offsets.
+# ---------------------------------------------------------------------------
+
+_SB_SMALL = StreamBufferConfig(num_streams=1, pages_per_stream=2,
+                               page_bytes=64)  # 128-byte ring
+
+
+def _run_stream_program(instrs, buffers, engine):
+    mem = FlatMemory(64)
+    outs = StreamBufferSet(_SB_SMALL, "output")
+    program = Program("sedge", tuple(instrs) + (Instr("halt"),))
+    interp = Interpreter(program, mem, in_streams=buffers, out_streams=outs)
+    if engine == "fast":
+        FastEngine(program).run(interp)
+    else:
+        interp.run()
+    return interp
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("skip,width", [(1, 2), (1, 4), (3, 4), (5, 2),
+                                        (7, 4)])
+def test_misaligned_stream_load(skip, width, engine):
+    """sload has no alignment requirement: byte offsets assemble LE."""
+    payload = bytes(range(1, 33))
+    ins = StreamBufferSet(_SB_SMALL, "input")
+    ins[0].push(payload)
+    ins[0].finish_producing()
+    interp = _run_stream_program(
+        [Instr("sskip", sid=0, imm=skip),
+         Instr("sload", rd=5, sid=0, width=width)], ins, engine)
+    expected = int.from_bytes(payload[skip:skip + width], "little")
+    assert interp.regs.read(5) == expected
+    assert interp.in_streams[0].head == skip + width
+    assert interp.stream_bytes_in == skip + width
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("width", [2, 4])
+def test_stream_load_across_ring_wrap(width, engine):
+    """A load spanning the circular-buffer wrap point splits correctly and
+    the head CSR (head mod capacity) wraps with it."""
+    cap = _SB_SMALL.pages_per_stream * _SB_SMALL.page_bytes
+    first = bytes(range(100))
+    ins = StreamBufferSet(_SB_SMALL, "input")
+    ins[0].push(first)
+    assert ins[0].consume(100) == first
+    second = bytes(range(100, 160))  # tail wraps past `cap`
+    ins[0].push(second)
+    ins[0].finish_producing()
+    skip = cap - 100 - (width // 2)  # place the load across the wrap point
+    interp = _run_stream_program(
+        [Instr("sskip", sid=0, imm=skip),
+         Instr("sload", rd=5, sid=0, width=width)], ins, engine)
+    expected = int.from_bytes(second[skip:skip + width], "little")
+    assert interp.regs.read(5) == expected
+    head = interp.in_streams[0].head
+    assert head == 100 + skip + width
+    assert interp.in_streams[0].head_csr == head % cap
+    assert head > cap  # the load really crossed the wrap point
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_trailing_partial_element_stalls_not_eos(engine):
+    """Fewer buffered bytes than the sload width is a stall (firmware must
+    pad or the program hangs), not EOS — EOS needs an empty buffer."""
+    ins = StreamBufferSet(_SB_SMALL, "input")
+    ins[0].push(b"abc")
+    ins[0].finish_producing()
+    program = Program("trail", (Instr("sload", rd=5, sid=0, width=4),
+                                Instr("halt")))
+    interp = Interpreter(program, FlatMemory(64), in_streams=ins,
+                         out_streams=StreamBufferSet(_SB_SMALL, "output"))
+    with pytest.raises(Exception, match="unresolvable stream stall"):
+        if engine == "fast":
+            FastEngine(program).run(interp)
+        else:
+            interp.run()
+    assert not interp.finished
+    assert interp.steps == 0
+    assert ins[0].available == 3  # nothing consumed
