@@ -163,13 +163,8 @@ class FaultCampaign:
         self.golden = golden
 
         # Manufacturing-state preload: the programs above must not occupy
-        # the plane timelines the serve run is about to contend on.
-        for row in device.array.chips:
-            for chip in row:
-                for die in chip.planes:
-                    for plane in die:
-                        plane.read_busy_until_ns = 0.0
-                        plane.write_busy_until_ns = 0.0
+        # the plane or bus timelines the serve run is about to contend on.
+        device.array.reset_timelines()
 
     def _program(self, ppa, data: bytes) -> None:
         chip = self.device.array.chips[ppa.channel][ppa.chip]

@@ -16,6 +16,7 @@ from repro.config import FlashConfig
 from repro.errors import FlashError
 from repro.flash.channel import ChannelBus
 from repro.flash.chip import FlashChip
+from repro.sim import as_ns
 
 
 @dataclass(frozen=True, order=True)
@@ -54,12 +55,12 @@ class PhysicalPageAddress:
 
 @dataclass(frozen=True)
 class ServiceRecord:
-    """Timing of one serviced page operation."""
+    """Timing of one serviced page operation (integer ns on the sim clock)."""
 
     ppa: PhysicalPageAddress
-    issue_ns: float
-    array_done_ns: float  # die operation complete
-    done_ns: float  # data fully transferred (read) or programmed (write)
+    issue_ns: int
+    array_done_ns: int  # die operation complete
+    done_ns: int  # data fully transferred (read) or programmed (write)
 
 
 class FlashArray:
@@ -96,27 +97,37 @@ class FlashArray:
             raise FlashError(f"chip {ppa.chip} outside channel")
         return self.chips[ppa.channel][ppa.chip]
 
-    def service_read(self, ppa: PhysicalPageAddress, issue_ns: float) -> ServiceRecord:
+    def service_read(self, ppa: PhysicalPageAddress, issue_ns) -> ServiceRecord:
         """Read one page: die tR, then the channel transfer."""
         chip = self._chip(ppa)
-        array_done = chip.start_read(ppa.die, ppa.plane, ppa.block, ppa.page, issue_ns)
+        issue = as_ns(issue_ns)
+        array_done = chip.start_read(ppa.die, ppa.plane, ppa.block, ppa.page, issue)
         done = self.channels[ppa.channel].transfer(self.config.page_bytes, array_done)
         self._reads.inc()
-        return ServiceRecord(ppa, issue_ns, array_done, done)
+        return ServiceRecord(ppa, issue, array_done, done)
 
     def service_write(
-        self, ppa: PhysicalPageAddress, issue_ns: float, data: Optional[bytes] = None
+        self, ppa: PhysicalPageAddress, issue_ns, data: Optional[bytes] = None
     ) -> ServiceRecord:
         """Write one page: channel transfer into the register, then program."""
         chip = self._chip(ppa)
-        transferred = self.channels[ppa.channel].transfer(self.config.page_bytes, issue_ns)
+        issue = as_ns(issue_ns)
+        transferred = self.channels[ppa.channel].transfer(self.config.page_bytes, issue)
         done = chip.start_program(ppa.die, ppa.plane, ppa.block, ppa.page, transferred, data)
         self._writes.inc()
-        return ServiceRecord(ppa, issue_ns, transferred, done)
+        return ServiceRecord(ppa, issue, transferred, done)
 
-    def erase(self, ppa: PhysicalPageAddress, issue_ns: float) -> float:
+    def erase(self, ppa: PhysicalPageAddress, issue_ns) -> int:
         """Erase the block containing ``ppa``."""
         return self._chip(ppa).erase_block(ppa.die, ppa.plane, ppa.block, issue_ns)
+
+    def reset_timelines(self) -> None:
+        """Rewind every bus and plane lane (manufacturing-state preloads)."""
+        for bus in self.channels:
+            bus.reset_timeline()
+        for row in self.chips:
+            for chip in row:
+                chip.reset_timelines()
 
     # -- observability -----------------------------------------------------------
 
@@ -127,6 +138,6 @@ class FlashArray:
         return [bus.utilisation(until_ns) for bus in self.channels]
 
     @property
-    def horizon_ns(self) -> float:
+    def horizon_ns(self) -> int:
         """Latest completion time across all channel buses."""
-        return max((bus.free_at_ns for bus in self.channels), default=0.0)
+        return max((bus.free_at_ns for bus in self.channels), default=0)

@@ -1,9 +1,16 @@
 """Channel bus: the shared link between one flash controller and its chips.
 
 Chips on a channel operate independently, but their page transfers
-serialise on the bus (paper Section II-A) — the greedy timeline here is
+serialise on the bus (paper Section II-A) — the FIFO arbitration here is
 what bounds a channel to its 1 GB/s and creates the hot-spot when data
 layout is skewed (Section VI-E).
+
+The bus is a :class:`repro.sim.FifoResource`: a greedy FIFO reservation
+timeline on the unified integer-nanosecond simulation kernel.  Transfers
+are granted in call order, busy intervals are tracked exactly, and
+utilisation over a window counts only the overlap that falls inside it
+(a transfer straddling the window's end contributes its clipped part, not
+its full duration).
 
 Each bus publishes its byte/occupancy totals into the device's
 :class:`~repro.telemetry.counters.CounterRegistry` and emits one span per
@@ -16,10 +23,11 @@ from __future__ import annotations
 
 from repro.config import FlashConfig
 from repro.errors import FlashError
+from repro.sim import FifoResource, as_ns
 
 
 class ChannelBus:
-    """Greedy timeline for one channel's transfer slots."""
+    """FIFO transfer-slot resource for one channel."""
 
     def __init__(self, config: FlashConfig, channel: int, telemetry=None) -> None:
         if telemetry is None:
@@ -28,22 +36,27 @@ class ChannelBus:
             telemetry = Telemetry()
         self.config = config
         self.channel = channel
-        self.free_at_ns: float = 0.0
         self._track = f"flash/ch{channel}"
+        self._bus = FifoResource(self._track, trace_label="xfer")
         self._tracer = telemetry.tracer
         self._bytes = telemetry.counters.counter(f"flash.ch{channel}.bytes")
         self._busy = telemetry.counters.counter(f"flash.ch{channel}.busy_ns")
         self._transfers = telemetry.counters.counter(f"flash.ch{channel}.transfers")
 
     @property
+    def free_at_ns(self) -> int:
+        """When the bus next frees (integer ns on the unified clock)."""
+        return self._bus.free_at_ns
+
+    @property
     def bytes_transferred(self) -> int:
         return int(self._bytes.value)
 
     @property
-    def busy_ns(self) -> float:
-        return self._busy.value
+    def busy_ns(self) -> int:
+        return self._bus.busy_ns
 
-    def transfer(self, nbytes: int, ready_ns: float) -> float:
+    def transfer(self, nbytes: int, ready_ns) -> int:
         """Schedule a transfer of ``nbytes`` that can start at ``ready_ns``.
 
         Returns the completion time. Transfers are granted in call order
@@ -51,16 +64,18 @@ class ChannelBus:
         """
         if nbytes <= 0:
             raise FlashError("transfer size must be positive")
-        duration = nbytes / self.config.channel_bandwidth_bytes_per_ns
-        start = max(ready_ns, self.free_at_ns)
-        done = start + duration
-        self.free_at_ns = done
+        duration = as_ns(nbytes / self.config.channel_bandwidth_bytes_per_ns)
+        grant = self._bus.acquire(ready_ns, duration)
         self._bytes.inc(nbytes)
-        self._busy.inc(duration)
+        self._busy.inc(grant.done_ns - grant.start_ns)
         self._transfers.inc()
-        self._tracer.complete(self._track, "xfer", start, done)
-        return done
+        self._tracer.complete(self._track, "xfer", grant.start_ns, grant.done_ns)
+        return grant.done_ns
 
-    def utilisation(self, until_ns: float) -> float:
-        """Fraction of [0, until_ns] the bus spent transferring."""
-        return min(1.0, self.busy_ns / until_ns) if until_ns > 0 else 0.0
+    def utilisation(self, until_ns) -> float:
+        """Exact fraction of ``[0, until_ns]`` the bus spent transferring."""
+        return self._bus.utilisation(until_ns)
+
+    def reset_timeline(self) -> None:
+        """Rewind the bus (manufacturing-state preloads)."""
+        self._bus.reset()

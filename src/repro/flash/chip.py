@@ -14,6 +14,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.config import FlashConfig
 from repro.errors import FlashError
+from repro.sim import PooledResource, as_ns
 
 
 class PageState(enum.Enum):
@@ -22,37 +23,37 @@ class PageState(enum.Enum):
 
 
 @dataclass
-class PlaneTimeline:
-    """When each plane finishes its current array operations.
+class PlaneOps:
+    """Operation tallies for one plane (timing lives in the plane pools)."""
 
-    Planes within a die operate concurrently (multi-plane read/program with
-    cache operations), the standard technique SSDs use to hide NAND's long
-    tPROG behind channel transfers. Reads and program/erase are tracked
-    separately: modern controllers *suspend* an in-flight program or erase
-    to service a read, so reads only queue behind other reads, while
-    programs/erases queue behind everything.
-    """
-
-    read_busy_until_ns: float = 0.0
-    write_busy_until_ns: float = 0.0
     reads: int = 0
     programs: int = 0
     erases: int = 0
 
-    @property
-    def busy_until_ns(self) -> float:
-        return max(self.read_busy_until_ns, self.write_busy_until_ns)
-
 
 class FlashChip:
-    """Geometry + timing + state for one chip of the array."""
+    """Geometry + timing + state for one chip of the array.
+
+    Planes within a die operate concurrently (multi-plane read/program with
+    cache operations), the standard technique SSDs use to hide NAND's long
+    tPROG behind channel transfers.  Each chip therefore owns two
+    :class:`repro.sim.PooledResource` pools with one unit per plane —
+    reads and program/erase are separate lanes: modern controllers
+    *suspend* an in-flight program or erase to service a read, so reads
+    only queue behind other reads, while programs/erases queue behind
+    everything on their plane.
+    """
 
     def __init__(self, config: FlashConfig, channel: int, index: int) -> None:
         self.config = config
         self.channel = channel
         self.index = index
+        units = config.dies_per_chip * config.planes_per_die
+        name = f"flash.ch{channel}.chip{index}"
+        self._read_lanes = PooledResource(f"{name}.plane_read", units)
+        self._write_lanes = PooledResource(f"{name}.plane_write", units)
         self.planes = [
-            [PlaneTimeline() for _ in range(config.planes_per_die)]
+            [PlaneOps() for _ in range(config.planes_per_die)]
             for _ in range(config.dies_per_chip)
         ]
         # Sparse page state: (die, plane, block, page) -> PageState; absent
@@ -88,15 +89,17 @@ class FlashChip:
     # Each returns the time the *array* operation completes (page register
     # ready for reads); the channel transfer is handled by the array level.
 
-    def start_read(self, die: int, plane: int, block: int, page: int, at_ns: float) -> float:
+    def _unit(self, die: int, plane: int) -> int:
+        return die * self.config.planes_per_die + plane
+
+    def start_read(self, die: int, plane: int, block: int, page: int, at_ns) -> int:
         self._check(die, plane, block, page)
-        timeline = self.planes[die][plane]
         # Reads suspend in-flight programs/erases: queue behind reads only.
-        start = max(at_ns, timeline.read_busy_until_ns)
-        done = start + self.config.read_latency_ns
-        timeline.read_busy_until_ns = done
-        timeline.reads += 1
-        return done
+        grant = self._read_lanes.acquire(
+            at_ns, as_ns(self.config.read_latency_ns), unit=self._unit(die, plane)
+        )
+        self.planes[die][plane].reads += 1
+        return grant.done_ns
 
     def start_program(
         self,
@@ -104,18 +107,22 @@ class FlashChip:
         plane: int,
         block: int,
         page: int,
-        at_ns: float,
+        at_ns,
         data: Optional[bytes] = None,
-    ) -> float:
+    ) -> int:
         self._check(die, plane, block, page)
         key = (die, plane, block, page)
         if self._state.get(key) is PageState.PROGRAMMED:
             raise FlashError(f"program into non-erased page {key} (erase the block first)")
-        timeline = self.planes[die][plane]
-        start = max(at_ns, timeline.busy_until_ns)
-        done = start + self.config.program_latency_ns
-        timeline.write_busy_until_ns = done
-        timeline.programs += 1
+        unit = self._unit(die, plane)
+        # Programs queue behind everything on the plane: in-flight reads
+        # (which would suspend them) and earlier programs/erases.
+        ready = max(as_ns(at_ns), self._read_lanes.free_at(unit))
+        grant = self._write_lanes.acquire(
+            ready, as_ns(self.config.program_latency_ns), unit=unit
+        )
+        done = grant.done_ns
+        self.planes[die][plane].programs += 1
         self._state[key] = PageState.PROGRAMMED
         if data is not None:
             if len(data) > self.config.page_bytes:
@@ -129,13 +136,15 @@ class FlashChip:
             self._spare[key] = encode_page(aligned)
         return done
 
-    def erase_block(self, die: int, plane: int, block: int, at_ns: float) -> float:
+    def erase_block(self, die: int, plane: int, block: int, at_ns) -> int:
         self._check(die, plane, block, 0)
-        timeline = self.planes[die][plane]
-        start = max(at_ns, timeline.busy_until_ns)
-        done = start + self.config.erase_latency_ns
-        timeline.write_busy_until_ns = done
-        timeline.erases += 1
+        unit = self._unit(die, plane)
+        ready = max(as_ns(at_ns), self._read_lanes.free_at(unit))
+        grant = self._write_lanes.acquire(
+            ready, as_ns(self.config.erase_latency_ns), unit=unit
+        )
+        done = grant.done_ns
+        self.planes[die][plane].erases += 1
         for page in range(self.config.pages_per_block):
             self._state.pop((die, plane, block, page), None)
             self._data.pop((die, plane, block, page), None)
@@ -235,6 +244,16 @@ class FlashChip:
         if status is ECCStatus.UNCORRECTABLE:
             self.ecc_failures += 1
         return decoded[: len(raw)], status
+
+    def reset_timelines(self) -> None:
+        """Rewind every plane lane to t=0 (manufacturing-state preloads).
+
+        Page *state* is untouched: only the reservation timelines rewind,
+        so data programmed during a preload is present without occupying
+        the planes the run is about to contend on.
+        """
+        self._read_lanes.reset()
+        self._write_lanes.reset()
 
     # -- stats -------------------------------------------------------------------
 

@@ -4,6 +4,16 @@ Victim selection is greedy-by-invalid-count (the standard MQSim policy):
 the block with the most invalid pages is reclaimed first, still-valid pages
 are relocated through the allocator, and the erase is timed against the
 flash array so GC pressure shows up as channel/die occupancy.
+
+Two driving styles share the same relocation mechanics:
+
+* :meth:`GarbageCollector.collect` runs a whole pass synchronously at a
+  given instant (maintenance windows, tests).
+* :meth:`GarbageCollector.collect_process` is a generator process for the
+  unified :class:`repro.sim.Simulator` kernel — it yields between page
+  relocations, so foreground offload/serve processes scheduled on the same
+  kernel contend with GC on the plane and bus timelines instead of seeing
+  one atomic burst.
 """
 
 from __future__ import annotations
@@ -37,6 +47,9 @@ class GarbageCollector:
         self.array = array
         self.collections = 0
         self.pages_relocated = 0
+        #: Outcome of the most recent pass (set by both driving styles;
+        #: the process form has no direct way to return it).
+        self.last_result: Optional[GCResult] = None
 
     def _blocks_by_invalid(self) -> Dict[BlockId, List[PhysicalPageAddress]]:
         groups: Dict[BlockId, List[PhysicalPageAddress]] = defaultdict(list)
@@ -65,28 +78,65 @@ class GarbageCollector:
         victim = self.pick_victim()
         if victim is None:
             raise FTLError("no invalid pages: nothing to collect")
-        channel, chip, die, plane, block = victim
-        pages_per_block = self.ftl.config.pages_per_block
-        invalid_here = {
+        invalid_here = self._invalid_pages_in(victim)
+        # Relocate valid pages (mapped pages living in this block).
+        relocated = 0
+        now = at_ns
+        for ppa, lpa in self._valid_pages_in(victim, invalid_here):
+            now = self._relocate(ppa, lpa, now)
+            relocated += 1
+        return self._finish(victim, invalid_here, relocated, now)
+
+    def collect_process(self, sim, at_ns: float = 0.0):
+        """One GC pass as a process on the simulation kernel.
+
+        Control returns to the simulator after every page relocation, so
+        other processes on the same kernel (offload engines, background
+        host reads) issue their reservations in global time order and GC
+        pressure shows up as genuine contention. The finished
+        :class:`GCResult` lands in :attr:`last_result`.
+        """
+        victim = self.pick_victim()
+        if victim is None:
+            raise FTLError("no invalid pages: nothing to collect")
+        yield sim.wait_until(at_ns)
+        invalid_here = self._invalid_pages_in(victim)
+        relocated = 0
+        now = sim.now
+        for ppa, lpa in self._valid_pages_in(victim, invalid_here):
+            now = self._relocate(ppa, lpa, now)
+            relocated += 1
+            yield sim.wait_until(now)
+        self._finish(victim, invalid_here, relocated, now)
+
+    # -- shared relocation mechanics ------------------------------------------
+
+    def _invalid_pages_in(self, victim: BlockId):
+        return {
             ppa.page
             for ppa in self.ftl.invalid_pages
             if (ppa.channel, ppa.chip, ppa.die, ppa.plane, ppa.block) == victim
         }
-        # Relocate valid pages (mapped pages living in this block).
-        relocated = 0
-        now = at_ns
-        for page in range(pages_per_block):
+
+    def _valid_pages_in(self, victim: BlockId, invalid_here):
+        channel, chip, die, plane, block = victim
+        for page in range(self.ftl.config.pages_per_block):
             if page in invalid_here:
                 continue
             ppa = PhysicalPageAddress(channel, chip, die, plane, block, page)
             lpa = self.ftl.reverse_lookup(ppa)
             if lpa is None:
                 continue  # never-written page
-            read = self.array.service_read(ppa, now)
-            _, new_ppa = self.ftl.remap_for_gc(lpa)
-            write = self.array.service_write(new_ppa, read.done_ns)
-            now = write.array_done_ns
-            relocated += 1
+            yield ppa, lpa
+
+    def _relocate(self, ppa: PhysicalPageAddress, lpa: int, now: float) -> float:
+        read = self.array.service_read(ppa, now)
+        _, new_ppa = self.ftl.remap_for_gc(lpa)
+        write = self.array.service_write(new_ppa, read.done_ns)
+        return write.array_done_ns
+
+    def _finish(self, victim: BlockId, invalid_here, relocated: int, now: float) -> GCResult:
+        channel, chip, die, plane, block = victim
         erase_ppa = PhysicalPageAddress(channel, chip, die, plane, block, 0)
         done = self.array.erase(erase_ppa, now)
         self.ftl.wear.record_erase(victim)
@@ -101,4 +151,11 @@ class GarbageCollector:
         self.ftl.allocator.free_block(erase_ppa)
         self.collections += 1
         self.pages_relocated += relocated
-        return GCResult(victim=victim, relocated=relocated, reclaimed=len(invalid_here), done_ns=done)
+        result = GCResult(
+            victim=victim,
+            relocated=relocated,
+            reclaimed=len(invalid_here),
+            done_ns=done,
+        )
+        self.last_result = result
+        return result

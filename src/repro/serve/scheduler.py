@@ -1,9 +1,13 @@
 """Device-side serving scheduler: queue pairs → arbiter → engines/channels.
 
 The :class:`ServingLayer` is the firmware's admission-and-dispatch loop for
-multi-tenant traffic. It runs on the shared :class:`~repro.utils.events.EventQueue`
-and keeps at most ``ServeConfig.max_inflight`` commands on the device at
-once; whenever a slot frees, the arbiter picks the next tenant queue.
+multi-tenant traffic. It runs on the unified discrete-event kernel
+(:class:`~repro.sim.Simulator`) and keeps at most
+``ServeConfig.max_inflight`` commands on the device at once; whenever a
+slot frees, the arbiter picks the next tenant queue. The stream-core pool
+is a :class:`~repro.sim.PooledResource` — scomp commands take the
+least-loaded core's lane, exactly the greedy discipline the firmware's
+offload path applies.
 
 Service timing reuses the device's existing greedy timelines — the flash
 array (per-plane/per-bus FIFOs), the crossbar hop, the host link — so the
@@ -36,8 +40,8 @@ from repro.serve.arbiter import make_arbiter
 from repro.serve.metrics import ServeReport, TenantMetrics, build_tenant_metrics
 from repro.serve.queues import QueuePair, ServeCommand, make_queue_pairs
 from repro.serve.workload import TenantSpec, WorkloadGenerator
+from repro.sim import PooledResource, Simulator
 from repro.ssd.host_interface import ReadCommand, ScompCommand, WriteCommand
-from repro.utils.events import EventQueue
 
 #: LPA namespace for serve-path result/write pages; disjoint from tenant
 #: regions and from the firmware's offload-result namespace (1 << 40).
@@ -73,7 +77,7 @@ class ServingLayer:
         #: live in the device's counter registry (``serve.<tenant>.*``).
         self.telemetry = device.telemetry
         self._tracer = self.telemetry.tracer
-        self.events = EventQueue(tracer=self._tracer)
+        self.events = Simulator(tracer=self._tracer)
         self.pairs: List[QueuePair] = make_queue_pairs(
             self.specs, self.config.queue_depth, self.config.weights or None
         )
@@ -113,9 +117,9 @@ class ServingLayer:
             for name, s in self._samples.items()
         }
 
-        n_cores = self.device.config.num_cores
-        self._core_free_ns = [0.0] * n_cores
-        self._core_busy_ns = [0.0] * n_cores
+        #: The stream-core pool as unit timelines on the simulation kernel;
+        #: scomp service claims the least-loaded lane.
+        self._cores = PooledResource("serve.cores", self.device.config.num_cores)
         self._out_lpa = itertools.count(_SERVE_OUT_LPA_BASE)
         self._inflight = 0
         self._duration_ns = 0.0
@@ -310,7 +314,7 @@ class ServingLayer:
             cpp_page_ns = self._cpp_page_ns[kernel_name]
         except KeyError:
             raise ServeError(f"no core-phase sample for kernel {kernel_name!r}") from None
-        core = min(range(len(self._core_free_ns)), key=self._core_free_ns.__getitem__)
+        core = self._cores.least_loaded()
         first_page_ns = None
         flash_done = now
         for lpas in cmd.command.lpa_lists:
@@ -321,22 +325,25 @@ class ServingLayer:
                 else:
                     page_done = device.array.service_read(ppa, now).done_ns
                 hop = (
-                    device.crossbar.route(core, ppa.channel, self._page_bytes)
+                    device.crossbar.route(
+                        core, ppa.channel, self._page_bytes, at_ns=page_done
+                    )
                     if device.crossbar.enabled
-                    else 0.0
+                    else 0
                 )
                 arrival = page_done + hop
                 flash_done = max(flash_done, arrival)
                 if first_page_ns is None or arrival < first_page_ns:
                     first_page_ns = arrival
         compute_ns = cmd.pages * cpp_page_ns
-        start = max(now, self._core_free_ns[core], first_page_ns or now)
+        start = max(now, self._cores.free_at(core), first_page_ns or now)
         # The core consumes pages in order, so it can neither start before
-        # the first page lands nor finish before the last one does.
+        # the first page lands nor finish before the last one does; the
+        # lane is held to the command's completion but only the compute
+        # span counts toward the core's utilisation.
         done = max(start + compute_ns, flash_done)
         self._tracer.complete(f"core/{core}", f"scomp:{kernel_name}", start, done)
-        self._core_free_ns[core] = done
-        self._core_busy_ns[core] += compute_ns
+        self._cores.occupy(core, start, done, busy_ns=compute_ns)
         cmd.bytes_in = cmd.pages * self._page_bytes
         cmd.bytes_out = int(cmd.bytes_in * self._out_ratio.get(kernel_name, 0.0))
         return device.host.transfer(max(cmd.bytes_out, 1), done, to_host=True)
@@ -353,7 +360,8 @@ class ServingLayer:
             horizon_ns=horizon,
             tenants=self.metrics,
             core_utilisation=[
-                busy / horizon if horizon > 0 else 0.0 for busy in self._core_busy_ns
+                self._cores.busy_ns(core) / horizon if horizon > 0 else 0.0
+                for core in range(self._cores.units)
             ],
             channel_utilisation=self.device.array.channel_utilisations(horizon)
             if horizon > 0

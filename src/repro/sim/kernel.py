@@ -1,0 +1,212 @@
+"""The discrete-event kernel: integer-nanosecond clock, deterministic heap.
+
+Determinism rules (relied on by the same-seed trace-diff tests):
+
+1. Time is an **integer number of nanoseconds**.  Fractional instants from
+   analytic models (cycles-per-byte compute spans, Poisson inter-arrivals)
+   are rounded to the nearest nanosecond at the scheduling boundary by
+   :func:`as_ns`.
+2. Events are ordered by ``(time_ns, priority, seq)``: lower priority
+   values first, ties broken by global insertion order.  Two runs issuing
+   the same schedule calls therefore dispatch in the same order.
+3. Scheduling a non-finite instant (NaN/inf) raises immediately instead of
+   silently corrupting the heap order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+
+
+class SimTimeError(ReproError, ValueError):
+    """An invalid simulation instant (non-finite, or in the past)."""
+
+
+def as_ns(value: Union[int, float]) -> int:
+    """Round an instant/duration to integer nanoseconds, rejecting NaN/inf."""
+    if isinstance(value, int):
+        return value
+    if not math.isfinite(value):
+        raise SimTimeError(f"non-finite simulation time {value!r}")
+    return int(round(value))
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled callback at an absolute simulation time (integer ns)."""
+
+    time_ns: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    priority: int = 0
+
+
+class Process:
+    """Handle for a generator-based process spawned on a :class:`Simulator`.
+
+    The generator *yields waits*: an integer/float delay in nanoseconds, or
+    the sentinel pairs produced by :meth:`Simulator.wait` /
+    :meth:`Simulator.wait_until`.  Between waits the process body runs
+    synchronously at the current simulation instant (issuing resource
+    reservations, mutating state, scheduling callbacks).
+    """
+
+    __slots__ = ("label", "alive", "_gen")
+
+    def __init__(self, gen: Generator, label: str) -> None:
+        self._gen = gen
+        self.label = label
+        self.alive = True
+
+
+#: Wait requests a process generator may yield.
+_WAIT_DELAY = "delay"
+_WAIT_UNTIL = "until"
+
+
+class Simulator:
+    """Deterministic event loop shared by every timed subsystem.
+
+    ``tracer`` (a :class:`repro.telemetry.tracer.NullTracer` by default)
+    gets one instant event per dispatched callback on the ``scheduler``
+    track, named by the event's label — telemetry only observes, it never
+    changes ordering or timing.
+    """
+
+    def __init__(self, tracer=None) -> None:
+        if tracer is None:
+            from repro.telemetry.tracer import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self._heap: List[Tuple[int, int, int, Event]] = []
+        self._counter = itertools.count()
+        self._tracer = tracer
+        self.now: int = 0
+        self.processed: int = 0
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(
+        self,
+        delay_ns: Union[int, float],
+        action: Callable[[], None],
+        label: str = "",
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``action`` to run ``delay_ns`` after the current time."""
+        if isinstance(delay_ns, float) and not math.isfinite(delay_ns):
+            raise SimTimeError(f"cannot schedule a non-finite delay ({delay_ns!r})")
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay_ns})")
+        return self.schedule_at(self.now + delay_ns, action, label, priority)
+
+    def schedule_at(
+        self,
+        time_ns: Union[int, float],
+        action: Callable[[], None],
+        label: str = "",
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``action`` at an absolute time, which must not precede now."""
+        when = as_ns(time_ns)
+        if when < self.now:
+            raise ValueError(f"cannot schedule at {time_ns} before now={self.now}")
+        event = Event(
+            time_ns=when,
+            seq=next(self._counter),
+            action=action,
+            label=label,
+            priority=priority,
+        )
+        heapq.heappush(self._heap, (event.time_ns, event.priority, event.seq, event))
+        return event
+
+    # -- processes ------------------------------------------------------------
+
+    def wait(self, delay_ns: Union[int, float]) -> Tuple[str, Union[int, float]]:
+        """A wait request: resume the yielding process after ``delay_ns``."""
+        return (_WAIT_DELAY, delay_ns)
+
+    def wait_until(self, time_ns: Union[int, float]) -> Tuple[str, Union[int, float]]:
+        """A wait request: resume the yielding process at ``time_ns``.
+
+        Instants already in the past resume at the current time — processes
+        computed from analytic schedules may legitimately "wake" at an
+        instant the clock has just passed.
+        """
+        return (_WAIT_UNTIL, time_ns)
+
+    def spawn(self, gen: Generator, label: str = "process") -> Process:
+        """Run ``gen`` as a process, starting at the current instant."""
+        process = Process(gen, label)
+        self.schedule(0, lambda: self._resume(process), label=label)
+        return process
+
+    def _resume(self, process: Process) -> None:
+        try:
+            request = next(process._gen)
+        except StopIteration:
+            process.alive = False
+            return
+        if isinstance(request, tuple) and len(request) == 2 and request[0] in (
+            _WAIT_DELAY,
+            _WAIT_UNTIL,
+        ):
+            kind, value = request
+        else:
+            kind, value = _WAIT_DELAY, request
+        if kind == _WAIT_DELAY:
+            when = self.now + as_ns(value)
+        else:
+            when = max(self.now, as_ns(value))
+        self.schedule_at(when, lambda: self._resume(process), label=process.label)
+
+    # -- the loop -------------------------------------------------------------
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next pending event, or None if the queue is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        _, _, _, event = heapq.heappop(self._heap)
+        self.now = event.time_ns
+        self.processed += 1
+        self._tracer.instant("scheduler", event.label or "event", event.time_ns)
+        event.action()
+        return True
+
+    def run(
+        self,
+        until_ns: Optional[Union[int, float]] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Drain the queue, optionally stopping at a time or event budget."""
+        bound = None if until_ns is None else as_ns(until_ns)
+        executed = 0
+        while self._heap:
+            next_time = self._heap[0][0]
+            if bound is not None and next_time > bound:
+                self.now = bound
+                return
+            if max_events is not None and executed >= max_events:
+                return
+            self.step()
+            executed += 1
+        if bound is not None and bound > self.now:
+            self.now = bound
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -209,7 +209,7 @@ class ComputationalSSD:
                     command_id=self.host.next_id(), kernel=kernel.name, lpa_lists=[lpas]
                 )
             )
-        return self.firmware.run_concurrent(requests)
+        return self.firmware.simulate_concurrent(requests)
 
     def serve(
         self,

@@ -8,6 +8,15 @@ per page); here each page is pushed through the flash array + FTL +
 crossbar, and whenever a page arrives later than the compute engine first
 needs it, the engine's timeline shifts by the difference.
 
+Each engine's command flow runs as a generator *process* on the unified
+:class:`repro.sim.Simulator` kernel: the process wakes at each page's
+issue instant, reserves the flash/FTL/crossbar resources for that page,
+shifts its compute timeline by any flash-induced stall, and emits result
+pages back onto the shared buses as compute progresses.  Background host
+reads, result writes, and (optionally) garbage-collection passes are
+sibling processes on the same kernel, so their interference is part of the
+one coherent timeline rather than a post-hoc merge.
+
 The result captures, mechanically:
 
 * flash-bandwidth saturation (channels serialise transfers),
@@ -19,8 +28,8 @@ The result captures, mechanically:
 
 from __future__ import annotations
 
-import heapq
 import itertools
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -31,6 +40,7 @@ from repro.errors import DeviceError
 from repro.flash.array import FlashArray
 from repro.flash.ecc import ECCStatus
 from repro.ftl.mapping import PageMapFTL
+from repro.sim import FifoResource, Simulator
 from repro.ssd.crossbar import Crossbar
 from repro.ssd.dram_buffer import DRAMBuffer, TrafficBreakdown
 from repro.telemetry.counters import Histogram
@@ -189,12 +199,16 @@ class Firmware:
         sample: CoreRunResult,
         lpas: Sequence[int],
         background: Optional[BackgroundIO] = None,
+        sim: Optional[Simulator] = None,
     ) -> OffloadResult:
         """Retime the sampled compute against flash service for ``lpas``.
 
         ``background`` interleaves conventional host page reads with the
         offload on the same channels (the Section V-A generality property);
-        their latencies are recorded on the BackgroundIO object.
+        their latencies are recorded on the BackgroundIO object.  ``sim``
+        lets a caller share one kernel between the offload and other
+        processes (e.g. a garbage-collection pass) so they contend on the
+        same flash timelines.
         """
         core_cfg = self.config.core
         page = self.config.flash.page_bytes
@@ -217,7 +231,7 @@ class Firmware:
             )
             for i, assignment in enumerate(assignments)
         ]
-        total_stall = self._retime(tasks, background)
+        total_stall = self._run_tasks(tasks, background=background, sim=sim)
         completion = max((t.completion_ns for t in tasks), default=0.0)
         bytes_in = sum(len(t.lpas) for t in tasks) * page
         if output_to_flash:
@@ -258,7 +272,11 @@ class Firmware:
         )
 
     def run_write_offload(
-        self, kernel, sample: CoreRunResult, total_pages: int
+        self,
+        kernel,
+        sample: CoreRunResult,
+        total_pages: int,
+        sim: Optional[Simulator] = None,
     ) -> OffloadResult:
         """Write-path scomp (Section V-D): compute on data being ingested.
 
@@ -292,16 +310,18 @@ class Firmware:
             for i in range(n)
         ]
 
+        # The PCIe ingress is its own FIFO timeline for this command's
+        # stream (DMA bursts for one scomp are scheduled back-to-back);
+        # the fixed link latency rides on top of the occupancy.
         link_bw = self.config.host.bandwidth_bytes_per_ns
-        link = {"free_at": 0.0}
+        link_latency = self.config.host.latency_ns
+        ingress = FifoResource("host-ingress")
 
-        def serve_host_page(task: _CoreTask, k: int, when: float) -> float:
-            start = max(when, link["free_at"])
-            done = start + page / link_bw
-            link["free_at"] = done
-            return done + self.config.host.latency_ns
+        def serve_host_page(task: _CoreTask, k: int, when):
+            grant = ingress.acquire(when, page / link_bw)
+            return grant.done_ns + link_latency
 
-        total_stall = self._retime(tasks, serve_input=serve_host_page)
+        total_stall = self._run_tasks(tasks, serve_input=serve_host_page, sim=sim)
         completion = max((t.completion_ns for t in tasks), default=0.0)
         bytes_in = total_pages * page
         bytes_out = sum(t.out_pages_written for t in tasks) * page
@@ -344,19 +364,35 @@ class Firmware:
             flash_stall_ns=total_stall,
         )
 
-    def run_concurrent(
-        self, requests: Sequence[tuple]
+    def run_concurrent(self, requests: Sequence[tuple]) -> List[OffloadResult]:
+        """Deprecated alias for :meth:`simulate_concurrent`.
+
+        Kept for callers written against the pre-kernel firmware; the
+        behaviour is identical (same partitioning, same timelines).
+        """
+        warnings.warn(
+            "Firmware.run_concurrent is deprecated; use "
+            "Firmware.simulate_concurrent, which runs each engine's command "
+            "flow as a process on the shared repro.sim.Simulator kernel",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.simulate_concurrent(requests)
+
+    def simulate_concurrent(
+        self, requests: Sequence[tuple], sim: Optional[Simulator] = None
     ) -> List[OffloadResult]:
         """Run several scomp requests concurrently on partitioned engines.
 
         ``requests`` is a sequence of ``(kernel, sample, lpas)``. Cores are
         partitioned across requests proportionally to their data sizes
         (at least one core each) — the task-level parallelism the paper's
-        Section V-D decomposition enables. All requests share the flash
-        array, crossbar, and the SSD-DRAM pool.
+        Section V-D decomposition enables. All requests' engine processes
+        run on one :class:`~repro.sim.Simulator` (``sim``, or a fresh one),
+        sharing the flash array, crossbar, and the SSD-DRAM pool.
         """
         if not requests:
-            raise DeviceError("run_concurrent needs at least one request")
+            raise DeviceError("simulate_concurrent needs at least one request")
         if not self.crossbar.enabled:
             raise DeviceError("concurrent offloads require the crossbar architecture")
         n = self.config.num_cores
@@ -395,7 +431,7 @@ class Firmware:
             all_tasks.extend(tasks)
             request_tasks.append(tasks)
 
-        total_stall = self._retime(all_tasks)
+        total_stall = self._run_tasks(all_tasks, sim=sim)
 
         # The shared SSD-DRAM pool: aggregate demand across requests.
         demand = 0.0
@@ -441,85 +477,107 @@ class Firmware:
             )
         return results
 
-    # -- shared retiming loop -----------------------------------------------
+    # -- process-based command flows ------------------------------------------
 
-    def _retime(
+    def _run_tasks(
         self,
         tasks: List[_CoreTask],
         background: Optional[BackgroundIO] = None,
         serve_input=None,
+        sim: Optional[Simulator] = None,
     ) -> float:
-        """Drive all tasks' page schedules through the shared timelines.
+        """Run every engine's command flow as a process on the kernel.
 
         ``serve_input(task, k, when) -> arrival_ns`` supplies input page
         ``k`` of a task; the default reads it from the flash array through
         the FTL and crossbar (read-path scomp). Write-path scomp passes a
         host-link source instead.
 
-        The channel buses are greedy FIFO timelines, so service calls must
-        be made in nondecreasing ready-time order: the heap merges input
-        issues, result-page writes, and background host reads from all
-        cores onto one global timeline. Returns the total input-induced
-        stall across tasks.
+        Each :class:`_CoreTask` becomes a generator process: it sleeps
+        until the next page's issue instant, pulls the page through
+        ``serve_input``, shifts its compute timeline by any input-induced
+        stall, and schedules result-page programs as compute progresses.
+        Background host reads are a sibling process on the same kernel, so
+        the greedy FIFO bus timelines see every reservation in global time
+        order without any caller-side merging. Returns the total
+        input-induced stall across tasks.
         """
-        page = self.config.flash.page_bytes
         if serve_input is None:
             serve_input = self._serve_flash_read
-        heap = []
-        seq = itertools.count()
+        if sim is None:
+            sim = Simulator()
+        stall = [0.0]
         for task in tasks:
             if task.lpas:
-                heapq.heappush(heap, (task.issue_ns(), next(seq), "read", task))
+                sim.spawn(
+                    self._engine_flow(sim, task, serve_input, stall),
+                    label=f"engine{task.core_id}",
+                )
         if background is not None and background.lpas:
-            heapq.heappush(heap, (0.0, next(seq), "bg", 0))
+            # Bound for scheduling background reads: a bit past the compute span.
+            nominal_span = max((t.compute_ns for t in tasks), default=0.0) * 1.25
+            sim.spawn(self._background_flow(sim, background, nominal_span), label="bg-io")
+        sim.run()
+        return stall[0]
 
-        # Bound for scheduling background reads: a bit past the compute span.
-        nominal_span = max((t.compute_ns for t in tasks), default=0.0) * 1.25
-
-        total_stall = 0.0
-        while heap:
-            when, _, kind, task = heapq.heappop(heap)
-            if kind == "bg":
-                index = task  # the background read counter
-                lpa = background.lpas[index % len(background.lpas)]
-                record = self.array.service_read(self.ftl.lookup(lpa), when)
-                background.latency.observe(record.done_ns - when)
-                next_when = when + background.interval_ns
-                if next_when <= nominal_span:
-                    heapq.heappush(heap, (next_when, next(seq), "bg", index + 1))
-                continue
-            if kind == "write":
-                out_ppa = self.ftl.write(next(self._out_lpa))
-                record = self.array.service_write(out_ppa, when)
-                # Program latency is absorbed by plane parallelism and the
-                # write cache; the engine only waits for the bus transfer.
-                task.last_write_done_ns = max(task.last_write_done_ns, record.array_done_ns)
-                task.out_pages_written += 1
-                continue
+    def _engine_flow(self, sim: Simulator, task: _CoreTask, serve_input, stall):
+        """One engine's command flow: issue, stall-shift, emit results."""
+        page = self.config.flash.page_bytes
+        while task.next_k < len(task.lpas):
+            # Always yield, even when the issue instant is the current one:
+            # the kernel's insertion-order tie-break then round-robins
+            # same-instant issues across engines, keeping the greedy FIFO
+            # buses fair exactly as a global merge would.
+            yield sim.wait_until(task.issue_ns())
             k = task.next_k
-            arrival = serve_input(task, k, when)
+            arrival = serve_input(task, k, sim.now)
             needed = task.needed_ns(k)
             if arrival > needed:
-                stall = arrival - needed
-                task.shift_ns += stall
-                total_stall += stall
+                task.shift_ns += arrival - needed
+                stall[0] += arrival - needed
             # Result pages emerge as compute progresses and share the buses.
             task.pending_out_bytes += page * task.out_ratio
             while task.pending_out_bytes >= page:
                 task.pending_out_bytes -= page
                 ready = (k + 1) * task.cpp_ns + task.shift_ns
-                heapq.heappush(heap, (ready, next(seq), "write", task))
+                sim.schedule_at(
+                    ready,
+                    lambda sim=sim, task=task: self._flush_result_page(sim, task),
+                    label=f"engine{task.core_id}.write",
+                )
             task.next_k += 1
-            if task.next_k < len(task.lpas):
-                heapq.heappush(heap, (task.issue_ns(), next(seq), "read", task))
-        return total_stall
 
-    def _serve_flash_read(self, task: _CoreTask, k: int, when: float) -> float:
+    def _flush_result_page(self, sim: Simulator, task: _CoreTask) -> None:
+        """Program one result page at the current instant."""
+        out_ppa = self.ftl.write(next(self._out_lpa))
+        record = self.array.service_write(out_ppa, sim.now)
+        # Program latency is absorbed by plane parallelism and the write
+        # cache; the engine only waits for the bus transfer.
+        task.last_write_done_ns = max(task.last_write_done_ns, record.array_done_ns)
+        task.out_pages_written += 1
+
+    def _background_flow(self, sim: Simulator, background: BackgroundIO, span_ns: float):
+        """Conventional host page reads every ``interval_ns`` until ``span_ns``."""
+        index = 0
+        when = 0.0
+        while True:
+            yield sim.wait_until(when)
+            lpa = background.lpas[index % len(background.lpas)]
+            record = self.array.service_read(self.ftl.lookup(lpa), sim.now)
+            background.latency.observe(record.done_ns - sim.now)
+            when += background.interval_ns
+            if when > span_ns:
+                return
+            index += 1
+
+    def _serve_flash_read(self, task: _CoreTask, k: int, when) -> int:
         """Default input source: the flash array through FTL + crossbar."""
         page = self.config.flash.page_bytes
         ppa = self.ftl.lookup(task.lpas[k])
         record = self.array.service_read(ppa, when)
-        hop = self.crossbar.route(task.core_id, ppa.channel, page)
+        hop = self.crossbar.route(
+            task.core_id, ppa.channel, page, at_ns=record.done_ns
+        )
         return record.done_ns + hop
 
 

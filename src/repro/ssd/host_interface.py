@@ -16,6 +16,7 @@ from typing import List
 
 from repro.config import HostInterfaceConfig
 from repro.errors import DeviceError
+from repro.sim import FifoResource, as_ns
 
 
 @dataclass(frozen=True)
@@ -83,7 +84,9 @@ class HostInterface:
         self._issued_ids: set = set()
         self.submissions: List[NVMeCommand] = []
         self.completions: List[Completion] = []
-        self.link_free_at_ns = 0.0
+        #: The PCIe link as a FIFO reservation timeline on the unified
+        #: integer-ns simulation kernel (shared by both directions).
+        self._link = FifoResource("host-link")
         self._tracer = telemetry.tracer
         self._to_host = telemetry.counters.counter("host.bytes_to_host")
         self._from_host = telemetry.counters.counter("host.bytes_from_host")
@@ -105,20 +108,25 @@ class HostInterface:
         self._issued_ids.add(command.command_id)
         self.submissions.append(command)
 
-    def transfer(self, nbytes: int, ready_ns: float, to_host: bool) -> float:
+    @property
+    def link_free_at_ns(self) -> int:
+        """When the link next frees (integer ns on the unified clock)."""
+        return self._link.free_at_ns
+
+    def transfer(self, nbytes: int, ready_ns, to_host: bool) -> int:
         """Move ``nbytes`` over the link; returns completion time."""
         if nbytes < 0:
             raise DeviceError("negative transfer")
-        start = max(ready_ns + self.config.latency_ns, self.link_free_at_ns)
-        done = start + nbytes / self.config.bandwidth_bytes_per_ns
-        self.link_free_at_ns = done
+        ready = as_ns(ready_ns + self.config.latency_ns)
+        duration = as_ns(nbytes / self.config.bandwidth_bytes_per_ns)
+        grant = self._link.acquire(ready, duration)
         if to_host:
             self._to_host.inc(nbytes)
-            self._tracer.complete("host-link", "to-host", start, done)
+            self._tracer.complete("host-link", "to-host", grant.start_ns, grant.done_ns)
         else:
             self._from_host.inc(nbytes)
-            self._tracer.complete("host-link", "from-host", start, done)
-        return done
+            self._tracer.complete("host-link", "from-host", grant.start_ns, grant.done_ns)
+        return grant.done_ns
 
     def complete(self, command: NVMeCommand, submitted_ns: float, completed_ns: float,
                  bytes_transferred: int) -> Completion:

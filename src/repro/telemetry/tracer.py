@@ -7,11 +7,15 @@ stream core, the host link):
 * ``complete(track, name, start_ns, end_ns)`` — a span whose start and end
   are both known at record time (the common case for greedy timelines);
 * ``begin``/``end`` — a span opened and closed separately;
-* ``instant`` — a point event (an EventQueue dispatch, a retry).
+* ``instant`` — a point event (a kernel event dispatch, a retry).
 
 Timestamps are **simulated nanoseconds**, never wall clock, so traces are
 deterministic: the export sorts stably, serialises with fixed separators,
-and two same-seed runs produce byte-identical files.
+and two same-seed runs produce byte-identical files. Since the
+:class:`repro.sim.Simulator` migration the kernel and its resources stamp
+integer nanoseconds, which also keeps the exported ``ts`` values exact
+(no float formatting jitter across platforms); spans recorded from
+analytic float timelines remain accepted.
 
 :class:`NullTracer` is the disabled implementation every component holds by
 default: every method is a no-op that allocates nothing, so instrumented

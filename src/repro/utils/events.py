@@ -1,94 +1,30 @@
-"""A minimal discrete-event queue used by the flash/SSD simulators.
+"""Backward-compatible alias for the unified simulation kernel.
 
-The flash array, channel buses, and firmware scheduler all advance on the
-same nanosecond timeline. Events carry an opaque payload and a callback; ties
-are broken by insertion order so simulations are fully deterministic.
+Historically this module held a standalone ``EventQueue`` used only by the
+serving layer, while the flash array kept greedy per-bus timelines and the
+firmware merged events through its own private heap — three disjoint
+timing schemes.  That split is gone: the single discrete-event kernel now
+lives in :mod:`repro.sim`, and the flash array, channel buses, firmware
+command flows, serving layer, garbage collector, and recovery ladder all
+advance on one :class:`repro.sim.Simulator` clock in integer nanoseconds.
+
+:class:`EventQueue` remains as a thin alias of :class:`~repro.sim.Simulator`
+for code (and tests) written against the old name.  New code should import
+``Simulator`` from :mod:`repro.sim` directly.
+
+Scheduling semantics (inherited from the kernel): events fire in
+``(time_ns, priority, seq)`` order — insertion order breaks ties — and
+non-finite delays or instants (NaN/inf) raise
+:class:`repro.sim.SimTimeError` instead of silently corrupting the heap.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from repro.sim.kernel import Event, Simulator
 
 
-@dataclass(frozen=True)
-class Event:
-    """A scheduled callback at an absolute simulation time (ns)."""
-
-    time_ns: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
+class EventQueue(Simulator):
+    """Deprecated name for :class:`repro.sim.Simulator` (kept for back-compat)."""
 
 
-class EventQueue:
-    """Deterministic priority queue of :class:`Event` ordered by time then seq.
-
-    ``tracer`` (a :class:`repro.telemetry.tracer.NullTracer` by default)
-    gets one instant event per dispatched callback on the ``scheduler``
-    track, named by the event's label — telemetry only observes, it never
-    changes ordering or timing.
-    """
-
-    def __init__(self, tracer=None) -> None:
-        if tracer is None:
-            from repro.telemetry.tracer import NULL_TRACER
-
-            tracer = NULL_TRACER
-        self._heap: List[Tuple[float, int, Event]] = []
-        self._counter = itertools.count()
-        self._tracer = tracer
-        self.now: float = 0.0
-        self.processed: int = 0
-
-    def schedule(self, delay_ns: float, action: Callable[[], None], label: str = "") -> Event:
-        """Schedule ``action`` to run ``delay_ns`` after the current time."""
-        if delay_ns < 0:
-            raise ValueError(f"cannot schedule into the past (delay={delay_ns})")
-        return self.schedule_at(self.now + delay_ns, action, label)
-
-    def schedule_at(self, time_ns: float, action: Callable[[], None], label: str = "") -> Event:
-        """Schedule ``action`` at an absolute time, which must not precede now."""
-        if time_ns < self.now:
-            raise ValueError(f"cannot schedule at {time_ns} before now={self.now}")
-        event = Event(time_ns=time_ns, seq=next(self._counter), action=action, label=label)
-        heapq.heappush(self._heap, (event.time_ns, event.seq, event))
-        return event
-
-    def peek_time(self) -> Optional[float]:
-        """Time of the next pending event, or None if the queue is empty."""
-        return self._heap[0][0] if self._heap else None
-
-    def step(self) -> bool:
-        """Run the next event; returns False when the queue is empty."""
-        if not self._heap:
-            return False
-        _, _, event = heapq.heappop(self._heap)
-        self.now = event.time_ns
-        self.processed += 1
-        self._tracer.instant("scheduler", event.label or "event", event.time_ns)
-        event.action()
-        return True
-
-    def run(self, until_ns: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Drain the queue, optionally stopping at a time or event budget."""
-        executed = 0
-        while self._heap:
-            next_time = self._heap[0][0]
-            if until_ns is not None and next_time > until_ns:
-                self.now = until_ns
-                return
-            if max_events is not None and executed >= max_events:
-                return
-            self.step()
-            executed += 1
-        if until_ns is not None and until_ns > self.now:
-            self.now = until_ns
-
-    def __len__(self) -> int:
-        return len(self._heap)
-
-    def __bool__(self) -> bool:
-        return bool(self._heap)
+__all__ = ["Event", "EventQueue"]

@@ -62,7 +62,24 @@ def test_concurrent_rejects_too_many_requests():
     with pytest.raises(DeviceError):
         device.offload_concurrent([(get_kernel("scan"), 4 << 20)] * 9)
     with pytest.raises(DeviceError):
-        device.firmware.run_concurrent([])
+        device.firmware.simulate_concurrent([])
+
+
+def test_run_concurrent_shim_warns_and_matches():
+    """The pre-kernel `run_concurrent` signature still works, with a warning."""
+    device = ComputationalSSD(assasin_sb_config())
+    kernel = get_kernel("scan")
+    sample = device.sample_kernel(kernel)
+    lpas = device.mount_dataset(4 << 20)
+    requests = [(kernel, sample, lpas)]
+    with pytest.warns(DeprecationWarning, match="simulate_concurrent"):
+        legacy = device.firmware.run_concurrent(requests)
+    fresh = ComputationalSSD(assasin_sb_config())
+    modern = fresh.firmware.simulate_concurrent(
+        [(kernel, fresh.sample_kernel(kernel), fresh.mount_dataset(4 << 20))]
+    )
+    assert legacy[0].completion_ns == modern[0].completion_ns
+    assert legacy[0].bytes_in == modern[0].bytes_in
 
 
 def test_background_io_coexists_with_offload():
