@@ -6,6 +6,7 @@ Commands:
 * ``offload``                   — simulate one kernel offload on one config
 * ``serve``                     — multi-tenant QoS serving simulation
 * ``faults``                    — seeded fault campaign with RAID recovery
+* ``fleet``                     — rack-scale multi-device fleet simulation
 * ``trace``                     — serve run with tracing on; Chrome/Perfetto JSON out
 * ``profile``                   — ISA-level cycle-attribution profile of one kernel
 * ``figure {5,13,14,15,16,19,20,21,22}`` — regenerate a paper figure
@@ -49,7 +50,7 @@ def _cmd_offload(args) -> int:
 
 
 def _parse_tenants(text: str):
-    """Parse ``name:weight:kind[:kernel[:pages[:interarrival_us]]],...``."""
+    """Parse ``name:weight:kind[:kernel[:pages[:interarrival_us[:region]]]],...``."""
     from repro.serve import TenantSpec
 
     specs = []
@@ -57,7 +58,8 @@ def _parse_tenants(text: str):
         parts = chunk.strip().split(":")
         if len(parts) < 3:
             raise SystemExit(
-                f"bad tenant spec {chunk!r}; want name:weight:kind[:kernel[:pages[:us]]]"
+                f"bad tenant spec {chunk!r}; "
+                "want name:weight:kind[:kernel[:pages[:us[:region]]]]"
             )
         kwargs = dict(name=parts[0], weight=float(parts[1]), kind=parts[2])
         if len(parts) > 3 and parts[3] not in ("", "-"):
@@ -66,8 +68,35 @@ def _parse_tenants(text: str):
             kwargs["pages_per_command"] = int(parts[4])
         if len(parts) > 5:
             kwargs["interarrival_ns"] = float(parts[5]) * 1e3
+        if len(parts) > 6:
+            kwargs["region_pages"] = int(parts[6])
         specs.append(TenantSpec(**kwargs))
     return specs
+
+
+def _add_workload_args(
+    parser,
+    *,
+    duration_us=None,
+    seed=None,
+    policy=None,
+    tenants_help=None,
+) -> None:
+    """Register the flags shared by the workload-driving subcommands.
+
+    Every simulation subcommand takes ``--config``; pass ``policy`` /
+    ``tenants_help`` / ``duration_us`` / ``seed`` to opt into the other
+    shared flags with per-command defaults (``None`` omits the flag).
+    """
+    parser.add_argument("--config", default="AssasinSb")
+    if policy is not None:
+        parser.add_argument("--policy", default=policy, choices=["rr", "wrr", "drr"])
+    if tenants_help is not None:
+        parser.add_argument("--tenants", default="", help=tenants_help)
+    if duration_us is not None:
+        parser.add_argument("--duration-us", type=float, default=duration_us)
+    if seed is not None:
+        parser.add_argument("--seed", type=int, default=seed)
 
 
 def _cmd_serve(args) -> int:
@@ -142,6 +171,36 @@ def _cmd_faults(args) -> int:
             f"{report.serve.goodput_gbps:.2f} GB/s"
         )
     return 0 if report.healthy else 1
+
+
+def _cmd_fleet(args) -> int:
+    from repro.config import named_config
+    from repro.fleet import FleetConfig, simulate_fleet
+
+    tenants = _parse_tenants(args.tenants) if args.tenants else None
+    fleet_config = FleetConfig(
+        num_devices=args.devices,
+        virtual_nodes=args.virtual_nodes,
+        shard_pages=args.shard_pages,
+        placement=args.placement,
+        raid_k=args.raid_k,
+        max_inflight_per_device=args.max_inflight,
+        hedging=not args.no_hedge,
+        slow_device=args.slow_device,
+        slow_read_rate=args.slow_read_rate,
+        kill_device=args.kill_device,
+        kill_at_ns=args.kill_at_us * 1e3,
+    )
+    report = simulate_fleet(
+        named_config(args.config),
+        fleet_config,
+        tenants=tenants,
+        duration_ns=args.duration_us * 1e3,
+        seed=args.seed,
+    )
+    print(report.render())
+    healthy = report.integrity_pages_bad == 0 and report.corruption_events == 0
+    return 0 if healthy else 1
 
 
 def _cmd_trace(args) -> int:
@@ -283,56 +342,99 @@ def build_parser() -> argparse.ArgumentParser:
     offload.set_defaults(fn=_cmd_offload)
 
     serve = sub.add_parser("serve", help="multi-tenant QoS serving simulation")
-    serve.add_argument("--config", default="AssasinSb")
-    serve.add_argument("--policy", default="wrr", choices=["rr", "wrr", "drr"])
-    serve.add_argument(
-        "--tenants",
-        default="",
-        help="comma-separated name:weight:kind[:kernel[:pages[:interarrival_us]]] "
+    _add_workload_args(
+        serve,
+        duration_us=2_000.0,
+        seed=42,
+        policy="wrr",
+        tenants_help="comma-separated name:weight:kind[:kernel[:pages[:interarrival_us]]] "
         "(default: 3-tenant mixed scomp+read mix)",
     )
-    serve.add_argument("--duration-us", type=float, default=2_000.0)
-    serve.add_argument("--seed", type=int, default=42)
     serve.add_argument("--queue-depth", type=int, default=64)
     serve.add_argument("--max-inflight", type=int, default=8)
     serve.add_argument("--quantum-pages", type=int, default=8)
     serve.set_defaults(fn=_cmd_serve)
 
     faults = sub.add_parser("faults", help="seeded fault campaign with RAID recovery")
-    faults.add_argument("--config", default="AssasinSb")
-    faults.add_argument("--seed", type=int, default=1)
-    faults.add_argument("--duration-us", type=float, default=500.0)
+    _add_workload_args(
+        faults,
+        duration_us=500.0,
+        seed=1,
+        policy="wrr",
+        tenants_help="same syntax as `serve`; default: small reader+scanner mix",
+    )
     faults.add_argument("--page-error-rate", type=float, default=0.02)
     faults.add_argument("--uncorrectable-rate", type=float, default=0.005)
     faults.add_argument("--transient-fraction", type=float, default=0.5)
     faults.add_argument("--slow-read-rate", type=float, default=0.01)
     faults.add_argument("--read-retries", type=int, default=3)
     faults.add_argument("--raid-k", type=int, default=4)
-    faults.add_argument("--policy", default="wrr", choices=["rr", "wrr", "drr"])
     faults.add_argument("--timeout-us", type=float, default=0.0)
     faults.add_argument("--cmd-retries", type=int, default=1)
-    faults.add_argument(
-        "--tenants",
-        default="",
-        help="same syntax as `serve`; default: small reader+scanner mix",
-    )
     faults.add_argument(
         "--baseline", action="store_true", help="also run and compare a clean run"
     )
     faults.set_defaults(fn=_cmd_faults)
 
+    fleet = sub.add_parser(
+        "fleet", help="rack-scale multi-device fleet simulation"
+    )
+    _add_workload_args(
+        fleet,
+        duration_us=400.0,
+        seed=7,
+        tenants_help="same syntax as `serve`; default: hot scomp + reader + writer mix",
+    )
+    fleet.add_argument("--devices", type=int, default=4, help="peer SSD count")
+    fleet.add_argument(
+        "--virtual-nodes", type=int, default=64, help="ring positions per device"
+    )
+    fleet.add_argument(
+        "--shard-pages", type=int, default=64, help="fleet-LPA pages per shard"
+    )
+    fleet.add_argument(
+        "--raid-k", type=int, default=3, help="data pages per cross-device stripe"
+    )
+    fleet.add_argument(
+        "--placement",
+        default="hash",
+        choices=["hash", "load"],
+        help="'hash': ring home; 'load': least-loaded ring candidate for writes",
+    )
+    fleet.add_argument("--max-inflight", type=int, default=8)
+    fleet.add_argument(
+        "--no-hedge", action="store_true", help="disable hedged (duplicate) requests"
+    )
+    fleet.add_argument(
+        "--slow-device", type=int, default=-1, help="index of a straggler device"
+    )
+    fleet.add_argument(
+        "--slow-read-rate",
+        type=float,
+        default=0.2,
+        help="slow-read probability on the straggler (with --slow-device)",
+    )
+    fleet.add_argument(
+        "--kill-device", type=int, default=-1, help="hard-fail this device mid-run"
+    )
+    fleet.add_argument(
+        "--kill-at-us",
+        type=float,
+        default=150.0,
+        help="when the killed device dies (with --kill-device)",
+    )
+    fleet.set_defaults(fn=_cmd_fleet)
+
     trace = sub.add_parser(
         "trace", help="serve run with tracing on; writes Chrome/Perfetto JSON"
     )
-    trace.add_argument("--config", default="AssasinSb")
-    trace.add_argument("--policy", default="wrr", choices=["rr", "wrr", "drr"])
-    trace.add_argument(
-        "--tenants",
-        default="",
-        help="same syntax as `serve`; default: 3-tenant mixed scomp+read mix",
+    _add_workload_args(
+        trace,
+        duration_us=300.0,
+        seed=42,
+        policy="wrr",
+        tenants_help="same syntax as `serve`; default: 3-tenant mixed scomp+read mix",
     )
-    trace.add_argument("--duration-us", type=float, default=300.0)
-    trace.add_argument("--seed", type=int, default=42)
     trace.add_argument("--queue-depth", type=int, default=64)
     trace.add_argument("--max-inflight", type=int, default=8)
     trace.add_argument("--out", default="trace.json", help="output trace path")
@@ -344,8 +446,8 @@ def build_parser() -> argparse.ArgumentParser:
     profile = sub.add_parser(
         "profile", help="ISA-level cycle attribution for one kernel"
     )
+    _add_workload_args(profile)
     profile.add_argument("--kernel", default="scan")
-    profile.add_argument("--config", default="AssasinSb")
     profile.add_argument(
         "--sample-kib", type=int, default=0, help="input window KiB (0: kernel default)"
     )

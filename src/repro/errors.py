@@ -52,6 +52,10 @@ class FaultError(ReproError):
     """Fault-injection campaign misuse (bad rates, unmapped RAID group)."""
 
 
+class FleetError(ReproError):
+    """Fleet-layer misuse (empty ring, bad stripe geometry, dead quorum)."""
+
+
 class KernelError(ReproError):
     """An offloaded kernel was invoked with invalid parameters or data."""
 

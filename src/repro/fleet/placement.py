@@ -1,0 +1,179 @@
+"""Consistent-hash placement of shards onto fleet devices.
+
+The :class:`HashRing` is the classic construction: each device contributes
+``virtual_nodes`` points on a 64-bit ring (hashes of ``"<device>#<vnode>"``)
+and a key is owned by the first point at or clockwise-after the key's own
+hash. Virtual nodes smooth the shard distribution; adding or removing a
+device only remaps the keys that fall into the arcs its points covered
+(the *minimal remap* property the tests pin down).
+
+Hashing uses BLAKE2b, **not** Python's built-in ``hash`` — the built-in is
+salted per process, which would make placement (and therefore every fleet
+fingerprint) non-deterministic across runs.
+
+:class:`Placement` layers the routing policy on top: ``"hash"`` always
+routes to the ring home; ``"load"`` spreads write/scomp traffic over the
+first ``fanout`` distinct ring candidates by live load (the router supplies
+the load probe: in-flight commands plus normalised stream-core backlog).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FleetError
+
+
+def ring_hash(key: str) -> int:
+    """Deterministic 64-bit position of ``key`` on the ring."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes over integer device ids."""
+
+    def __init__(self, device_ids: Sequence[int], virtual_nodes: int = 64) -> None:
+        if virtual_nodes <= 0:
+            raise FleetError("virtual_nodes must be positive")
+        if len(set(device_ids)) != len(device_ids):
+            raise FleetError("device ids must be unique")
+        self.virtual_nodes = virtual_nodes
+        self._points: List[Tuple[int, int]] = []  # (position, device_id)
+        self._hashes: List[int] = []
+        self._devices: List[int] = []
+        for device_id in device_ids:
+            self.add_device(device_id)
+
+    # -- membership ------------------------------------------------------------
+
+    @property
+    def devices(self) -> List[int]:
+        """Current member device ids, in insertion order."""
+        return list(self._devices)
+
+    def add_device(self, device_id: int) -> None:
+        if device_id in self._devices:
+            raise FleetError(f"device {device_id} already on the ring")
+        self._devices.append(device_id)
+        for vnode in range(self.virtual_nodes):
+            position = ring_hash(f"{device_id}#{vnode}")
+            index = bisect.bisect_left(self._points, (position, device_id))
+            self._points.insert(index, (position, device_id))
+            self._hashes.insert(index, position)
+
+    def remove_device(self, device_id: int) -> None:
+        if device_id not in self._devices:
+            raise FleetError(f"device {device_id} not on the ring")
+        self._devices.remove(device_id)
+        kept = [(pos, dev) for pos, dev in self._points if dev != device_id]
+        self._points = kept
+        self._hashes = [pos for pos, _ in kept]
+
+    # -- lookup ----------------------------------------------------------------
+
+    def lookup(self, key: str) -> int:
+        """The device owning ``key`` (first point clockwise of its hash)."""
+        if not self._points:
+            raise FleetError("lookup on an empty ring")
+        index = bisect.bisect_right(self._hashes, ring_hash(key))
+        if index == len(self._points):
+            index = 0  # wrap past 2^64 back to the first point
+        return self._points[index][1]
+
+    def candidates(self, key: str, n: int) -> List[int]:
+        """The first ``n`` *distinct* devices clockwise of ``key``'s hash.
+
+        ``candidates(key, 1)[0] == lookup(key)``; subsequent entries are
+        the natural replica/hedge targets for the key.
+        """
+        if not self._points:
+            raise FleetError("lookup on an empty ring")
+        out: List[int] = []
+        start = bisect.bisect_right(self._hashes, ring_hash(key))
+        total = len(self._points)
+        for step in range(total):
+            device = self._points[(start + step) % total][1]
+            if device not in out:
+                out.append(device)
+                if len(out) >= min(n, len(self._devices)):
+                    break
+        return out
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def shard_counts(self, keys: Sequence[str]) -> Dict[int, int]:
+        """How many of ``keys`` each device owns (zero-filled)."""
+        counts = {device: 0 for device in self._devices}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts
+
+    def imbalance(self, keys: Sequence[str]) -> float:
+        """Relative spread of the shard distribution: max/mean - 1."""
+        counts = self.shard_counts(keys)
+        if not keys or not counts:
+            return 0.0
+        mean = len(keys) / len(counts)
+        return max(counts.values()) / mean - 1.0
+
+
+class Placement:
+    """Routing policy over a :class:`HashRing` with optional load awareness.
+
+    ``load_of`` maps a device id to its current load (any monotone measure;
+    the fleet router supplies in-flight commands + queued backlog +
+    normalised stream-core busy horizon). ``healthy`` filters dead devices
+    out of every answer; if *all* candidates are dead the caller gets an
+    empty list and must escalate to cross-device reconstruction.
+    """
+
+    def __init__(
+        self,
+        ring: HashRing,
+        policy: str = "hash",
+        fanout: int = 2,
+        load_of: Optional[Callable[[int], float]] = None,
+        healthy: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        if policy not in ("hash", "load"):
+            raise FleetError(f"unknown placement policy {policy!r}")
+        self.ring = ring
+        self.policy = policy
+        self.fanout = max(1, fanout)
+        self._load_of = load_of or (lambda device: 0.0)
+        self._healthy = healthy or (lambda device: True)
+
+    def home(self, key: str) -> int:
+        """The key's static data home (always the ring owner)."""
+        return self.ring.lookup(key)
+
+    def route(self, key: str, spread: bool = False) -> Optional[int]:
+        """Pick a healthy service target for ``key``.
+
+        ``spread`` marks traffic the policy may move off the home device
+        (writes, hedged compute); reads keep data gravity and only leave
+        home when it is dead.
+        """
+        candidates = [
+            device
+            for device in self.ring.candidates(key, self.fanout)
+            if self._healthy(device)
+        ]
+        if not candidates:
+            return None
+        if self.policy == "load" and spread and len(candidates) > 1:
+            # Stable min: ties go to the earliest ring candidate, so two
+            # same-seed runs route identically.
+            return min(candidates, key=lambda device: (self._load_of(device),))
+        return candidates[0]
+
+    def peers(self, key: str, exclude: int) -> List[int]:
+        """Healthy hedge targets for ``key``, nearest ring order, sans ``exclude``."""
+        return [
+            device
+            for device in self.ring.candidates(key, len(self.ring.devices))
+            if device != exclude and self._healthy(device)
+        ]

@@ -1,0 +1,166 @@
+"""Cross-device RAID-4: stripes whose members live on distinct devices.
+
+:class:`~repro.faults.raidmap.RaidGroupMap` protects pages against media
+faults *within* one device; this module generalises the same parity math to
+protect against the loss of a *whole device*. Every stripe groups up to
+``raid_k`` data pages placed on pairwise-distinct devices and stores one
+XOR parity page on yet another device, so any single device failure leaves
+every affected page reconstructable from surviving peers — the XOR of its
+stripe-mates, exactly :class:`repro.kernels.raid.Raid4Kernel`'s parity.
+
+Stripe assembly is greedy and deterministic: repeatedly take one pending
+page from each of the ``raid_k`` devices with the most unstriped pages
+remaining (ties to the lowest device id), then give the parity page to the
+member-disjoint device carrying the fewest parity pages so parity I/O
+spreads evenly. A trailing group may be narrower than ``raid_k``; a
+single-page group degenerates to replication (its parity *is* a copy on a
+second device), mirroring the within-device map's remainder rule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FleetError
+
+#: A fleet page address: (device id, device-local LPA).
+PageAddr = Tuple[int, int]
+
+
+def xor_pages(pages: Sequence[bytes]) -> bytes:
+    """XOR equal-length pages word-at-once (the RAID-4 parity/rebuild op).
+
+    Semantically identical to ``Raid4Kernel.reference`` but wide-integer
+    based: hedged degraded reads rebuild thousands of 4 KiB pages per
+    campaign, so the byte-loop reference would dominate wall-clock.
+    """
+    if not pages:
+        raise FleetError("xor of zero pages")
+    if len(pages) == 1:
+        return pages[0]
+    width = len(pages[0])
+    if any(len(page) != width for page in pages):
+        raise FleetError("xor_pages needs equal-length pages")
+    acc = int.from_bytes(pages[0], "little")
+    for page in pages[1:]:
+        acc ^= int.from_bytes(page, "little")
+    return acc.to_bytes(width, "little")
+
+
+class CrossDeviceRaidMap:
+    """Immutable (device, LPA) → stripe-group map with mate resolution."""
+
+    def __init__(self, groups: Sequence[Tuple[Tuple[PageAddr, ...], PageAddr]]) -> None:
+        self._groups: List[Tuple[Tuple[PageAddr, ...], PageAddr]] = list(groups)
+        self._group_of: Dict[PageAddr, int] = {}
+        for index, (members, parity) in enumerate(self._groups):
+            devices = [device for device, _ in members]
+            if len(set(devices)) != len(devices):
+                raise FleetError(f"stripe {index} repeats a device: {devices}")
+            if parity[0] in devices:
+                raise FleetError(
+                    f"stripe {index} parity on member device {parity[0]}"
+                )
+            for addr in members:
+                if addr in self._group_of:
+                    raise FleetError(f"page {addr} belongs to two stripes")
+                self._group_of[addr] = index
+            if parity in self._group_of:
+                raise FleetError(f"parity page {parity} belongs to two stripes")
+            self._group_of[parity] = index
+
+    @classmethod
+    def build(
+        cls,
+        placements: Sequence[PageAddr],
+        raid_k: int,
+        device_ids: Sequence[int],
+        alloc_parity: Callable[[int], int],
+    ) -> "CrossDeviceRaidMap":
+        """Stripe ``placements`` across devices with one parity page each.
+
+        ``alloc_parity(device)`` must return a fresh device-local LPA for
+        the parity page (the campaign's per-device allocator). Requires at
+        least 2 devices; ``raid_k`` is clamped to ``len(device_ids) - 1``
+        so a parity home disjoint from every member always exists.
+        """
+        if len(device_ids) < 2:
+            raise FleetError("cross-device RAID needs at least 2 devices")
+        k = min(raid_k, len(device_ids) - 1)
+        if k < 1:
+            raise FleetError("cross-device raid_k must be >= 1 after clamping")
+
+        pending: Dict[int, List[int]] = {device: [] for device in device_ids}
+        for device, lpa in placements:
+            if device not in pending:
+                raise FleetError(f"placement on unknown device {device}")
+            pending[device].append(lpa)
+        # Consume each device's pages in placement order (FIFO).
+        cursors: Dict[int, int] = {device: 0 for device in device_ids}
+        parity_tally: Dict[int, int] = {device: 0 for device in device_ids}
+
+        groups: List[Tuple[Tuple[PageAddr, ...], PageAddr]] = []
+        while True:
+            backlog = [
+                (len(pending[device]) - cursors[device], device)
+                for device in device_ids
+                if cursors[device] < len(pending[device])
+            ]
+            if not backlog:
+                break
+            # The k devices with the most unstriped pages, ties to the
+            # lowest id — keeps stripe widths maximal for as long as
+            # possible so the trailing narrow groups are rare.
+            backlog.sort(key=lambda item: (-item[0], item[1]))
+            chosen = [device for _, device in backlog[:k]]
+            members = []
+            for device in chosen:
+                members.append((device, pending[device][cursors[device]]))
+                cursors[device] += 1
+            member_devices = {device for device, _ in members}
+            parity_candidates = [
+                device for device in device_ids if device not in member_devices
+            ]
+            parity_device = min(
+                parity_candidates, key=lambda device: (parity_tally[device], device)
+            )
+            parity_tally[parity_device] += 1
+            groups.append((tuple(members), (parity_device, alloc_parity(parity_device))))
+        return cls(groups)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    @property
+    def parity_pages(self) -> List[PageAddr]:
+        return [parity for _, parity in self._groups]
+
+    def members(self, group: int) -> Tuple[PageAddr, ...]:
+        return self._groups[group][0]
+
+    def parity(self, group: int) -> PageAddr:
+        return self._groups[group][1]
+
+    def group_for(self, addr: PageAddr) -> Optional[int]:
+        return self._group_of.get(addr)
+
+    def stripe_mates(self, addr: PageAddr) -> Optional[List[PageAddr]]:
+        """The peer pages whose XOR reconstructs ``addr`` (None if unmapped).
+
+        For a data page: its surviving group-mates plus the parity page.
+        For a parity page: the group's data members. A single-page group
+        returns just the replica.
+        """
+        index = self._group_of.get(addr)
+        if index is None:
+            return None
+        members, parity = self._groups[index]
+        if addr == parity:
+            return list(members)
+        return [mate for mate in members if mate != addr] + [parity]
+
+    def device_pages(self, device: int) -> List[PageAddr]:
+        """Every mapped page (data + parity) living on ``device``."""
+        return [addr for addr in self._group_of if addr[0] == device]

@@ -26,6 +26,7 @@ from repro.serve.arbiter import (
 from repro.serve.metrics import ServeReport, TenantMetrics
 from repro.serve.queues import CompletionQueue, QueuePair, ServeCommand, SubmissionQueue
 from repro.serve.scheduler import ServingLayer
+from repro.serve.service import SERVE_OUT_LPA_BASE, DeviceService
 from repro.serve.workload import TenantSpec, WorkloadGenerator, default_tenants
 
 __all__ = [
@@ -44,6 +45,8 @@ __all__ = [
     "TenantMetrics",
     "ServeReport",
     "ServingLayer",
+    "DeviceService",
+    "SERVE_OUT_LPA_BASE",
     "simulate_serve",
 ]
 

@@ -30,22 +30,17 @@ their seeded process until ``duration_ns`` and the device then drains.
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import ServeConfig
 from repro.errors import ServeError
-from repro.kernels import get_kernel
 from repro.serve.arbiter import make_arbiter
 from repro.serve.metrics import ServeReport, TenantMetrics, build_tenant_metrics
 from repro.serve.queues import QueuePair, ServeCommand, make_queue_pairs
+from repro.serve.service import DeviceService
 from repro.serve.workload import TenantSpec, WorkloadGenerator
-from repro.sim import PooledResource, Simulator
-from repro.ssd.host_interface import ReadCommand, ScompCommand, WriteCommand
-
-#: LPA namespace for serve-path result/write pages; disjoint from tenant
-#: regions and from the firmware's offload-result namespace (1 << 40).
-_SERVE_OUT_LPA_BASE = 1 << 41
+from repro.sim import Simulator
+from repro.ssd.host_interface import ReadCommand, ScompCommand
 
 
 class ServingLayer:
@@ -66,11 +61,6 @@ class ServingLayer:
         self.specs = list(tenants)
         self.config = config or ServeConfig()
         self.seed = seed
-        #: Optional :class:`~repro.ssd.firmware.RecoveryController`; when
-        #: set, every read/scomp page fetch runs the retry → RAID-rebuild
-        #: ladder and commands complete with degraded/failed statuses
-        #: instead of silently serving corrupt data.
-        self.recovery = recovery
         #: Shared device telemetry: the event queue stamps one instant per
         #: dispatched callback, the serving layer adds queue-wait, firmware
         #: service, and stream-core spans, and the per-tenant histograms
@@ -98,32 +88,29 @@ class ServingLayer:
             self.device.ftl.populate(range(base, base + spec.region_pages))
             base += spec.region_pages
 
-        # Core-phase samples per scomp kernel (cycles/byte, output ratio).
-        self._samples: Dict[str, object] = dict(samples or {})
-        for spec in self.specs:
-            if spec.kind == "scomp" and spec.kernel not in self._samples:
-                self._samples[spec.kernel] = self.device.sample_kernel(
-                    get_kernel(spec.kernel)
-                )
-
-        page = self.device.config.flash.page_bytes
-        period_ns = self.device.config.core.clock_period_ns
-        self._page_bytes = page
-        self._cpp_page_ns = {
-            name: s.cycles_per_byte * page * period_ns for name, s in self._samples.items()
-        }
-        self._out_ratio = {
-            name: (s.bytes_out / s.bytes_in if s.bytes_in else 0.0)
-            for name, s in self._samples.items()
-        }
-
-        #: The stream-core pool as unit timelines on the simulation kernel;
-        #: scomp service claims the least-loaded lane.
-        self._cores = PooledResource("serve.cores", self.device.config.num_cores)
-        self._out_lpa = itertools.count(_SERVE_OUT_LPA_BASE)
+        #: The per-device service paths (core-phase samples, stream-core
+        #: pool, out-LPA allocator) live in a :class:`DeviceService` so the
+        #: fleet router can reuse them against N peer devices; ``recovery``
+        #: (a :class:`~repro.ssd.firmware.RecoveryController`) routes every
+        #: read/scomp page fetch through the retry → RAID-rebuild ladder
+        #: instead of silently serving corrupt data.
+        self.service = DeviceService(
+            device,
+            samples=samples,
+            kernels=[s.kernel for s in self.specs if s.kind == "scomp"],
+            recovery=recovery,
+        )
         self._inflight = 0
         self._duration_ns = 0.0
         self._horizon_ns = 0.0
+
+    @property
+    def recovery(self):
+        return self.service.recovery
+
+    @recovery.setter
+    def recovery(self, value) -> None:
+        self.service.recovery = value
 
     # -- run loop --------------------------------------------------------------
 
@@ -251,107 +238,14 @@ class ServingLayer:
     # -- service models --------------------------------------------------------
 
     def _service(self, cmd: ServeCommand, now: float) -> float:
-        # Each attempt starts from a clean fault slate; only the attempt
-        # that actually completes determines the command's final status.
-        cmd.status = "ok"
-        cmd.page_retries = 0
-        cmd.reconstructions = 0
-        if isinstance(cmd.command, ScompCommand):
-            return self._service_scomp(cmd, now)
-        if isinstance(cmd.command, ReadCommand):
-            return self._service_read(cmd, now)
-        if isinstance(cmd.command, WriteCommand):
-            return self._service_write(cmd, now)
-        raise ServeError(f"cannot service command {cmd.command!r}")
-
-    def _fetch_page(self, cmd: ServeCommand, lpa: int, now: float) -> float:
-        """Fetch one page through the recovery ladder; returns its done time."""
-        outcome = self.recovery.read_lpa(lpa, now)
-        cmd.page_retries += outcome.retries
-        if outcome.status == "reconstructed":
-            cmd.reconstructions += 1
-        if outcome.status == "failed":
-            cmd.status = "failed"
-        elif outcome.status in ("retried", "reconstructed") and cmd.status == "ok":
-            # In-line ECC correction ('corrected') is the routine path and
-            # stays 'ok'; only the retry ladder / RAID rebuild degrade.
-            cmd.status = "recovered"
-        return outcome.done_ns
-
-    def _service_read(self, cmd: ServeCommand, now: float) -> float:
-        device = self.device
-        flash_done = now
-        for lpa in cmd.command.lpas:
-            if self.recovery is not None:
-                flash_done = max(flash_done, self._fetch_page(cmd, lpa, now))
-            else:
-                record = device.array.service_read(device.ftl.lookup(lpa), now)
-                flash_done = max(flash_done, record.done_ns)
-        nbytes = cmd.pages * self._page_bytes
-        cmd.bytes_in = nbytes
-        cmd.bytes_out = nbytes
-        return device.host.transfer(nbytes, flash_done, to_host=True)
-
-    def _service_write(self, cmd: ServeCommand, now: float) -> float:
-        device = self.device
-        nbytes = cmd.pages * self._page_bytes
-        cmd.bytes_in = nbytes
-        landed = device.host.transfer(nbytes, now, to_host=False)
-        done = landed
-        for _ in range(cmd.pages):
-            ppa = device.ftl.write(next(self._out_lpa))
-            record = device.array.service_write(ppa, landed)
-            # As in the firmware write path: the command acks once the data
-            # is across the channel bus; tPROG hides behind plane
-            # parallelism and the controller write cache.
-            done = max(done, record.array_done_ns)
-        return done
-
-    def _service_scomp(self, cmd: ServeCommand, now: float) -> float:
-        device = self.device
-        kernel_name = cmd.command.kernel
-        try:
-            cpp_page_ns = self._cpp_page_ns[kernel_name]
-        except KeyError:
-            raise ServeError(f"no core-phase sample for kernel {kernel_name!r}") from None
-        core = self._cores.least_loaded()
-        first_page_ns = None
-        flash_done = now
-        for lpas in cmd.command.lpa_lists:
-            for lpa in lpas:
-                ppa = device.ftl.lookup(lpa)
-                if self.recovery is not None:
-                    page_done = self._fetch_page(cmd, lpa, now)
-                else:
-                    page_done = device.array.service_read(ppa, now).done_ns
-                hop = (
-                    device.crossbar.route(
-                        core, ppa.channel, self._page_bytes, at_ns=page_done
-                    )
-                    if device.crossbar.enabled
-                    else 0
-                )
-                arrival = page_done + hop
-                flash_done = max(flash_done, arrival)
-                if first_page_ns is None or arrival < first_page_ns:
-                    first_page_ns = arrival
-        compute_ns = cmd.pages * cpp_page_ns
-        start = max(now, self._cores.free_at(core), first_page_ns or now)
-        # The core consumes pages in order, so it can neither start before
-        # the first page lands nor finish before the last one does; the
-        # lane is held to the command's completion but only the compute
-        # span counts toward the core's utilisation.
-        done = max(start + compute_ns, flash_done)
-        self._tracer.complete(f"core/{core}", f"scomp:{kernel_name}", start, done)
-        self._cores.occupy(core, start, done, busy_ns=compute_ns)
-        cmd.bytes_in = cmd.pages * self._page_bytes
-        cmd.bytes_out = int(cmd.bytes_in * self._out_ratio.get(kernel_name, 0.0))
-        return device.host.transfer(max(cmd.bytes_out, 1), done, to_host=True)
+        """Service one command on the device (delegates to :class:`DeviceService`)."""
+        return self.service.service(cmd, now)
 
     # -- reporting -------------------------------------------------------------
 
     def _report(self) -> ServeReport:
         horizon = max(self._horizon_ns, self.events.now)
+        cores = self.service.cores
         return ServeReport(
             config_name=self.device.config.name,
             policy=self.config.arbitration,
@@ -360,8 +254,8 @@ class ServingLayer:
             horizon_ns=horizon,
             tenants=self.metrics,
             core_utilisation=[
-                self._cores.busy_ns(core) / horizon if horizon > 0 else 0.0
-                for core in range(self._cores.units)
+                cores.busy_ns(core) / horizon if horizon > 0 else 0.0
+                for core in range(cores.units)
             ],
             channel_utilisation=self.device.array.channel_utilisations(horizon)
             if horizon > 0

@@ -170,6 +170,44 @@ def test_trace_command_is_deterministic(tmp_path, capsys):
     assert first.read_bytes() == second.read_bytes()
 
 
+FLEET_TENANTS = (
+    "hot:4:scomp:stat:4:12:256,reader:1:read:-:4:10:256,writer:1:write:-:4:30:128"
+)
+FLEET_ARGS = (
+    "fleet", "--devices", "4", "--seed", "7",
+    "--tenants", FLEET_TENANTS, "--duration-us", "250",
+)
+
+
+def test_fleet_command(capsys):
+    code, out = run_cli(capsys, *FLEET_ARGS)
+    assert code == 0
+    assert "devices=4" in out and "placement=hash" in out and "hedging=on" in out
+    assert "fleet tail" in out and "p99.9" in out
+    assert "skew" in out and "fingerprint" in out
+
+
+def test_fleet_command_is_deterministic(capsys):
+    _, first = run_cli(capsys, *FLEET_ARGS)
+    _, second = run_cli(capsys, *FLEET_ARGS)
+    assert first == second
+
+
+def test_fleet_kill_device_recovers(capsys):
+    code, out = run_cli(
+        capsys, *FLEET_ARGS, "--kill-device", "1", "--kill-at-us", "100"
+    )
+    assert code == 0  # exit status reflects integrity of the sweep
+    assert "integrity" in out and "[OK]" in out
+    assert "cross-device rebuilds" in out
+
+
+def test_fleet_no_hedge_flag(capsys):
+    code, out = run_cli(capsys, *FLEET_ARGS, "--no-hedge")
+    assert code == 0
+    assert "hedging=off" in out
+
+
 def test_profile_command_prints_attribution(capsys):
     code, out = run_cli(capsys, "profile", "--kernel", "scan", "--top", "5")
     assert code == 0

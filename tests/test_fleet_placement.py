@@ -1,0 +1,159 @@
+"""Tests for the fleet consistent-hash ring and placement policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FleetError
+from repro.fleet.placement import HashRing, Placement, ring_hash
+
+KEYS = [f"tenant{t}/{s}" for t in range(4) for s in range(500)]
+
+
+def test_ring_hash_is_stable_and_unsalted():
+    # blake2b, not the process-salted builtin hash(): the same key must map
+    # to the same point in every process, or same-seed runs would diverge.
+    assert ring_hash("tenant0/0") == ring_hash("tenant0/0")
+    assert ring_hash("tenant0/0") != ring_hash("tenant0/1")
+    assert ring_hash("x") == int.from_bytes(
+        __import__("hashlib").blake2b(b"x", digest_size=8).digest(), "big"
+    )
+
+
+def test_lookup_deterministic_across_ring_instances():
+    a = HashRing([0, 1, 2, 3], virtual_nodes=64)
+    b = HashRing([0, 1, 2, 3], virtual_nodes=64)
+    assert [a.lookup(k) for k in KEYS] == [b.lookup(k) for k in KEYS]
+
+
+def test_devices_property_preserves_insertion_order():
+    ring = HashRing([3, 1, 2], virtual_nodes=8)
+    assert ring.devices == [3, 1, 2]
+
+
+def test_imbalance_bounded_at_64_virtual_nodes():
+    # Large flat key population: the per-key noise of the tenant/shard set
+    # washes out and the ring's intrinsic spread is what's measured.
+    ring = HashRing([0, 1, 2, 3], virtual_nodes=64)
+    flat = [f"k/{i}" for i in range(5000)]
+    assert ring.imbalance(flat) <= 0.15
+
+
+def test_more_virtual_nodes_smooth_the_distribution():
+    coarse = HashRing(list(range(8)), virtual_nodes=4)
+    fine = HashRing(list(range(8)), virtual_nodes=256)
+    assert fine.imbalance(KEYS) < coarse.imbalance(KEYS)
+
+
+def test_shard_counts_cover_every_key():
+    ring = HashRing([0, 1, 2], virtual_nodes=64)
+    counts = ring.shard_counts(KEYS)
+    assert sum(counts.values()) == len(KEYS)
+    assert set(counts) <= {0, 1, 2}
+
+
+def test_add_device_moves_only_keys_bound_for_it():
+    ring = HashRing([0, 1, 2, 3], virtual_nodes=64)
+    before = {k: ring.lookup(k) for k in KEYS}
+    ring.add_device(4)
+    after = {k: ring.lookup(k) for k in KEYS}
+    moved = [k for k in KEYS if before[k] != after[k]]
+    # Consistent hashing: a key either stays put or lands on the newcomer.
+    assert all(after[k] == 4 for k in moved)
+    # And roughly 1/(n+1) of the keyspace moves, not all of it.
+    assert len(moved) / len(KEYS) < 2 / 5
+
+
+def test_remove_device_moves_only_its_keys():
+    ring = HashRing([0, 1, 2, 3], virtual_nodes=64)
+    before = {k: ring.lookup(k) for k in KEYS}
+    ring.remove_device(2)
+    after = {k: ring.lookup(k) for k in KEYS}
+    for k in KEYS:
+        if before[k] != 2:
+            assert after[k] == before[k]
+        else:
+            assert after[k] != 2
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    devices=st.lists(st.integers(0, 31), min_size=2, max_size=8, unique=True),
+    newcomer=st.integers(32, 40),
+    vnodes=st.integers(4, 64),
+)
+def test_minimal_remap_property(devices, newcomer, vnodes):
+    keys = [f"k/{i}" for i in range(200)]
+    ring = HashRing(devices, virtual_nodes=vnodes)
+    before = {k: ring.lookup(k) for k in keys}
+    ring.add_device(newcomer)
+    for k in keys:
+        assert ring.lookup(k) in (before[k], newcomer)
+    ring.remove_device(newcomer)
+    assert {k: ring.lookup(k) for k in keys} == before
+
+
+def test_candidates_are_distinct_and_in_ring_order():
+    ring = HashRing([0, 1, 2, 3], virtual_nodes=64)
+    for key in KEYS[:32]:
+        cands = ring.candidates(key, 3)
+        assert len(cands) == 3
+        assert len(set(cands)) == 3
+        assert cands[0] == ring.lookup(key)
+
+
+# -- Placement policies --------------------------------------------------------
+
+
+def test_placement_home_matches_ring_lookup():
+    ring = HashRing([0, 1, 2, 3], virtual_nodes=64)
+    placement = Placement(ring)
+    for key in KEYS[:32]:
+        assert placement.home(key) == ring.lookup(key)
+
+
+def test_placement_route_skips_dead_devices():
+    ring = HashRing([0, 1, 2, 3], virtual_nodes=64)
+    key = KEYS[0]
+    home = ring.lookup(key)
+    placement = Placement(ring, fanout=4, healthy=lambda d: d != home)
+    target = placement.route(key)
+    assert target is not None and target != home
+
+
+def test_placement_route_none_when_all_dead():
+    ring = HashRing([0, 1], virtual_nodes=16)
+    placement = Placement(ring, healthy=lambda d: False)
+    assert placement.route(KEYS[0]) is None
+
+
+def test_load_policy_prefers_idle_candidate_for_spread_traffic():
+    ring = HashRing([0, 1, 2, 3], virtual_nodes=64)
+    key = KEYS[0]
+    home = ring.lookup(key)
+    loads = {d: 0.0 for d in range(4)}
+    loads[home] = 100.0
+    placement = Placement(ring, policy="load", fanout=4, load_of=loads.__getitem__)
+    assert placement.route(key, spread=True) != home
+    # Reads keep data gravity: without spread, the home wins regardless.
+    assert placement.route(key) == home
+
+
+def test_peers_excludes_and_filters():
+    ring = HashRing([0, 1, 2, 3], virtual_nodes=64)
+    placement = Placement(ring, healthy=lambda d: d != 2)
+    peers = placement.peers(KEYS[0], exclude=0)
+    assert 0 not in peers and 2 not in peers
+    assert set(peers) == {1, 3}
+
+
+def test_empty_ring_lookup_rejected():
+    ring = HashRing([0], virtual_nodes=8)
+    ring.remove_device(0)
+    with pytest.raises(FleetError):
+        ring.lookup("k")
+
+
+def test_duplicate_device_rejected():
+    with pytest.raises(FleetError):
+        HashRing([0, 0], virtual_nodes=8)

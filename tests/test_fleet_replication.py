@@ -1,0 +1,164 @@
+"""Tests for cross-device RAID-4 striping and XOR reconstruction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FleetError
+from repro.fleet.replication import CrossDeviceRaidMap, xor_pages
+
+PAGE = 64  # bytes; small pages keep hypothesis examples cheap
+
+
+def _pages(seed, count, width=PAGE):
+    return [bytes((seed * 131 + i * 7 + j) & 0xFF for j in range(width)) for i in range(count)]
+
+
+# -- xor_pages -----------------------------------------------------------------
+
+
+def test_xor_identity_and_involution():
+    a, b = _pages(1, 2)
+    assert xor_pages([a]) == a
+    assert xor_pages([a, b, b]) == a
+    assert xor_pages([xor_pages([a, b]), b]) == a
+
+
+def test_xor_rejects_empty_and_ragged():
+    with pytest.raises(FleetError):
+        xor_pages([])
+    with pytest.raises(FleetError):
+        xor_pages([b"ab", b"abc"])
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    data=st.lists(st.binary(min_size=32, max_size=32), min_size=2, max_size=6),
+    lost=st.integers(0, 5),
+)
+def test_any_lost_page_rebuilds_from_mates(data, lost):
+    lost %= len(data)
+    parity = xor_pages(data)
+    mates = [page for i, page in enumerate(data) if i != lost] + [parity]
+    assert xor_pages(mates) == data[lost]
+
+
+# -- CrossDeviceRaidMap.build --------------------------------------------------
+
+
+def _alloc_from(counters):
+    def alloc(device):
+        counters[device] = counters.get(device, 0) + 1
+        return 10_000 + counters[device]
+
+    return alloc
+
+
+def _build(placements, raid_k, device_ids):
+    return CrossDeviceRaidMap.build(placements, raid_k, device_ids, _alloc_from({}))
+
+
+def test_build_covers_every_placement_exactly_once():
+    placements = [(d, lpa) for d in range(4) for lpa in range(16)]
+    raid = _build(placements, raid_k=3, device_ids=range(4))
+    seen = []
+    for g in range(len(raid)):
+        seen.extend(raid.members(g))
+    assert sorted(seen) == sorted(placements)
+
+
+def test_build_stripes_are_device_disjoint_with_external_parity():
+    placements = [(d, lpa) for d in range(5) for lpa in range(9)]
+    raid = _build(placements, raid_k=4, device_ids=range(5))
+    for g in range(len(raid)):
+        member_devices = [d for d, _ in raid.members(g)]
+        assert len(set(member_devices)) == len(member_devices)
+        assert raid.parity(g)[0] not in member_devices
+
+
+def test_build_spreads_parity_across_devices():
+    placements = [(d, lpa) for d in range(4) for lpa in range(32)]
+    raid = _build(placements, raid_k=3, device_ids=range(4))
+    homes = [device for device, _ in raid.parity_pages]
+    counts = {d: homes.count(d) for d in set(homes)}
+    assert len(counts) == 4  # every device carries some parity
+    assert max(counts.values()) - min(counts.values()) <= 1
+
+
+def test_build_two_devices_degenerates_to_replication():
+    placements = [(0, 0), (0, 1), (1, 0)]
+    raid = _build(placements, raid_k=4, device_ids=[0, 1])
+    for g in range(len(raid)):
+        (members, parity) = raid.members(g), raid.parity(g)
+        assert len(members) == 1  # k clamps to num_devices - 1 == 1
+        assert parity[0] != members[0][0]
+
+
+def test_build_rejects_tiny_fleets_and_stray_devices():
+    with pytest.raises(FleetError):
+        _build([(0, 0)], raid_k=2, device_ids=[0])
+    with pytest.raises(FleetError):
+        _build([(7, 0)], raid_k=2, device_ids=[0, 1])
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    per_device=st.lists(st.integers(0, 12), min_size=2, max_size=6),
+    raid_k=st.integers(2, 6),
+)
+def test_build_invariants_hold_for_arbitrary_backlogs(per_device, raid_k):
+    device_ids = list(range(len(per_device)))
+    placements = [(d, lpa) for d, n in enumerate(per_device) for lpa in range(n)]
+    raid = _build(placements, raid_k, device_ids)
+    k = min(raid_k, len(device_ids) - 1)
+    covered = set()
+    for g in range(len(raid)):
+        members, parity = raid.members(g), raid.parity(g)
+        devices = [d for d, _ in members]
+        assert 1 <= len(members) <= k
+        assert len(set(devices)) == len(devices)
+        assert parity[0] not in devices
+        covered.update(members)
+    assert covered == set(placements)
+
+
+# -- constructor validation and queries ----------------------------------------
+
+
+def test_constructor_rejects_repeated_member_device():
+    with pytest.raises(FleetError):
+        CrossDeviceRaidMap([(((0, 1), (0, 2)), (1, 9))])
+
+
+def test_constructor_rejects_parity_on_member_device():
+    with pytest.raises(FleetError):
+        CrossDeviceRaidMap([(((0, 1), (1, 2)), (0, 9))])
+
+
+def test_constructor_rejects_page_in_two_stripes():
+    with pytest.raises(FleetError):
+        CrossDeviceRaidMap(
+            [(((0, 1), (1, 2)), (2, 9)), (((0, 1), (3, 2)), (2, 8))]
+        )
+
+
+def test_stripe_mates_resolution():
+    raid = CrossDeviceRaidMap([(((0, 1), (1, 2)), (2, 9))])
+    assert raid.stripe_mates((0, 1)) == [(1, 2), (2, 9)]
+    assert raid.stripe_mates((2, 9)) == [(0, 1), (1, 2)]  # parity -> members
+    assert raid.stripe_mates((3, 3)) is None
+    assert raid.group_for((1, 2)) == 0
+    assert raid.device_pages(2) == [(2, 9)]
+
+
+def test_end_to_end_rebuild_with_map_and_xor():
+    # Stripe three data pages on devices 0-2, parity on 3; losing any
+    # device leaves every one of its pages recoverable via stripe_mates.
+    data = {(0, 1): _pages(3, 1)[0], (1, 5): _pages(4, 1)[0], (2, 7): _pages(5, 1)[0]}
+    parity_addr = (3, 11)
+    raid = CrossDeviceRaidMap([(tuple(data), parity_addr)])
+    store = dict(data)
+    store[parity_addr] = xor_pages(list(data.values()))
+    for lost_addr, want in store.items():
+        mates = raid.stripe_mates(lost_addr)
+        assert xor_pages([store[m] for m in mates]) == want
