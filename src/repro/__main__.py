@@ -11,7 +11,8 @@ Commands:
 * ``profile``                   — ISA-level cycle-attribution profile of one kernel
 * ``figure {5,13,14,15,16,19,20,21,22}`` — regenerate a paper figure
 * ``table {1,2,4,5}``           — regenerate a paper table
-* ``tpch``                      — run TPC-H queries on the mini engine
+* ``tpch``                      — run TPC-H queries end-to-end on the live device
+* ``sql``                       — interactive SQL shell (or ``-e``/``-f`` batch)
 """
 
 from __future__ import annotations
@@ -80,6 +81,7 @@ def _add_workload_args(
     duration_us=None,
     seed=None,
     policy=None,
+    policy_choices=("rr", "wrr", "drr"),
     tenants_help=None,
 ) -> None:
     """Register the flags shared by the workload-driving subcommands.
@@ -87,10 +89,12 @@ def _add_workload_args(
     Every simulation subcommand takes ``--config``; pass ``policy`` /
     ``tenants_help`` / ``duration_us`` / ``seed`` to opt into the other
     shared flags with per-command defaults (``None`` omits the flag).
+    ``--policy`` means arbitration for the serving commands and scan
+    placement for the SQL commands; ``policy_choices`` selects which.
     """
     parser.add_argument("--config", default="AssasinSb")
     if policy is not None:
-        parser.add_argument("--policy", default=policy, choices=["rr", "wrr", "drr"])
+        parser.add_argument("--policy", default=policy, choices=list(policy_choices))
     if tenants_help is not None:
         parser.add_argument("--tenants", default="", help=tenants_help)
     if duration_us is not None:
@@ -305,16 +309,50 @@ def _cmd_table(args) -> int:
     return 0
 
 
-def _cmd_tpch(args) -> int:
-    from repro.analytics.engine import AnalyticsEngine
-    from repro.analytics.queries import query_numbers, run_query
+def _sql_session_from_args(args):
+    from repro.config import named_config
+    from repro.sql import SqlSession
 
-    engine = AnalyticsEngine(gen_scale_factor=args.scale_factor)
+    tenants = _parse_tenants(args.tenants) if args.tenants else []
+    return SqlSession(
+        named_config(args.config),
+        gen_scale_factor=args.scale_factor,
+        target_scale_factor=args.target_scale_factor,
+        seed=args.seed,
+        policy=args.policy,
+        tenants=tenants,
+        duration_ns=args.duration_us * 1e3,
+    )
+
+
+def _cmd_tpch(args) -> int:
+    from repro.analytics.queries import query_numbers
+    from repro.sql.tpch import TPCH_SQL
+
+    session = _sql_session_from_args(args)
     numbers = args.queries or query_numbers()
     for n in numbers:
-        result = run_query(engine.db, n)
-        print(f"Q{n:2d}: {result.nrows:6d} rows  columns={tuple(result.columns)}")
+        record = session.drain(session.submit(TPCH_SQL[n]))
+        result = record.result.table
+        sites = "".join(p.site[0].upper() for p in record.placements)
+        print(
+            f"Q{n:2d}: {result.nrows:6d} rows  {record.latency_ns / 1e6:8.3f} ms "
+            f"[{sites}]  columns={tuple(result.columns)}"
+        )
     return 0
+
+
+def _cmd_sql(args) -> int:
+    from repro.sql import SqlRepl
+
+    repl = SqlRepl(_sql_session_from_args(args))
+    if args.execute:
+        return repl.run_batch(args.execute)
+    if args.file:
+        with open(args.file) as handle:
+            text = handle.read()
+        return repl.run_batch(text)
+    return repl.run_interactive()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -462,10 +500,44 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("number", choices=["1", "2", "3", "4", "5"])
     table.set_defaults(fn=_cmd_table)
 
-    tpch = sub.add_parser("tpch", help="run TPC-H queries")
+    tpch = sub.add_parser("tpch", help="run TPC-H queries on the live device")
     tpch.add_argument("queries", nargs="*", type=int)
+    _add_workload_args(
+        tpch,
+        duration_us=50_000.0,
+        seed=7,
+        policy="auto",
+        policy_choices=("host", "device", "auto"),
+        tenants_help="background tenants, same syntax as `serve`",
+    )
     tpch.add_argument("--scale-factor", type=float, default=0.004)
+    tpch.add_argument(
+        "--target-scale-factor",
+        type=float,
+        default=None,
+        help="scale whose timing is modelled (default: --scale-factor)",
+    )
     tpch.set_defaults(fn=_cmd_tpch)
+
+    sql = sub.add_parser("sql", help="SQL shell on the simulated device")
+    _add_workload_args(
+        sql,
+        duration_us=50_000.0,
+        seed=7,
+        policy="auto",
+        policy_choices=("host", "device", "auto"),
+        tenants_help="background tenants, same syntax as `serve`",
+    )
+    sql.add_argument("-e", "--execute", default="", help="run this statement batch and exit")
+    sql.add_argument("-f", "--file", default="", help="run statements from a file and exit")
+    sql.add_argument("--scale-factor", type=float, default=0.004)
+    sql.add_argument(
+        "--target-scale-factor",
+        type=float,
+        default=None,
+        help="scale whose timing is modelled (default: --scale-factor)",
+    )
+    sql.set_defaults(fn=_cmd_sql)
 
     reproduce = sub.add_parser(
         "reproduce", help="run every table and figure; write one report"

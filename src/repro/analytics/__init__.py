@@ -10,7 +10,7 @@ from repro.analytics.schema import SCHEMA, TableSchema
 from repro.analytics.datagen import generate_database
 from repro.analytics.relalg import Table
 from repro.analytics.queries import QUERIES, QueryMeta, query_meta, run_query
-from repro.analytics.cost import HostCostModel
+from repro.analytics.cost import CostSource, HostCostModel, StaticCostSource
 from repro.analytics.engine import AnalyticsEngine, QueryLatency
 
 __all__ = [
@@ -22,7 +22,9 @@ __all__ = [
     "QueryMeta",
     "query_meta",
     "run_query",
+    "CostSource",
     "HostCostModel",
+    "StaticCostSource",
     "AnalyticsEngine",
     "QueryLatency",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.analytics.cost import HostCostModel
+from repro.analytics.cost import CostSource, HostCostModel, StaticCostSource
 from repro.analytics.datagen import generate_database
 from repro.analytics.queries import query_meta, query_numbers, run_query
 from repro.analytics.relalg import ExecutionStats, Table
@@ -68,6 +68,7 @@ class AnalyticsEngine:
         target_scale_factor: float = 10.0,
         cost_model: Optional[HostCostModel] = None,
         seed: int = 7,
+        cost_source: Optional[CostSource] = None,
     ) -> None:
         if target_scale_factor < gen_scale_factor:
             raise AnalyticsError("target SF must be >= generation SF")
@@ -75,6 +76,11 @@ class AnalyticsEngine:
         self.target_sf = target_scale_factor
         self.scale_ratio = target_scale_factor / gen_scale_factor
         self.cost = cost_model or HostCostModel()
+        #: All host-side pricing flows through one :class:`CostSource`; the
+        #: default wraps ``cost_model`` in the calibrated static fallback so
+        #: figure-15 numbers are unchanged, and callers can swap in a
+        #: telemetry-backed source without touching the latency models.
+        self.source: CostSource = cost_source or StaticCostSource(host=self.cost)
         self.db: Dict[str, Table] = generate_database(gen_scale_factor, seed=seed)
         self._profiles: Dict[int, _QueryProfile] = {}
 
@@ -102,8 +108,8 @@ class AnalyticsEngine:
         profile = self.profile(number)
         scan_bytes = self.scanned_text_bytes(number)
         transfer = scan_bytes / LINK_BYTES_PER_NS
-        parse = self.cost.parse_text_ns(scan_bytes)
-        ops = self.cost.relational_ns(profile.stats, self.scale_ratio)
+        parse = self.source.parse_text_ns(scan_bytes)
+        ops = self.source.relational_ns(profile.stats, self.scale_ratio)
         # Transfer overlaps compute; parsing + operators serialise on the host.
         total = max(transfer, parse + ops)
         return QueryLatency(number, total, transfer, parse, ops)
@@ -120,7 +126,7 @@ class AnalyticsEngine:
             raise AnalyticsError("device PSF throughput must be positive")
         profile = self.profile(number)
         meta = query_meta(number)
-        ops = self.cost.relational_ns(profile.stats, self.scale_ratio)
+        ops = self.source.relational_ns(profile.stats, self.scale_ratio)
         all_bytes = self.scanned_text_bytes(number)
         lineitem_bytes = (
             self.scanned_text_bytes(number, "lineitem") if meta.uses_lineitem else 0.0
@@ -135,7 +141,7 @@ class AnalyticsEngine:
             * BINARY_DENSITY
         )
         transfer = reduced / LINK_BYTES_PER_NS
-        ingest = self.cost.ingest_binary_ns(reduced)
+        ingest = self.source.ingest_binary_ns(reduced)
         storage = max(device, transfer)
         total = storage + ingest + ops
         return QueryLatency(number, total, storage, 0.0, ingest + ops)

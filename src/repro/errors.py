@@ -62,3 +62,7 @@ class KernelError(ReproError):
 
 class AnalyticsError(ReproError):
     """TPC-H substrate error (unknown table/column, malformed plan)."""
+
+
+class SqlError(ReproError):
+    """SQL frontend error (lexing, parsing, planning, or execution)."""

@@ -37,7 +37,10 @@ class ChannelBus:
         self.config = config
         self.channel = channel
         self._track = f"flash/ch{channel}"
-        self._bus = FifoResource(self._track, trace_label="xfer")
+        # Backfill: the controller's DMA engine serves transfers in
+        # readiness order, so a transfer whose data is ready early may use
+        # an idle gap left by one booked further in the future.
+        self._bus = FifoResource(self._track, trace_label="xfer", backfill=True)
         self._tracer = telemetry.tracer
         self._bytes = telemetry.counters.counter(f"flash.ch{channel}.bytes")
         self._busy = telemetry.counters.counter(f"flash.ch{channel}.busy_ns")

@@ -36,6 +36,9 @@ class ServeCommand:
     page_retries: int = 0
     reconstructions: int = 0
     timed_out: bool = False
+    #: writes only: rewrite the command's own LPAs in place (invalidating
+    #: the previously mapped flash pages) instead of appending fresh ones.
+    overwrite: bool = False
 
     @property
     def kind(self) -> str:

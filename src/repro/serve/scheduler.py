@@ -30,7 +30,8 @@ their seeded process until ``duration_ns`` and the device then drains.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 from repro.config import ServeConfig
 from repro.errors import ServeError
@@ -80,11 +81,15 @@ class ServingLayer:
 
         # Carve a private, pre-populated LPA region per tenant.
         self.generators: List[WorkloadGenerator] = []
+        #: First LPA of each tenant's region; driven tenants (the SQL
+        #: session) address their scans inside their own carved region.
+        self.region_base: Dict[str, int] = {}
         base = 0
         for index, spec in enumerate(self.specs):
             gen = WorkloadGenerator(spec, index, seed, base)
             self.generators.append(gen)
             self._gen_by_name[spec.name] = gen
+            self.region_base[spec.name] = base
             self.device.ftl.populate(range(base, base + spec.region_pages))
             base += spec.region_pages
 
@@ -103,6 +108,14 @@ class ServingLayer:
         self._inflight = 0
         self._duration_ns = 0.0
         self._horizon_ns = 0.0
+        self._began = False
+        # Driven-command plumbing (SQL sessions): per-tenant overflow
+        # backlogs (driven commands spill instead of dropping), completion
+        # hooks keyed by command id, and completion observers (the live
+        # cost source taps these for its service-time EWMA).
+        self._backlog: Dict[str, Deque[ServeCommand]] = {}
+        self._hooks: Dict[int, Callable[[ServeCommand], None]] = {}
+        self._observers: List[Callable[[ServeCommand], None]] = []
 
     @property
     def recovery(self):
@@ -116,21 +129,42 @@ class ServingLayer:
 
     def run(self, duration_ns: float = 2_000_000.0) -> ServeReport:
         """Admit traffic for ``duration_ns``, drain, and report."""
+        self.begin(duration_ns)
+        return self.finish()
+
+    def begin(self, duration_ns: float = 2_000_000.0) -> None:
+        """Start admitting tenant traffic without running the event loop.
+
+        Driven sessions (the SQL REPL) call ``begin`` once, then inject
+        their own commands via :meth:`submit_driven` and advance the shared
+        simulator themselves; :meth:`finish` drains and reports. ``sql``
+        tenants generate no traffic of their own, so they are skipped here.
+        """
         if duration_ns <= 0:
             raise ServeError("serve duration must be positive")
+        if self._began:
+            raise ServeError("serving layer already began admitting traffic")
+        self._began = True
         self._duration_ns = duration_ns
         for gen in self.generators:
+            if gen.spec.kind == "sql":
+                continue
             if gen.spec.closed_loop:
                 for _ in range(gen.spec.outstanding):
                     self.events.schedule_at(
                         0.0, lambda g=gen: self._submit(g), label=f"submit:{gen.spec.name}"
                     )
             else:
-                first = gen.next_interarrival_ns()
+                first = gen.next_arrival_ns(0.0)
                 if first < duration_ns:
                     self.events.schedule_at(
                         first, lambda g=gen: self._arrive(g), label=f"arrive:{gen.spec.name}"
                     )
+
+    def finish(self) -> ServeReport:
+        """Drain every pending event and build the report."""
+        if not self._began:
+            raise ServeError("serving layer never began admitting traffic")
         self.events.run()
         return self._report()
 
@@ -139,7 +173,7 @@ class ServingLayer:
     def _arrive(self, gen: WorkloadGenerator) -> None:
         now = self.events.now
         self._submit(gen)
-        next_ns = now + gen.next_interarrival_ns()
+        next_ns = gen.next_arrival_ns(now)
         if next_ns < self._duration_ns:
             self.events.schedule_at(
                 next_ns, lambda: self._arrive(gen), label=f"arrive:{gen.spec.name}"
@@ -161,6 +195,59 @@ class ServingLayer:
             self._tracer.instant(f"queue/{gen.spec.name}", "submit", now)
         metrics.queue_depth.observe(len(pair.sq))
         self._pump()
+
+    # -- driven commands (SQL sessions) ----------------------------------------
+
+    def submit_driven(
+        self,
+        tenant: str,
+        command,
+        pages: int,
+        on_complete: Optional[Callable[[ServeCommand], None]] = None,
+    ) -> ServeCommand:
+        """Inject one externally built command into ``tenant``'s queue pair.
+
+        Driven commands arbitrate against every other tenant exactly like
+        generated traffic, but they never drop: when the submission queue is
+        full they spill to a per-tenant backlog that refills as completions
+        free slots. ``on_complete`` fires (with the finished
+        :class:`ServeCommand`) when the command completes.
+        """
+        if tenant not in self._pair_by_name:
+            raise ServeError(f"unknown tenant {tenant!r}")
+        now = self.events.now
+        cmd = ServeCommand(
+            tenant=tenant, command=command, submitted_ns=now, pages=pages
+        )
+        if on_complete is not None:
+            self._hooks[command.command_id] = on_complete
+        metrics = self.metrics[tenant]
+        metrics.submitted += 1
+        self.device.host.submit(command)
+        pair = self._pair_by_name[tenant]
+        if not pair.sq.push(cmd):
+            self._backlog.setdefault(tenant, deque()).append(cmd)
+            self._tracer.instant(f"queue/{tenant}", "backlog", now)
+        else:
+            self._tracer.instant(f"queue/{tenant}", "submit", now)
+        metrics.queue_depth.observe(len(pair.sq))
+        self._pump()
+        return cmd
+
+    def add_completion_observer(self, observer: Callable[[ServeCommand], None]) -> None:
+        """Call ``observer(cmd)`` on every command completion (any tenant)."""
+        self._observers.append(observer)
+
+    @property
+    def inflight(self) -> int:
+        """Commands currently being serviced on the device."""
+        return self._inflight
+
+    def backlog_depth(self, tenant: Optional[str] = None) -> int:
+        """Spilled driven commands awaiting a queue slot."""
+        if tenant is not None:
+            return len(self._backlog.get(tenant, ()))
+        return sum(len(q) for q in self._backlog.values())
 
     # -- dispatch --------------------------------------------------------------
 
@@ -233,6 +320,15 @@ class ServingLayer:
             self.events.schedule(
                 gen.spec.think_ns, lambda: self._submit(gen), label=f"think:{gen.spec.name}"
             )
+        backlog = self._backlog.get(cmd.tenant)
+        if backlog:
+            while backlog and pair.sq.push(backlog[0]):
+                backlog.popleft()
+        for observer in self._observers:
+            observer(cmd)
+        hook = self._hooks.pop(cmd.command.command_id, None)
+        if hook is not None:
+            hook(cmd)
         self._pump()
 
     # -- service models --------------------------------------------------------

@@ -159,8 +159,13 @@ class DeviceService:
         cmd.bytes_in = nbytes
         landed = device.host.transfer(nbytes, now, to_host=False)
         done = landed
-        for _ in range(cmd.pages):
-            ppa = device.ftl.write(next(self._out_lpa))
+        # Overwriting tenants rewrite their own LPAs: the FTL remaps each
+        # one and invalidates its old flash page, which is what feeds the
+        # garbage collector. The default appends to the serve-output
+        # namespace (fresh LPAs, no invalidation).
+        lpas = cmd.command.lpas if cmd.overwrite else None
+        for i in range(cmd.pages):
+            ppa = device.ftl.write(lpas[i] if lpas else next(self._out_lpa))
             record = device.array.service_write(ppa, landed)
             # As in the firmware write path: the command acks once the data
             # is across the channel bus; tPROG hides behind plane

@@ -26,7 +26,11 @@ from repro.serve.queues import ServeCommand
 from repro.ssd.host_interface import HostInterface, NVMeCommand, ReadCommand, ScompCommand, WriteCommand
 
 COMMAND_KINDS = ("scomp", "read", "write")
-ARRIVAL_PROCESSES = ("poisson", "fixed")
+#: Tenant kinds: the three self-generating command kinds plus ``sql``, a
+#: driven analytic tenant — the SQL session injects its own scan commands
+#: through :meth:`ServingLayer.submit_driven`, so the traffic loop skips it.
+TENANT_KINDS = COMMAND_KINDS + ("sql",)
+ARRIVAL_PROCESSES = ("poisson", "fixed", "burst")
 
 
 @dataclass(frozen=True)
@@ -35,24 +39,32 @@ class TenantSpec:
 
     name: str
     weight: float = 1.0
-    kind: str = "scomp"  # 'scomp' | 'read' | 'write'
+    kind: str = "scomp"  # 'scomp' | 'read' | 'write' | 'sql' (driven)
     kernel: str = "stat"  # scomp only: registry name of the offloaded kernel
     pages_per_command: int = 8
     interarrival_ns: float = 20_000.0  # open loop: mean gap between arrivals
-    arrival: str = "poisson"  # 'poisson' | 'fixed'
+    arrival: str = "poisson"  # 'poisson' | 'fixed' | 'burst'
     closed_loop: bool = False
     outstanding: int = 4  # closed loop: commands kept in flight
     think_ns: float = 0.0  # closed loop: completion-to-resubmit gap
     region_pages: int = 4096  # size of the tenant's private LPA region
+    #: write only: rewrite LPAs inside the tenant's own region instead of
+    #: appending to the serve-output namespace. In-place rewrites invalidate
+    #: the old flash pages, which is what builds real GC pressure.
+    overwrite: bool = False
+    #: burst arrival: Poisson arrivals at ``interarrival_ns`` during the ON
+    #: phase, silence during the OFF phase, phases alternating forever.
+    burst_on_ns: float = 200_000.0
+    burst_off_ns: float = 200_000.0
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ServeError("tenant needs a name")
         if self.weight <= 0:
             raise ServeError(f"tenant {self.name!r}: weight must be positive")
-        if self.kind not in COMMAND_KINDS:
+        if self.kind not in TENANT_KINDS:
             raise ServeError(
-                f"tenant {self.name!r}: unknown kind {self.kind!r}; known: {COMMAND_KINDS}"
+                f"tenant {self.name!r}: unknown kind {self.kind!r}; known: {TENANT_KINDS}"
             )
         if self.arrival not in ARRIVAL_PROCESSES:
             raise ServeError(
@@ -71,6 +83,14 @@ class TenantSpec:
             raise ServeError(
                 f"tenant {self.name!r}: region_pages must cover at least one command"
             )
+        if self.arrival == "burst" and (self.burst_on_ns <= 0 or self.burst_off_ns <= 0):
+            raise ServeError(
+                f"tenant {self.name!r}: burst phases must be positive"
+            )
+        if self.overwrite and self.kind != "write":
+            raise ServeError(
+                f"tenant {self.name!r}: overwrite only applies to write tenants"
+            )
 
 
 class WorkloadGenerator:
@@ -87,9 +107,27 @@ class WorkloadGenerator:
 
     def next_interarrival_ns(self) -> float:
         """Gap to the next open-loop arrival (exponential or fixed)."""
-        if self.spec.arrival == "poisson":
+        if self.spec.arrival in ("poisson", "burst"):
             return self.rng.expovariate(1.0 / self.spec.interarrival_ns)
         return self.spec.interarrival_ns
+
+    def next_arrival_ns(self, now_ns: float) -> float:
+        """Absolute time of the next arrival after ``now_ns``.
+
+        Poisson/fixed tenants arrive at ``now + gap``. Burst tenants draw
+        Poisson gaps during the ON phase; a draw that lands in an OFF phase
+        is carried into the next ON window (an on/off Markov-modulated
+        process, the classic bursty-tenant model).
+        """
+        gap = self.next_interarrival_ns()
+        if self.spec.arrival != "burst":
+            return now_ns + gap
+        period = self.spec.burst_on_ns + self.spec.burst_off_ns
+        at = now_ns + gap
+        phase = at % period
+        if phase >= self.spec.burst_on_ns:  # landed in the OFF window
+            at += period - phase  # carry to the start of the next ON window
+        return at
 
     def _pick_lpas(self) -> List[int]:
         span = self.spec.region_pages - self.spec.pages_per_command
@@ -98,6 +136,11 @@ class WorkloadGenerator:
 
     def make_command(self, host: HostInterface, now_ns: float) -> ServeCommand:
         """Mint the tenant's next command with a device-unique command id."""
+        if self.spec.kind == "sql":
+            raise ServeError(
+                f"tenant {self.spec.name!r} is driven: commands come from the "
+                "SQL session via ServingLayer.submit_driven"
+            )
         lpas = self._pick_lpas()
         command: NVMeCommand
         if self.spec.kind == "scomp":
@@ -114,6 +157,7 @@ class WorkloadGenerator:
             command=command,
             submitted_ns=now_ns,
             pages=len(lpas),
+            overwrite=self.spec.overwrite and self.spec.kind == "write",
         )
 
 

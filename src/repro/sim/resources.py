@@ -57,6 +57,54 @@ class _Timeline:
                 self._intervals.append((start, done))
         return Grant(start, done)
 
+    def reserve_backfill(self, ready_ns: int, duration_ns: int) -> Grant:
+        """Reserve the *earliest* idle slot >= ``ready_ns`` that fits.
+
+        Strict FIFO order penalises requesters whose data becomes ready
+        early: once one grant with a far-future ready time books the lane,
+        every later call queues behind it even though the lane sits idle
+        in between. A DMA engine serves transfers in readiness order, so
+        this variant first-fits into the idle gaps the FIFO pointer left
+        behind and only falls back to the tail. When ready times arrive
+        non-decreasing (the offload paths), no usable gap ever exists and
+        the result is identical to :meth:`reserve`.
+        """
+        if duration_ns > 0 and self._intervals:
+            # Candidate gaps: before the first interval, and between
+            # consecutive intervals. Coalescing keeps this list short even
+            # on saturated lanes, so the scan is cheap.
+            idx = max(0, bisect.bisect_right(self._starts, ready_ns) - 1)
+            for i in range(idx, len(self._intervals)):
+                gap_start = self._intervals[i - 1][1] if i > 0 else 0
+                gap_end = self._intervals[i][0]
+                start = max(gap_start, ready_ns)
+                if start + duration_ns <= gap_end:
+                    done = start + duration_ns
+                    # The tail pointer is untouched: this grant consumes
+                    # idle time strictly before the last booked interval.
+                    self.busy_ns += duration_ns
+                    self.grants += 1
+                    self._insert_interval(start, done, i)
+                    return Grant(start, done)
+        return self.reserve(ready_ns, duration_ns)
+
+    def _insert_interval(self, start: int, done: int, at: int) -> None:
+        """Insert [start, done) before interval ``at``, coalescing edges."""
+        merge_prev = at > 0 and self._intervals[at - 1][1] == start
+        merge_next = self._intervals[at][0] == done
+        if merge_prev and merge_next:
+            self._intervals[at - 1] = (self._intervals[at - 1][0], self._intervals[at][1])
+            del self._intervals[at]
+            del self._starts[at]
+        elif merge_prev:
+            self._intervals[at - 1] = (self._intervals[at - 1][0], done)
+        elif merge_next:
+            self._intervals[at] = (start, self._intervals[at][1])
+            self._starts[at] = start
+        else:
+            self._intervals.insert(at, (start, done))
+            self._starts.insert(at, start)
+
     def occupy(self, start_ns: int, done_ns: int, busy_ns: Optional[int] = None) -> None:
         """Record an explicitly timed occupancy (start may precede free_at)."""
         self.free_at_ns = max(self.free_at_ns, done_ns)
@@ -90,10 +138,17 @@ class FifoResource:
     :class:`~repro.telemetry.tracer.NullTracer` both are no-ops.
     """
 
-    def __init__(self, name: str, telemetry=None, trace_label: str = "busy") -> None:
+    def __init__(
+        self,
+        name: str,
+        telemetry=None,
+        trace_label: str = "busy",
+        backfill: bool = False,
+    ) -> None:
         self.name = name
         self._lane = _Timeline()
         self._trace_label = trace_label
+        self._backfill = backfill
         if telemetry is None:
             from repro.telemetry.tracer import NULL_TRACER
 
@@ -121,7 +176,10 @@ class FifoResource:
         """Grant the next FIFO slot of ``duration_ns`` starting >= ``ready_ns``."""
         if duration_ns < 0:
             raise ValueError(f"negative duration {duration_ns} on {self.name}")
-        grant = self._lane.reserve(as_ns(ready_ns), as_ns(duration_ns))
+        if self._backfill:
+            grant = self._lane.reserve_backfill(as_ns(ready_ns), as_ns(duration_ns))
+        else:
+            grant = self._lane.reserve(as_ns(ready_ns), as_ns(duration_ns))
         if self._busy_counter is not None:
             self._busy_counter.inc(grant.done_ns - grant.start_ns)
             self._grant_counter.inc()

@@ -1,0 +1,32 @@
+"""repro.sql: SQL frontend, planner, and simulated execution sessions."""
+
+from repro.sql.cost import LiveCostSource
+from repro.sql.executor import ScanExecution, SqlExecutor, SqlResult
+from repro.sql.parser import parse_sql, split_statements
+from repro.sql.planner import PlannedStatement, plan_statement
+from repro.sql.repl import SqlRepl, render_table
+from repro.sql.session import (
+    POLICIES,
+    QueryRecord,
+    SqlReport,
+    SqlSession,
+    table_fingerprint,
+)
+
+__all__ = [
+    "LiveCostSource",
+    "PlannedStatement",
+    "POLICIES",
+    "QueryRecord",
+    "ScanExecution",
+    "SqlExecutor",
+    "SqlRepl",
+    "SqlReport",
+    "SqlResult",
+    "SqlSession",
+    "parse_sql",
+    "plan_statement",
+    "render_table",
+    "split_statements",
+    "table_fingerprint",
+]

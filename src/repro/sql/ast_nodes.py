@@ -1,0 +1,150 @@
+"""SQL abstract syntax tree.
+
+Plain dataclasses, one per syntactic form. Expression nodes are shared by
+the parser, the planner (column analysis, conjunct splitting), and the
+expression compiler (:mod:`repro.sql.exprs`), so they carry no behaviour —
+just structure. Identity (``id(node)``) is used by the planner to key
+scalar-subquery plans, so nodes are deliberately *not* frozen/interned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass
+class Column(Expr):
+    name: str
+
+
+@dataclass
+class Literal(Expr):
+    value: object  # int | float | str | None
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str  # '+', '-', '*', '/', '=', '<>', '<', '<=', '>', '>=', 'and', 'or'
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str  # '-', 'not'
+    operand: Expr
+
+
+@dataclass
+class FuncCall(Expr):
+    """Scalar or aggregate function call. ``COUNT(*)`` is args=[Star()]."""
+
+    name: str  # lower-case: sum/min/max/avg/count/coalesce/floor/substring
+    args: List[Expr]
+
+
+@dataclass
+class Star(Expr):
+    """``*`` — only valid inside COUNT(*) or as a lone select item."""
+
+
+@dataclass
+class TupleExpr(Expr):
+    items: List[Expr]
+
+
+@dataclass
+class InList(Expr):
+    """``expr [NOT] IN (v1, v2, ...)`` over literal (or tuple-literal) values."""
+
+    operand: Expr
+    values: List[Expr]
+    negated: bool = False
+
+
+@dataclass
+class Like(Expr):
+    """``expr LIKE 'pattern'`` with ``%`` wildcards only at the ends."""
+
+    operand: Expr
+    pattern: str
+
+
+@dataclass
+class CaseExpr(Expr):
+    whens: List[Tuple[Expr, Expr]]  # (condition, result) pairs
+    default: Optional[Expr] = None  # ELSE branch; None → SQL NULL
+
+
+@dataclass
+class ScalarSubquery(Expr):
+    """``(SELECT ...)`` used as a value; must yield one row, one column.
+
+    Uncorrelated only: the subquery is planned independently and resolved
+    once per execution. An empty result is SQL NULL (``None``), which is
+    why the TPC-H transcriptions wrap these in COALESCE.
+    """
+
+    query: "Select"
+
+
+# -- query structure -----------------------------------------------------------
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass
+class TableRef:
+    """A base table or parenthesised derived table in FROM/JOIN."""
+
+    name: Optional[str] = None  # base table name, or
+    subquery: Optional["Select"] = None  # derived table (SELECT ...)
+
+
+@dataclass
+class Join:
+    kind: str  # 'inner' | 'semi' | 'anti'
+    source: TableRef
+    left_key: str  # ON <left_key> = <right_key>; column names only
+    right_key: str
+
+
+@dataclass
+class OrderItem:
+    column: str
+    descending: bool = False
+
+
+@dataclass
+class Select:
+    items: List[SelectItem]
+    source: TableRef
+    joins: List[Join] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: List[str] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass
+class UnionAll:
+    """``SELECT ... UNION ALL SELECT ...`` — column-wise concatenation."""
+
+    parts: List[Select]
+
+
+Statement = object  # Select | UnionAll

@@ -1,0 +1,247 @@
+"""Expression analysis and compilation to row closures.
+
+The planner needs three static analyses (which columns an expression
+touches, whether it contains an aggregate, which scalar subqueries it
+embeds) and one code generator: :func:`compile_expr` turns an AST
+expression into a ``row -> value`` closure over relalg's dict-per-row
+representation. Scalar subqueries compile to lookups in a mutable
+``scalars`` dict keyed by AST node identity — the executor resolves every
+subquery into that dict before the closures run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterator, List, Set
+
+from repro.errors import SqlError
+from repro.sql.ast_nodes import (
+    BinaryOp,
+    CaseExpr,
+    Column,
+    Expr,
+    FuncCall,
+    InList,
+    Like,
+    Literal,
+    ScalarSubquery,
+    Star,
+    TupleExpr,
+    UnaryOp,
+)
+from repro.sql.parser import AGGREGATE_FUNCS
+
+
+def column_refs(expr: Expr) -> Set[str]:
+    """Column names ``expr`` reads, excluding scalar-subquery interiors."""
+    out: Set[str] = set()
+    for node in walk(expr):
+        if isinstance(node, Column):
+            out.add(node.name)
+    return out
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    return any(
+        isinstance(node, FuncCall) and node.name in AGGREGATE_FUNCS
+        for node in walk(expr)
+    )
+
+
+def scalar_subqueries(expr: Expr) -> List[ScalarSubquery]:
+    """Scalar subqueries at *this* scope (their interiors are not walked)."""
+    return [node for node in walk(expr) if isinstance(node, ScalarSubquery)]
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Pre-order walk; does not descend into scalar-subquery bodies."""
+    yield expr
+    if isinstance(expr, BinaryOp):
+        yield from walk(expr.left)
+        yield from walk(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk(expr.operand)
+    elif isinstance(expr, FuncCall):
+        for arg in expr.args:
+            yield from walk(arg)
+    elif isinstance(expr, TupleExpr):
+        for item in expr.items:
+            yield from walk(item)
+    elif isinstance(expr, InList):
+        yield from walk(expr.operand)
+        for value in expr.values:
+            yield from walk(value)
+    elif isinstance(expr, Like):
+        yield from walk(expr.operand)
+    elif isinstance(expr, CaseExpr):
+        for cond, result in expr.whens:
+            yield from walk(cond)
+            yield from walk(result)
+        if expr.default is not None:
+            yield from walk(expr.default)
+
+
+def like_matcher(pattern: str) -> Callable[[str], bool]:
+    """Compile a LIKE pattern (``%`` wildcards only) to a predicate.
+
+    Segments between wildcards must appear left to right; leading/trailing
+    segments are anchored. The common cases reduce to str builtins:
+    ``'PROMO%'`` → startswith, ``'%green%'`` → contains, exact otherwise.
+    """
+    parts = pattern.split("%")
+    if len(parts) == 1:
+        return lambda s: s == pattern
+    head, tail, middle = parts[0], parts[-1], [p for p in parts[1:-1] if p]
+    if not middle:
+        if head and tail:
+            return lambda s: (
+                len(s) >= len(head) + len(tail)
+                and s.startswith(head)
+                and s.endswith(tail)
+            )
+        if head:
+            return lambda s: s.startswith(head)
+        if tail:
+            return lambda s: s.endswith(tail)
+        return lambda s: True  # bare '%' / '%%'
+
+    def match(s: str) -> bool:
+        if head and not s.startswith(head):
+            return False
+        if tail and not s.endswith(tail):
+            return False
+        pos = len(head)
+        end = len(s) - len(tail)
+        for seg in middle:
+            idx = s.find(seg, pos, end)
+            if idx < 0:
+                return False
+            pos = idx + len(seg)
+        return True
+
+    return match
+
+
+_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def compile_expr(
+    expr: Expr, scalars: Dict[int, object]
+) -> Callable[[Dict[str, object]], object]:
+    """Compile ``expr`` to a ``row -> value`` closure.
+
+    ``scalars`` maps ``id(ScalarSubquery node) -> resolved value``; the
+    closure reads it at call time, so the executor may fill it after
+    compilation but before the first row is evaluated.
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, Column):
+        name = expr.name
+        return lambda row: row[name]
+    if isinstance(expr, ScalarSubquery):
+        key = id(expr)
+        return lambda row: scalars[key]
+    if isinstance(expr, BinaryOp):
+        if expr.op == "and":
+            left = compile_expr(expr.left, scalars)
+            right = compile_expr(expr.right, scalars)
+            return lambda row: bool(left(row)) and bool(right(row))
+        if expr.op == "or":
+            left = compile_expr(expr.left, scalars)
+            right = compile_expr(expr.right, scalars)
+            return lambda row: bool(left(row)) or bool(right(row))
+        fn = _BINOPS[expr.op]
+        left = compile_expr(expr.left, scalars)
+        right = compile_expr(expr.right, scalars)
+        return lambda row: fn(left(row), right(row))
+    if isinstance(expr, UnaryOp):
+        operand = compile_expr(expr.operand, scalars)
+        if expr.op == "-":
+            return lambda row: -operand(row)
+        return lambda row: not operand(row)
+    if isinstance(expr, TupleExpr):
+        fns = [compile_expr(item, scalars) for item in expr.items]
+        return lambda row: tuple(fn(row) for fn in fns)
+    if isinstance(expr, InList):
+        operand = compile_expr(expr.operand, scalars)
+        values = frozenset(compile_expr(v, scalars)({}) for v in expr.values)
+        if expr.negated:
+            return lambda row: operand(row) not in values
+        return lambda row: operand(row) in values
+    if isinstance(expr, Like):
+        operand = compile_expr(expr.operand, scalars)
+        match = like_matcher(expr.pattern)
+        return lambda row: match(operand(row))
+    if isinstance(expr, CaseExpr):
+        whens = [
+            (compile_expr(cond, scalars), compile_expr(result, scalars))
+            for cond, result in expr.whens
+        ]
+        default = (
+            compile_expr(expr.default, scalars)
+            if expr.default is not None
+            else (lambda row: None)
+        )
+
+        def case(row):
+            for cond, result in whens:
+                if cond(row):
+                    return result(row)
+            return default(row)
+
+        return case
+    if isinstance(expr, FuncCall):
+        return _compile_func(expr, scalars)
+    if isinstance(expr, Star):
+        raise SqlError("'*' is only valid in COUNT(*) or as a select item")
+    raise SqlError(f"cannot compile expression {expr!r}")
+
+
+def _compile_func(expr: FuncCall, scalars: Dict[int, object]):
+    if expr.name in AGGREGATE_FUNCS:
+        raise SqlError(
+            f"aggregate {expr.name.upper()} outside a grouped select item"
+        )
+    if expr.name == "coalesce":
+        fns = [compile_expr(arg, scalars) for arg in expr.args]
+
+        def coalesce(row):
+            for fn in fns:
+                value = fn(row)
+                if value is not None:
+                    return value
+            return None
+
+        return coalesce
+    if expr.name == "floor":
+        if len(expr.args) != 1:
+            raise SqlError("FLOOR takes one argument")
+        operand = compile_expr(expr.args[0], scalars)
+        return lambda row: math.floor(operand(row))
+    if expr.name == "substring":
+        if len(expr.args) != 3:
+            raise SqlError("SUBSTRING takes (string, start, length)")
+        base = compile_expr(expr.args[0], scalars)
+        start = compile_expr(expr.args[1], scalars)
+        length = compile_expr(expr.args[2], scalars)
+
+        def substring(row):
+            s = base(row)
+            i = start(row) - 1  # SQL is 1-indexed
+            return s[i : i + length(row)]
+
+        return substring
+    raise SqlError(f"unknown function {expr.name!r}")  # pragma: no cover

@@ -1,0 +1,89 @@
+"""Hand-rolled SQL lexer.
+
+Token kinds are deliberately few: identifiers/keywords, number and string
+literals, and the handful of operators the TPC-H dialect needs. Keywords
+are case-insensitive; identifiers are normalised to lower case (TPC-H
+column names are lower-case throughout the schema). ``--`` starts a
+comment that runs to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import SqlError
+
+KEYWORDS = frozenset(
+    """
+    select distinct from join semi anti on where and or not in like group by
+    having order asc desc limit as union all case when then else end date
+    """.split()
+)
+
+#: Multi-char operators first so ``<=`` never lexes as ``<`` ``=``.
+OPERATORS = ("<=", ">=", "<>", "=", "<", ">", "+", "-", "*", "/", "(", ")", ",", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'keyword' | 'ident' | 'number' | 'string' | 'op' | 'eof'
+    value: object
+    pos: int  # character offset, for error messages
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex ``text`` into a token list terminated by one ``eof`` token."""
+    tokens: List[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            j = text.find("'", i + 1)
+            if j < 0:
+                raise SqlError(f"unterminated string literal at offset {i}")
+            tokens.append(Token("string", text[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                seen_dot = seen_dot or text[j] == "."
+                j += 1
+            lexeme = text[i:j]
+            value = float(lexeme) if "." in lexeme else int(lexeme)
+            tokens.append(Token("number", value, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            low = word.lower()
+            if low in KEYWORDS:
+                tokens.append(Token("keyword", low, i))
+            else:
+                tokens.append(Token("ident", low, i))
+            i = j
+            continue
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("op", op, i))
+                i += len(op)
+                break
+        else:
+            raise SqlError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(Token("eof", None, n))
+    return tokens

@@ -1,0 +1,413 @@
+"""Recursive-descent SQL parser.
+
+Grammar (the subset the 22 TPC-H transcriptions need)::
+
+    statement   := select (UNION ALL select)*
+    select      := SELECT [DISTINCT] items FROM source join*
+                   [WHERE expr] [GROUP BY name (',' name)*] [HAVING expr]
+                   [ORDER BY order (',' order)*] [LIMIT int]
+    source      := name | '(' statement ')'
+    join        := [SEMI | ANTI] JOIN source ON name '=' name
+    items       := '*' | item (',' item)*
+    item        := expr [AS name]
+    order       := name [ASC | DESC]
+
+Expression precedence, loosest first: OR, AND, NOT, comparison
+(= <> < <= > >=, IN, LIKE), additive (+ -), term (* /), unary minus,
+primary. ``DATE 'YYYY-MM-DD'`` folds to the schema's integer day number
+at parse time. ``(a, b)`` is a tuple expression; ``(SELECT ...)`` in a
+value position is an uncorrelated scalar subquery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analytics.schema import date_to_day
+from repro.errors import SqlError
+from repro.sql.ast_nodes import (
+    BinaryOp,
+    CaseExpr,
+    Column,
+    Expr,
+    FuncCall,
+    InList,
+    Join,
+    Like,
+    Literal,
+    OrderItem,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+    TupleExpr,
+    UnaryOp,
+    UnionAll,
+)
+from repro.sql.lexer import Token, tokenize
+
+AGGREGATE_FUNCS = frozenset(("sum", "min", "max", "avg", "count"))
+SCALAR_FUNCS = frozenset(("coalesce", "floor", "substring"))
+COMPARISONS = ("=", "<>", "<=", ">=", "<", ">")
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing --------------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at_keyword(self, *words: str) -> bool:
+        return self.cur.kind == "keyword" and self.cur.value in words
+
+    def at_op(self, *ops: str) -> bool:
+        return self.cur.kind == "op" and self.cur.value in ops
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.at_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def accept_op(self, op: str) -> bool:
+        if self.at_op(op):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise SqlError(f"expected {word.upper()}, got {self._describe()}")
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            raise SqlError(f"expected {op!r}, got {self._describe()}")
+
+    def expect_ident(self) -> str:
+        if self.cur.kind != "ident":
+            raise SqlError(f"expected identifier, got {self._describe()}")
+        return self.advance().value  # type: ignore[return-value]
+
+    def _describe(self) -> str:
+        tok = self.cur
+        if tok.kind == "eof":
+            return "end of input"
+        return f"{tok.value!r} at offset {tok.pos}"
+
+    # -- statements ------------------------------------------------------------
+
+    def parse_statement(self):
+        """statement := select (UNION ALL select)*"""
+        first = self.parse_select()
+        parts = [first]
+        while self.at_keyword("union"):
+            self.advance()
+            self.expect_keyword("all")
+            parts.append(self.parse_select())
+        return first if len(parts) == 1 else UnionAll(parts)
+
+    def parse_select(self) -> Select:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        items = self.parse_select_items()
+        self.expect_keyword("from")
+        source = self.parse_source()
+        joins = []
+        while self.at_keyword("join", "semi", "anti"):
+            joins.append(self.parse_join())
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_expr()
+        group_by: List[str] = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self.expect_ident())
+            while self.accept_op(","):
+                group_by.append(self.expect_ident())
+        having = None
+        if self.accept_keyword("having"):
+            having = self.parse_expr()
+        order_by: List[OrderItem] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by.append(self.parse_order_item())
+            while self.accept_op(","):
+                order_by.append(self.parse_order_item())
+        limit = None
+        if self.accept_keyword("limit"):
+            tok = self.advance()
+            if tok.kind != "number" or not isinstance(tok.value, int):
+                raise SqlError("LIMIT expects an integer literal")
+            limit = tok.value
+        return Select(
+            items=items,
+            source=source,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def parse_select_items(self) -> List[SelectItem]:
+        items = [self.parse_select_item()]
+        while self.accept_op(","):
+            items.append(self.parse_select_item())
+        return items
+
+    def parse_select_item(self) -> SelectItem:
+        if self.at_op("*"):
+            self.advance()
+            return SelectItem(expr=Star())
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_ident()
+        return SelectItem(expr=expr, alias=alias)
+
+    def parse_source(self) -> TableRef:
+        if self.accept_op("("):
+            sub = self.parse_statement()
+            self.expect_op(")")
+            return TableRef(subquery=sub)
+        return TableRef(name=self.expect_ident())
+
+    def parse_join(self) -> Join:
+        kind = "inner"
+        if self.accept_keyword("semi"):
+            kind = "semi"
+        elif self.accept_keyword("anti"):
+            kind = "anti"
+        self.expect_keyword("join")
+        source = self.parse_source()
+        self.expect_keyword("on")
+        left_key = self.expect_ident()
+        self.expect_op("=")
+        right_key = self.expect_ident()
+        return Join(kind=kind, source=source, left_key=left_key, right_key=right_key)
+
+    def parse_order_item(self) -> OrderItem:
+        column = self.expect_ident()
+        descending = False
+        if self.accept_keyword("desc"):
+            descending = True
+        else:
+            self.accept_keyword("asc")
+        return OrderItem(column=column, descending=descending)
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.at_keyword("or"):
+            self.advance()
+            left = BinaryOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.at_keyword("and"):
+            self.advance()
+            left = BinaryOp("and", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.accept_keyword("not"):
+            return UnaryOp("not", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_additive()
+        if self.cur.kind == "op" and self.cur.value in COMPARISONS:
+            op = self.advance().value
+            return BinaryOp(op, left, self.parse_additive())  # type: ignore[arg-type]
+        negated = False
+        if self.at_keyword("not"):
+            # only 'NOT IN' / 'NOT LIKE' reach here (prefix NOT binds above)
+            self.advance()
+            negated = True
+            if not self.at_keyword("in", "like"):
+                raise SqlError("expected IN or LIKE after NOT")
+        if self.accept_keyword("in"):
+            self.expect_op("(")
+            values = [self.parse_expr()]
+            while self.accept_op(","):
+                values.append(self.parse_expr())
+            self.expect_op(")")
+            return InList(operand=left, values=values, negated=negated)
+        if self.accept_keyword("like"):
+            tok = self.advance()
+            if tok.kind != "string":
+                raise SqlError("LIKE expects a string literal pattern")
+            like: Expr = Like(operand=left, pattern=tok.value)  # type: ignore[arg-type]
+            return UnaryOp("not", like) if negated else like
+        if negated:  # pragma: no cover - guarded above
+            raise SqlError("dangling NOT")
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_term()
+        while self.at_op("+", "-"):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_term())  # type: ignore[arg-type]
+        return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_unary()
+        while self.at_op("*", "/"):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_unary())  # type: ignore[arg-type]
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.accept_op("-"):
+            return UnaryOp("-", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        tok = self.cur
+        if tok.kind == "number":
+            self.advance()
+            return Literal(tok.value)
+        if tok.kind == "string":
+            self.advance()
+            return Literal(tok.value)
+        if self.at_keyword("date"):
+            self.advance()
+            lit = self.advance()
+            if lit.kind != "string":
+                raise SqlError("DATE expects a 'YYYY-MM-DD' string literal")
+            return Literal(_parse_date(lit.value))  # type: ignore[arg-type]
+        if self.at_keyword("case"):
+            return self.parse_case()
+        if self.at_op("*"):
+            self.advance()
+            return Star()
+        if self.at_op("("):
+            self.advance()
+            if self.at_keyword("select"):
+                sub = self.parse_statement()
+                self.expect_op(")")
+                if not isinstance(sub, Select):
+                    raise SqlError("scalar subquery cannot be a UNION")
+                return ScalarSubquery(sub)
+            first = self.parse_expr()
+            if self.accept_op(","):
+                items = [first, self.parse_expr()]
+                while self.accept_op(","):
+                    items.append(self.parse_expr())
+                self.expect_op(")")
+                return TupleExpr(items)
+            self.expect_op(")")
+            return first
+        if tok.kind == "ident":
+            name = self.advance().value
+            if self.at_op("("):
+                return self.parse_func_call(name)  # type: ignore[arg-type]
+            return Column(name)  # type: ignore[arg-type]
+        raise SqlError(f"unexpected {self._describe()} in expression")
+
+    def parse_func_call(self, name: str) -> Expr:
+        if name not in AGGREGATE_FUNCS and name not in SCALAR_FUNCS:
+            raise SqlError(f"unknown function {name!r}")
+        self.expect_op("(")
+        args: List[Expr] = []
+        if not self.at_op(")"):
+            args.append(self.parse_expr())
+            while self.accept_op(","):
+                args.append(self.parse_expr())
+        self.expect_op(")")
+        if name == "count":
+            if len(args) != 1 or not isinstance(args[0], Star):
+                raise SqlError("only COUNT(*) is supported")
+        elif any(isinstance(a, Star) for a in args):
+            raise SqlError(f"{name.upper()} cannot take '*'")
+        elif not args:
+            raise SqlError(f"{name.upper()} needs at least one argument")
+        return FuncCall(name=name, args=args)
+
+    def parse_case(self) -> Expr:
+        self.expect_keyword("case")
+        whens = []
+        while self.accept_keyword("when"):
+            cond = self.parse_expr()
+            self.expect_keyword("then")
+            result = self.parse_expr()
+            whens.append((cond, result))
+        if not whens:
+            raise SqlError("CASE needs at least one WHEN branch")
+        default = None
+        if self.accept_keyword("else"):
+            default = self.parse_expr()
+        self.expect_keyword("end")
+        return CaseExpr(whens=whens, default=default)
+
+
+def _parse_date(text: str) -> int:
+    parts = text.split("-")
+    if len(parts) != 3:
+        raise SqlError(f"bad date literal {text!r}; want 'YYYY-MM-DD'")
+    try:
+        year, month, day = (int(p) for p in parts)
+    except ValueError:
+        raise SqlError(f"bad date literal {text!r}; want 'YYYY-MM-DD'") from None
+    return date_to_day(year, month, day)
+
+
+def parse_sql(text: str):
+    """Parse one SQL statement; returns a :class:`Select` or :class:`UnionAll`."""
+    parser = Parser(tokenize(text))
+    stmt = parser.parse_statement()
+    parser.accept_op(";")
+    if parser.cur.kind != "eof":
+        raise SqlError(f"trailing input: {parser._describe()}")
+    return stmt
+
+
+def split_statements(text: str) -> List[str]:
+    """Split a batch script on ``;`` outside string literals; drops blanks."""
+    out: List[str] = []
+    buf: List[str] = []
+    in_string = False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "'":
+            in_string = not in_string
+        if ch == ";" and not in_string:
+            stmt = "".join(buf).strip()
+            if stmt:
+                out.append(stmt)
+            buf = []
+        else:
+            buf.append(ch)
+        i += 1
+    stmt = "".join(buf).strip()
+    if stmt and not _only_comments(stmt):
+        out.append(stmt)
+    return out
+
+
+def _only_comments(text: str) -> bool:
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("--"):
+            return False
+    return True

@@ -1,0 +1,207 @@
+"""Interactive SQL shell over a live :class:`~repro.sql.session.SqlSession`.
+
+``python -m repro sql`` lands here. Statements run end-to-end on the
+simulated device: each query is parsed, each base-table scan is placed
+host-vs-device by the session's policy, the I/O arbitrates against any
+background tenants on the shared event kernel, and the shell reports the
+result rows next to the *simulated* latency and the placement decisions.
+
+Besides SQL, the shell understands a few backslash commands
+(:data:`HELP_TEXT`), and :meth:`SqlRepl.run_batch` drives the same loop
+non-interactively for ``-e``/``-f`` and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, List, Optional
+
+from repro.analytics.relalg import Table
+from repro.analytics.schema import SCHEMA, TABLE_NAMES
+from repro.errors import ReproError
+from repro.sql.parser import split_statements
+from repro.sql.session import QueryRecord, SqlSession
+
+#: Rows printed per result before the display truncates (results are
+#: computed in full regardless; only the rendering is bounded).
+DISPLAY_ROWS = 40
+
+HELP_TEXT = """\
+\\help            show this help
+\\tables          list TPC-H tables and their simulated extents
+\\schema <table>  show one table's columns
+\\policy          show the session's placement policy
+\\tpch <n>        run TPC-H query n (1..22)
+\\q               quit
+any other input is executed as SQL (';' separates statements)\
+"""
+
+
+def render_table(table: Table, limit: int = DISPLAY_ROWS) -> str:
+    """ASCII-box rendering of a result table, truncated at ``limit`` rows."""
+    headers = list(table.columns)
+    rows = []
+    for i, row in enumerate(table.iter_rows()):
+        if i >= limit:
+            break
+        rows.append([_cell(row[name]) for name in headers])
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    rule = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = [rule]
+    lines.append(
+        "|" + "|".join(f" {h:<{w}} " for h, w in zip(headers, widths)) + "|"
+    )
+    lines.append(rule)
+    for row in rows:
+        lines.append(
+            "|" + "|".join(f" {c:>{w}} " for c, w in zip(row, widths)) + "|"
+        )
+    lines.append(rule)
+    if table.nrows > limit:
+        lines.append(f"... {table.nrows - limit} more rows")
+    lines.append(f"({table.nrows} row{'s' if table.nrows != 1 else ''})")
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+class SqlRepl:
+    """Line-oriented shell: reads statements, drives the session, prints."""
+
+    def __init__(
+        self,
+        session: SqlSession,
+        out: Optional[IO[str]] = None,
+        show_timing: bool = True,
+    ) -> None:
+        self.session = session
+        self.out = out if out is not None else sys.stdout
+        self.show_timing = show_timing
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, sql: str) -> QueryRecord:
+        """Run one statement to completion on the simulated device."""
+        return self.session.drain(self.session.submit(sql))
+
+    def run_statement(self, sql: str) -> bool:
+        """Execute one statement or backslash command; False means quit."""
+        stripped = sql.strip()
+        if not stripped:
+            return True
+        if stripped.startswith("\\"):
+            return self._command(stripped)
+        try:
+            record = self.execute(stripped)
+        except ReproError as exc:
+            self._print(f"error: {exc}")
+            return True
+        assert record.result is not None
+        self._print(render_table(record.result.table))
+        if self.show_timing:
+            placements = ", ".join(
+                f"{p.table}->{p.site}" for p in record.placements
+            )
+            self._print(
+                f"time: {record.latency_ns / 1e6:.3f} ms simulated"
+                f"  [policy={record.policy}; {placements}]"
+            )
+        return True
+
+    def run_batch(self, text: str) -> int:
+        """Run a whole script; returns a process exit code.
+
+        Lines starting with a backslash are commands; everything else is
+        SQL, split on ';' like the interactive loop.
+        """
+        buf: List[str] = []
+
+        def flush() -> bool:
+            pending, buf[:] = "\n".join(buf), []
+            return all(self.run_statement(s) for s in split_statements(pending))
+
+        for line in text.splitlines():
+            if line.lstrip().startswith("\\"):
+                if not flush() or not self.run_statement(line.strip()):
+                    return 0
+            else:
+                buf.append(line)
+        flush()
+        return 0
+
+    def run_interactive(
+        self, stdin: Optional[IO[str]] = None, prompt: str = "sql> "
+    ) -> int:
+        """Prompted loop: statements end at ';', backslash commands at EOL."""
+        stdin = stdin if stdin is not None else sys.stdin
+        interactive = stdin.isatty() if hasattr(stdin, "isatty") else False
+        buf: List[str] = []
+        while True:
+            if interactive:
+                self.out.write(prompt if not buf else "...> ")
+                self.out.flush()
+            line = stdin.readline()
+            if not line:
+                break
+            stripped = line.strip()
+            if not buf and stripped.startswith("\\"):
+                if not self.run_statement(stripped):
+                    return 0
+                continue
+            buf.append(line)
+            if ";" in line:
+                text = "".join(buf)
+                buf = []
+                for sql in split_statements(text):
+                    if not self.run_statement(sql):
+                        return 0
+        if buf:
+            self.run_batch("".join(buf))
+        return 0
+
+    # -- backslash commands ----------------------------------------------------
+
+    def _command(self, text: str) -> bool:
+        parts = text.split()
+        name, args = parts[0], parts[1:]
+        if name in ("\\q", "\\quit"):
+            return False
+        if name == "\\help":
+            self._print(HELP_TEXT)
+        elif name == "\\tables":
+            for table in TABLE_NAMES:
+                extent = self.session.extents[table]
+                self._print(
+                    f"{table:<10} {extent.pages:6d} pages  "
+                    f"lpa [{extent.base_lpa}, {extent.base_lpa + extent.pages})"
+                )
+        elif name == "\\schema":
+            if not args or args[0] not in SCHEMA:
+                self._print(f"usage: \\schema {{{', '.join(TABLE_NAMES)}}}")
+            else:
+                self._print(f"{args[0]}({', '.join(SCHEMA[args[0]].columns)})")
+        elif name == "\\policy":
+            self._print(f"placement policy: {self.session.policy}")
+        elif name == "\\tpch":
+            from repro.sql.tpch import TPCH_SQL
+
+            try:
+                number = int(args[0])
+                sql = TPCH_SQL[number]
+            except (IndexError, ValueError, KeyError):
+                self._print("usage: \\tpch <1..22>")
+            else:
+                return self.run_statement(sql)
+        else:
+            self._print(f"unknown command {name}; try \\help")
+        return True
+
+    def _print(self, text: str) -> None:
+        self.out.write(text + "\n")

@@ -86,7 +86,7 @@ class HostInterface:
         self.completions: List[Completion] = []
         #: The PCIe link as a FIFO reservation timeline on the unified
         #: integer-ns simulation kernel (shared by both directions).
-        self._link = FifoResource("host-link")
+        self._link = FifoResource("host-link", backfill=True)
         self._tracer = telemetry.tracer
         self._to_host = telemetry.counters.counter("host.bytes_to_host")
         self._from_host = telemetry.counters.counter("host.bytes_from_host")

@@ -1,0 +1,84 @@
+"""CostSource interface: calibrated static fallback and live telemetry."""
+
+import pytest
+
+from repro.analytics.cost import HostCostModel, StaticCostSource
+from repro.errors import AnalyticsError
+from repro.sql.cost import LiveCostSource
+from repro.sql.session import SqlSession
+from repro.config import assasin_sb_config
+from repro.ssd.device import ComputationalSSD
+
+
+@pytest.fixture(scope="module")
+def device():
+    return ComputationalSSD(assasin_sb_config())
+
+
+def test_host_scan_overlaps_link_and_parse():
+    src = StaticCostSource(device_ns_per_page={"psf": 1000.0})
+    host = HostCostModel()
+    nbytes = 1 << 20
+    expected = max(nbytes / src.link_bytes_per_ns, host.parse_text_ns(nbytes))
+    assert src.host_scan_ns(nbytes) == pytest.approx(expected)
+
+
+def test_calibrate_samples_device_rates(device):
+    src = StaticCostSource.calibrate(device)
+    assert set(src.device_ns_per_page) == {"psf", "parse"}
+    assert all(rate > 0 for rate in src.device_ns_per_page.values())
+    assert src.num_cores == device.config.num_cores
+    assert src.page_bytes == device.config.flash.page_bytes
+    # Device scans parallelise across the core pool.
+    one = src.device_scan_ns(1)
+    assert src.device_scan_ns(16) == pytest.approx(16 * one)
+
+
+def test_unknown_kernel_rejected(device):
+    src = StaticCostSource.calibrate(device)
+    with pytest.raises(AnalyticsError):
+        src.device_scan_ns(4, kernel="no-such-kernel")
+
+
+def test_nonpositive_core_count_rejected():
+    with pytest.raises(AnalyticsError):
+        StaticCostSource(num_cores=0)
+
+
+def test_live_source_matches_static_on_idle_device():
+    session = SqlSession(gen_scale_factor=0.002, duration_ns=5e6)
+    live = session.cost
+    assert isinstance(live, LiveCostSource)
+    static = StaticCostSource.calibrate(session.device)
+    # No completions observed, empty queues, no collectible garbage: the
+    # live estimate degrades exactly to the calibrated static one.
+    assert live.observations == 0
+    assert live.collectible_invalid_pages() == 0
+    for pages in (1, 64, 500):
+        assert live.device_scan_ns(pages) == pytest.approx(
+            static.device_scan_ns(pages)
+        )
+        assert live.host_scan_ns(pages * 4096) == pytest.approx(
+            static.host_scan_ns(pages * 4096)
+        )
+
+
+def test_live_source_learns_from_completions():
+    session = SqlSession(gen_scale_factor=0.002, duration_ns=5e6)
+    live = session.cost
+    session.drain(session.submit("SELECT COUNT(*) AS n FROM lineitem"))
+    assert live.observations > 0
+    assert live.ewma_ns_per_page is not None and live.ewma_ns_per_page > 0
+    assert live.ewma_cmd_ns is not None and live.ewma_cmd_ns > 0
+    counters = session.layer.telemetry.counters
+    assert counters.counter("sql.cost.observations").value == live.observations
+
+
+def test_live_pressure_terms_are_nonnegative():
+    session = SqlSession(gen_scale_factor=0.002, duration_ns=5e6)
+    live = session.cost
+    session.drain(session.submit("SELECT COUNT(*) AS n FROM orders"))
+    now = session.layer.events.now
+    assert live.core_backlog_ns(now) >= 0.0
+    assert live.queue_pressure_ns() >= 0.0
+    assert live.gc_backlog_ns() >= 0.0

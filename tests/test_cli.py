@@ -120,6 +120,60 @@ def test_tpch_command(capsys):
     assert "Q 6" in out
 
 
+def test_tpch_policy_flag_forces_site(capsys):
+    code, out = run_cli(
+        capsys, "tpch", "6", "--scale-factor", "0.002", "--policy", "host"
+    )
+    assert code == 0
+    assert "[H]" in out
+    code, out = run_cli(
+        capsys, "tpch", "6", "--scale-factor", "0.002", "--policy", "device"
+    )
+    assert code == 0
+    assert "[D]" in out
+
+
+def test_tpch_command_is_deterministic(capsys):
+    args = ("tpch", "6", "14", "--scale-factor", "0.002", "--seed", "11")
+    _, first = run_cli(capsys, *args)
+    _, second = run_cli(capsys, *args)
+    assert first == second
+
+
+def test_sql_execute_flag(capsys):
+    code, out = run_cli(
+        capsys, "sql", "-e", "SELECT COUNT(*) AS n FROM nation",
+        "--scale-factor", "0.002",
+    )
+    assert code == 0
+    assert "| 25 |" in out
+    assert "ms simulated" in out
+
+
+def test_sql_file_batch(tmp_path, capsys):
+    script = tmp_path / "queries.sql"
+    script.write_text(
+        "SELECT COUNT(*) AS n FROM region;\n"
+        "SELECT n_name FROM nation ORDER BY n_name LIMIT 1;\n"
+    )
+    code, out = run_cli(
+        capsys, "sql", "-f", str(script), "--scale-factor", "0.002"
+    )
+    assert code == 0
+    assert "| 5 |" in out
+    assert "ALGERIA" in out
+
+
+def test_sql_with_background_tenants(capsys):
+    code, out = run_cli(
+        capsys, "sql", "-e", "SELECT COUNT(*) AS n FROM orders",
+        "--scale-factor", "0.002", "--policy", "device",
+        "--tenants", "hot:4:scomp:stat:4:50",
+    )
+    assert code == 0
+    assert "orders->device" in out
+
+
 def test_unknown_figure_rejected():
     parser = build_parser()
     with pytest.raises(SystemExit):

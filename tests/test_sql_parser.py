@@ -1,0 +1,164 @@
+"""SQL lexer/parser tests: syntax coverage and error behaviour."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sql.ast_nodes import (
+    BinaryOp,
+    CaseExpr,
+    Column,
+    FuncCall,
+    InList,
+    Like,
+    Literal,
+    ScalarSubquery,
+    Select,
+    Star,
+    UnionAll,
+)
+from repro.sql.parser import parse_sql, split_statements
+
+
+def test_parses_minimal_select():
+    stmt = parse_sql("SELECT l_quantity FROM lineitem")
+    assert isinstance(stmt, Select)
+    assert stmt.source.name == "lineitem"
+    assert len(stmt.items) == 1
+    assert isinstance(stmt.items[0].expr, Column)
+    assert stmt.items[0].expr.name == "l_quantity"
+    assert stmt.where is None and not stmt.joins
+
+
+def test_keywords_and_identifiers_are_case_insensitive():
+    lower = parse_sql("select L_QUANTITY from LINEITEM where l_tax < 0.05")
+    assert lower.source.name == "lineitem"
+    assert lower.items[0].expr.name == "l_quantity"
+
+
+def test_parses_where_predicates_and_precedence():
+    stmt = parse_sql(
+        "SELECT l_quantity FROM lineitem "
+        "WHERE l_discount >= 0.05 AND l_quantity < 24 OR l_tax = 0"
+    )
+    # OR binds loosest: (a AND b) OR c.
+    assert isinstance(stmt.where, BinaryOp) and stmt.where.op == "or"
+    assert isinstance(stmt.where.left, BinaryOp) and stmt.where.left.op == "and"
+
+
+def test_parses_arithmetic_with_precedence():
+    stmt = parse_sql("SELECT l_extendedprice * (1 - l_discount) AS rev FROM lineitem")
+    expr = stmt.items[0].expr
+    assert isinstance(expr, BinaryOp) and expr.op == "*"
+    assert isinstance(expr.right, BinaryOp) and expr.right.op == "-"
+    assert stmt.items[0].alias == "rev"
+
+
+def test_parses_aggregates_group_order_limit():
+    stmt = parse_sql(
+        "SELECT l_returnflag, SUM(l_quantity) AS qty FROM lineitem "
+        "GROUP BY l_returnflag HAVING SUM(l_quantity) > 10 "
+        "ORDER BY qty DESC LIMIT 5"
+    )
+    assert stmt.group_by == ["l_returnflag"]
+    agg = stmt.items[1].expr
+    assert isinstance(agg, FuncCall) and agg.name == "sum"
+    assert stmt.having is not None
+    assert stmt.order_by[0].column == "qty" and stmt.order_by[0].descending
+    assert stmt.limit == 5
+
+
+def test_parses_count_star_and_distinct():
+    stmt = parse_sql("SELECT DISTINCT COUNT(*) AS n FROM nation")
+    assert stmt.distinct
+    expr = stmt.items[0].expr
+    assert isinstance(expr, FuncCall) and expr.name == "count"
+    assert isinstance(expr.args[0], Star)
+
+
+def test_parses_joins():
+    stmt = parse_sql(
+        "SELECT o_orderkey FROM orders "
+        "JOIN customer ON o_custkey = c_custkey "
+        "SEMI JOIN lineitem ON o_orderkey = l_orderkey"
+    )
+    kinds = [j.kind for j in stmt.joins]
+    assert kinds == ["inner", "semi"]
+    assert stmt.joins[0].left_key == "o_custkey"
+    assert stmt.joins[0].right_key == "c_custkey"
+
+
+def test_parses_in_like_and_range():
+    stmt = parse_sql(
+        "SELECT l_orderkey FROM lineitem WHERE "
+        "l_shipmode IN ('MAIL', 'SHIP') AND l_shipinstruct LIKE 'DELIVER%' "
+        "AND l_quantity >= 1 AND l_quantity <= 11"
+    )
+    conjuncts = []
+    stack = [stmt.where]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BinaryOp) and node.op == "and":
+            stack.extend([node.left, node.right])
+        else:
+            conjuncts.append(node)
+    assert any(isinstance(c, InList) for c in conjuncts)
+    assert any(isinstance(c, Like) for c in conjuncts)
+    ops = [c.op for c in conjuncts if isinstance(c, BinaryOp)]
+    assert ">=" in ops and "<=" in ops
+
+
+def test_parses_case_expression():
+    stmt = parse_sql(
+        "SELECT SUM(CASE WHEN o_orderpriority = '1-URGENT' THEN 1 ELSE 0 END) "
+        "AS hi FROM orders"
+    )
+    case = stmt.items[0].expr.args[0]
+    assert isinstance(case, CaseExpr)
+    assert len(case.whens) == 1
+    assert isinstance(case.default, Literal)
+
+
+def test_parses_scalar_subquery():
+    stmt = parse_sql(
+        "SELECT l_orderkey FROM lineitem "
+        "WHERE l_quantity > (SELECT AVG(l_quantity) AS a FROM lineitem)"
+    )
+    assert isinstance(stmt.where.right, ScalarSubquery)
+
+
+def test_parses_union_all():
+    stmt = parse_sql(
+        "SELECT n_name FROM nation UNION ALL SELECT n_name FROM nation"
+    )
+    assert isinstance(stmt, UnionAll)
+    assert len(stmt.parts) == 2
+
+
+def test_rejects_garbage():
+    with pytest.raises(SqlError):
+        parse_sql("SELEKT * FROM lineitem")
+    with pytest.raises(SqlError):
+        parse_sql("SELECT FROM lineitem")
+    with pytest.raises(SqlError):
+        parse_sql("SELECT l_quantity FROM lineitem WHERE")
+    with pytest.raises(SqlError):
+        parse_sql("")
+
+
+def test_rejects_trailing_tokens():
+    with pytest.raises(SqlError):
+        parse_sql("SELECT n_name FROM nation extra tokens here")
+
+
+def test_split_statements_respects_string_literals():
+    parts = split_statements(
+        "SELECT 'a;b' AS x FROM nation; \n\n SELECT n_name FROM nation ;"
+    )
+    assert len(parts) == 2
+    assert "'a;b'" in parts[0]
+    assert parts[1].startswith("SELECT n_name")
+
+
+def test_split_statements_keeps_trailing_unterminated():
+    parts = split_statements("SELECT n_name FROM nation")
+    assert parts == ["SELECT n_name FROM nation"]

@@ -1,0 +1,147 @@
+"""Planner tests: lowering shape, predicate pushdown, column pruning."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sql.parser import parse_sql
+from repro.sql.planner import (
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    UnionNode,
+    plan_statement,
+    scan_nodes,
+)
+
+
+def plan(sql):
+    return plan_statement(parse_sql(sql))
+
+
+def test_simple_select_plans_scan_then_project():
+    planned = plan("SELECT l_quantity FROM lineitem")
+    assert isinstance(planned.root, ProjectNode)
+    assert isinstance(planned.root.child, ScanNode)
+    assert planned.output_columns == ("l_quantity",)
+
+
+def test_single_table_predicates_push_into_the_scan():
+    planned = plan(
+        "SELECT l_quantity FROM lineitem "
+        "WHERE l_discount >= 0.05 AND l_quantity < 24"
+    )
+    (scan,) = scan_nodes(planned.root)
+    assert len(scan.predicates) == 2
+    # Nothing left for a residual filter.
+    node = planned.root
+    while node is not None:
+        assert not isinstance(node, FilterNode)
+        node = getattr(node, "child", None)
+
+
+def test_scan_columns_are_pruned_to_referenced_set():
+    planned = plan("SELECT l_quantity FROM lineitem WHERE l_tax < 0.05")
+    (scan,) = scan_nodes(planned.root)
+    assert set(scan.columns) == {"l_quantity", "l_tax"}
+
+
+def test_count_star_keeps_one_carrier_column():
+    planned = plan("SELECT COUNT(*) AS n FROM nation")
+    (scan,) = scan_nodes(planned.root)
+    assert len(scan.columns) == 1
+
+
+def test_join_pushes_per_table_conjuncts_and_keeps_cross_residual():
+    planned = plan(
+        "SELECT o_orderkey FROM orders "
+        "JOIN lineitem ON o_orderkey = l_orderkey "
+        "WHERE o_totalprice > 1000 AND l_tax < 0.05 "
+        "AND o_totalprice > l_extendedprice"
+    )
+    scans = {s.table: s for s in scan_nodes(planned.root)}
+    assert len(scans["orders"].predicates) == 1
+    assert len(scans["lineitem"].predicates) == 1
+    # The cross-table conjunct stays in a residual FilterNode over the join.
+    node = planned.root
+    found = False
+    while node is not None:
+        if isinstance(node, FilterNode):
+            assert isinstance(node.child, JoinNode)
+            found = True
+        node = getattr(node, "child", None)
+    assert found
+
+
+def test_semi_join_right_side_is_opaque_to_pushdown():
+    planned = plan(
+        "SELECT o_orderkey FROM orders "
+        "SEMI JOIN lineitem ON o_orderkey = l_orderkey "
+        "WHERE l_tax < 0.05"
+    )
+    scans = {s.table: s for s in scan_nodes(planned.root)}
+    assert scans["lineitem"].predicates == []
+
+
+def test_self_join_disables_pushdown_for_that_table():
+    planned = plan(
+        "SELECT s_name FROM supplier "
+        "JOIN supplier ON s_suppkey = s_suppkey "
+        "WHERE s_acctbal > 0"
+    )
+    for scan in scan_nodes(planned.root):
+        assert scan.predicates == []
+
+
+def test_order_and_limit_stack_on_top():
+    planned = plan(
+        "SELECT n_name FROM nation ORDER BY n_name DESC LIMIT 3"
+    )
+    assert isinstance(planned.root, LimitNode)
+    assert isinstance(planned.root.child, SortNode)
+    assert planned.root.child.keys == [("n_name", True)]
+
+
+def test_union_all_plans_all_parts():
+    planned = plan(
+        "SELECT n_name FROM nation UNION ALL SELECT n_name FROM nation"
+    )
+    assert isinstance(planned.root, UnionNode)
+    assert len(scan_nodes(planned.root)) == 2
+
+
+def test_scalar_subqueries_plan_inner_first():
+    planned = plan(
+        "SELECT l_orderkey FROM lineitem "
+        "WHERE l_quantity > (SELECT AVG(l_quantity) AS a FROM lineitem)"
+    )
+    assert len(planned.scalars) == 1
+    # The subquery's scan is not part of the outer plan tree.
+    assert len(scan_nodes(planned.root)) == 1
+
+
+def test_grouped_aggregate_requires_alias():
+    with pytest.raises(SqlError):
+        plan("SELECT SUM(l_quantity) FROM lineitem")
+
+
+def test_non_aggregate_item_must_be_grouped():
+    with pytest.raises(SqlError):
+        plan("SELECT l_returnflag, SUM(l_quantity) AS q FROM lineitem")
+
+
+def test_having_requires_grouping():
+    with pytest.raises(SqlError):
+        plan("SELECT l_quantity FROM lineitem HAVING l_quantity > 1")
+
+
+def test_unknown_table_rejected():
+    with pytest.raises(SqlError):
+        plan("SELECT x FROM not_a_table")
+
+
+def test_duplicate_output_columns_rejected():
+    with pytest.raises(SqlError):
+        plan("SELECT n_name, n_name FROM nation")
