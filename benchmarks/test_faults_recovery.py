@@ -14,11 +14,17 @@ ships against:
   p99 while goodput stays within a modest factor,
 * determinism: the same seed reproduces the campaign fingerprint exactly.
 
+The campaign emits ``BENCH_faults.json`` (commands/sec simulated, sim
+events/sec of wall time) with conservative regression floors so the
+faults-smoke CI job catches a simulator-throughput collapse.
+
 Set ``FAULTS_SMOKE=1`` to shrink the campaign to a seconds-long CI smoke
 run (fewer pages, shorter horizon, same assertions).
 """
 
+import json
 import os
+import time
 
 import pytest
 from conftest import run_once
@@ -41,6 +47,13 @@ FAULTS = FaultConfig(
     raid_k=4,
 )
 SERVE = ServeConfig(arbitration="wrr")
+
+# Floors for BENCH_faults.json — tuned to catch a collapse, not a wobble
+# (observed: ~60-100k commands/s simulated; ~200-600 events/s wall, the
+# wall window being dominated by golden-copy preload and the post-run
+# integrity sweep rather than the event loop itself).
+MIN_COMMANDS_PER_SEC_SIMULATED = 5_000.0
+MIN_SIM_EVENTS_PER_SEC_WALL = 20.0
 
 
 def _tenants():
@@ -72,7 +85,9 @@ def _run_pair():
 
 @pytest.mark.faults
 def test_recovery_keeps_serving_under_faults(benchmark):
+    wall_start = time.perf_counter()
     campaign, clean = run_once(benchmark, _run_pair)
+    wall = time.perf_counter() - wall_start
     print(f"\n--- faulty ---\n{campaign.render()}")
     print(f"\n--- clean ---\n{clean.render()}")
 
@@ -109,6 +124,44 @@ def test_recovery_keeps_serving_under_faults(benchmark):
     if counters.get("reconstructed_pages", 0):
         assert len(faulty.reconstruction_ns) == counters["reconstructed_pages"]
         assert faulty.reconstruction_p99_ns > 0
+
+    _emit_bench(campaign, clean, wall)
+
+
+def _emit_bench(campaign, clean, wall_seconds):
+    """Write BENCH_faults.json and gate on conservative throughput floors."""
+    runs = {"faulty": campaign.serve, "clean": clean}
+    total_commands = sum(r.total_completed for r in runs.values())
+    total_sim_ns = sum(r.horizon_ns for r in runs.values())
+    commands_simulated = total_commands / (total_sim_ns * 1e-9)
+    total_events = sum(r.sim_events for r in runs.values())
+    events_wall = total_events / max(wall_seconds, 1e-9)
+    payload = {
+        "benchmark": "faults_recovery",
+        "smoke": SMOKE,
+        "seed": SEED,
+        "duration_ns": DURATION_NS,
+        "runs": {
+            name: {
+                "completed": report.total_completed,
+                "failed": report.total_failed,
+                "recovered": report.total_recovered,
+                "success_rate": round(report.success_rate, 6),
+                "horizon_ns": round(report.horizon_ns, 1),
+                "sim_events": report.sim_events,
+                "goodput_gbps": round(report.goodput_gbps, 4),
+            }
+            for name, report in runs.items()
+        },
+        "recovery_counters": dict(campaign.recovery_counters),
+        "commands_per_sec_simulated": round(commands_simulated, 2),
+        "sim_events_per_sec_wall": round(events_wall, 2),
+        "wall_seconds": round(wall_seconds, 3),
+    }
+    with open("BENCH_faults.json", "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    assert commands_simulated >= MIN_COMMANDS_PER_SEC_SIMULATED
+    assert events_wall >= MIN_SIM_EVENTS_PER_SEC_WALL
 
 
 @pytest.mark.faults

@@ -6,7 +6,14 @@ tenant sees the same queueing delay; under weighted round-robin and deficit
 round-robin the weight-4 "gold" tenant takes a larger dispatch share, so its
 p99 collapses while the weight-1 tenants absorb the backlog — the isolation
 a multi-tenant computational SSD needs to honour latency SLOs.
+
+The policy comparison emits ``BENCH_serve.json`` (commands/sec simulated,
+sim events/sec of wall time) with conservative regression floors so the
+serve-smoke CI job catches a simulator-throughput collapse.
 """
+
+import json
+import time
 
 from conftest import run_once
 
@@ -17,6 +24,12 @@ from repro.ssd.device import ComputationalSSD
 
 DURATION_NS = 1_500_000.0
 SEED = 7
+
+# Floors for BENCH_serve.json — tuned to catch a collapse, not a wobble
+# (observed: ~270k commands/s simulated, ~8k events/s wall; the wall
+# window includes the shared core-phase sampling pass).
+MIN_COMMANDS_PER_SEC_SIMULATED = 30_000.0
+MIN_SIM_EVENTS_PER_SEC_WALL = 1_000.0
 
 
 def _tenants():
@@ -46,7 +59,9 @@ def _run_policies():
 
 
 def test_weighted_arbitration_shifts_p99(benchmark):
+    wall_start = time.perf_counter()
     reports = run_once(benchmark, _run_policies)
+    wall = time.perf_counter() - wall_start
     for policy, report in reports.items():
         print(f"\n--- {policy} ---\n{report.render()}")
 
@@ -82,6 +97,41 @@ def test_weighted_arbitration_shifts_p99(benchmark):
         samples={"stat": ComputationalSSD(assasin_sb_config()).sample_kernel(get_kernel("stat"))},
     )
     assert again.fingerprint() == rr.fingerprint()
+
+    _emit_bench(reports, wall)
+
+
+def _emit_bench(reports, wall_seconds):
+    """Write BENCH_serve.json and gate on conservative throughput floors."""
+    total_commands = sum(r.total_completed for r in reports.values())
+    total_sim_ns = sum(r.horizon_ns for r in reports.values())
+    commands_simulated = total_commands / (total_sim_ns * 1e-9)
+    total_events = sum(r.sim_events for r in reports.values())
+    events_wall = total_events / max(wall_seconds, 1e-9)
+    payload = {
+        "benchmark": "serve_qos",
+        "seed": SEED,
+        "duration_ns": DURATION_NS,
+        "policies": {
+            policy: {
+                "completed": report.total_completed,
+                "dropped": report.total_dropped,
+                "horizon_ns": round(report.horizon_ns, 1),
+                "sim_events": report.sim_events,
+                "gold_p99_us": round(
+                    report.tenants["gold"].p99_latency_ns / 1e3, 2
+                ),
+            }
+            for policy, report in reports.items()
+        },
+        "commands_per_sec_simulated": round(commands_simulated, 2),
+        "sim_events_per_sec_wall": round(events_wall, 2),
+        "wall_seconds": round(wall_seconds, 3),
+    }
+    with open("BENCH_serve.json", "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    assert commands_simulated >= MIN_COMMANDS_PER_SEC_SIMULATED
+    assert events_wall >= MIN_SIM_EVENTS_PER_SEC_WALL
 
 
 def test_qos_preserves_aggregate_throughput(benchmark):

@@ -7,6 +7,7 @@ Commands:
 * ``serve``                     — multi-tenant QoS serving simulation
 * ``faults``                    — seeded fault campaign with RAID recovery
 * ``fleet``                     — rack-scale multi-device fleet simulation
+* ``zns``                       — zoned-namespace LSM campaign (compaction offload)
 * ``trace``                     — serve run with tracing on; Chrome/Perfetto JSON out
 * ``profile``                   — ISA-level cycle-attribution profile of one kernel
 * ``figure {5,13,14,15,16,19,20,21,22}`` — regenerate a paper figure
@@ -205,6 +206,23 @@ def _cmd_fleet(args) -> int:
     print(report.render())
     healthy = report.integrity_pages_bad == 0 and report.corruption_events == 0
     return 0 if healthy else 1
+
+
+def _cmd_zns(args) -> int:
+    from repro.zns import ZnsConfig, run_zns
+
+    config = ZnsConfig(
+        seed=args.seed,
+        duration_ns=args.duration_us * 1e3,
+        num_tenants=args.tenants,
+        put_fraction=args.put_fraction,
+        memtable_records=args.memtable_records,
+        max_open_zones=args.max_open_zones,
+        compaction=args.policy,
+    )
+    report = run_zns(config)
+    print(report.render())
+    return 0
 
 
 def _cmd_trace(args) -> int:
@@ -462,6 +480,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="when the killed device dies (with --kill-device)",
     )
     fleet.set_defaults(fn=_cmd_fleet)
+
+    zns = sub.add_parser(
+        "zns", help="zoned-namespace LSM campaign with compaction offload"
+    )
+    zns.add_argument("--duration-us", type=float, default=4_000.0)
+    zns.add_argument("--seed", type=int, default=7)
+    zns.add_argument(
+        "--policy",
+        default="auto",
+        choices=["host", "device", "auto"],
+        help="compaction placement: on the host, in the SSD, or cost-driven",
+    )
+    zns.add_argument("--tenants", type=int, default=4, help="put/get tenant count")
+    zns.add_argument("--put-fraction", type=float, default=0.9)
+    zns.add_argument("--memtable-records", type=int, default=1024)
+    zns.add_argument("--max-open-zones", type=int, default=8)
+    zns.set_defaults(fn=_cmd_zns)
 
     trace = sub.add_parser(
         "trace", help="serve run with tracing on; writes Chrome/Perfetto JSON"

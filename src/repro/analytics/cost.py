@@ -86,6 +86,16 @@ class CostSource:
     ) -> float:
         raise NotImplementedError
 
+    def scan_selectivity(self, table, predicate, at_ns: float = 0.0) -> float:
+        """Expected fraction of rows surviving a pushed predicate.
+
+        Sources without row data answer 1.0 — the conservative bound where
+        the column fraction alone caps a device scan's output. The
+        telemetry-backed source (:class:`repro.sql.cost.LiveCostSource`)
+        overrides this with a sampled-predicate estimate.
+        """
+        return 1.0
+
     def parse_text_ns(self, nbytes: float) -> float:
         raise NotImplementedError
 

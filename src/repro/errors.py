@@ -44,6 +44,11 @@ class DeviceError(ReproError):
     """SSD device-level protocol error (bad scomp request, ...)."""
 
 
+class ZnsError(ReproError):
+    """Zoned-namespace protocol violation (append past capacity, open-zone
+    limit exceeded, I/O against an offline zone, ...)."""
+
+
 class ServeError(ReproError):
     """Multi-tenant serving layer misuse (bad tenant spec, queue protocol)."""
 

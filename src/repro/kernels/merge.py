@@ -1,0 +1,194 @@
+"""K-way sorted-merge kernel for LSM compaction offload (``repro.zns``).
+
+Merges ``k`` sorted runs of fixed 32-byte records (the
+:mod:`repro.kernels.tuples` layout, keyed on the leading u32 word) into one
+sorted output stream — the inner loop of an LSM compaction. This is the
+device side of the ZNS compaction-offload data path: victim runs stream out
+of their zones into the core, the merged run streams back to a fresh zone,
+and nothing crosses the host link.
+
+Algorithm (identical in the reference, stream form, and memory form, so all
+three are bit-exact): buffer the head record of every run, repeatedly emit
+the buffered minimum (ties to the lowest stream index) and refill from that
+run; stop the first time a refill finds its run exhausted. Runs therefore
+follow two conventions, both honoured by :meth:`MergeKernel.make_inputs`
+and the ZNS compaction planner:
+
+* equal length (compaction pads victim runs to the longest), and
+* each run ends with at least one all-``0xFF`` *sentinel* record
+  (``SENTINEL_RECORD``), so every real record is emitted before the first
+  exhausted refill can stop the merge. Consumers strip trailing sentinels
+  (:func:`strip_sentinels`).
+
+The stream form is where the ISA earns its keep: ``k`` destructive
+``sload`` streams replace ``k`` live pointers + bounds registers, and the
+only function state is one 32-byte buffered record per run (scratchpad,
+Table II style).
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import List
+
+from repro.errors import KernelError
+from repro.isa.program import Asm, Program
+from repro.kernels.api import Kernel
+from repro.kernels.tuples import PAYLOAD_BYTES, TUPLE_BYTES
+
+#: Largest u32: no real record may use it as a key.
+SENTINEL_KEY = 0xFFFFFFFF
+SENTINEL_RECORD = b"\xff" * TUPLE_BYTES
+_WORDS = TUPLE_BYTES // 4
+
+
+def record_key(record: bytes) -> int:
+    """The sort key: the record's leading little-endian u32."""
+    return struct.unpack_from("<I", record)[0]
+
+
+def strip_sentinels(data: bytes) -> bytes:
+    """Drop trailing sentinel records from a merged output stream."""
+    end = len(data)
+    while end >= TUPLE_BYTES and data[end - TUPLE_BYTES : end] == SENTINEL_RECORD:
+        end -= TUPLE_BYTES
+    return data[:end]
+
+
+class MergeKernel(Kernel):
+    """K-way merge of sorted 32-byte-record runs, keyed on the leading u32."""
+
+    name = "merge"
+    num_outputs = 1
+    block_bytes = TUPLE_BYTES
+
+    def __init__(self, k: int = 4) -> None:
+        if not 2 <= k <= 4:
+            raise KernelError("merge supports 2..4 input runs")
+        self.k = k
+        self.num_inputs = k
+        #: One buffered record per run, scratchpad-resident.
+        self.state_bytes = k * TUPLE_BYTES
+        super().__init__()
+
+    # -- functional ground truth ---------------------------------------------------
+
+    def reference(self, inputs: List[bytes]) -> List[bytes]:
+        self.check_inputs(inputs)
+        length = len(inputs[0])
+        if any(len(d) != length for d in inputs):
+            raise KernelError("merge runs must be equal length")
+        if length == 0:
+            return [b""]
+        runs = [
+            [data[o : o + TUPLE_BYTES] for o in range(0, len(data), TUPLE_BYTES)]
+            for data in inputs
+        ]
+        buffered = [run[0] for run in runs]
+        nxt = [1] * self.k
+        out = bytearray()
+        while True:
+            champ = 0
+            for i in range(1, self.k):
+                if record_key(buffered[i]) < record_key(buffered[champ]):
+                    champ = i
+            out += buffered[champ]
+            if nxt[champ] == len(runs[champ]):
+                break  # first exhausted refill ends the merge
+            buffered[champ] = runs[champ][nxt[champ]]
+            nxt[champ] += 1
+        return [bytes(out)]
+
+    def make_inputs(self, total_bytes: int, seed: int = 1) -> List[bytes]:
+        rng = random.Random(seed)
+        per = self.pad_to_block(max(2 * self.block_bytes, total_bytes // self.k))
+        records = per // TUPLE_BYTES
+        runs: List[bytes] = []
+        for _ in range(self.k):
+            keys = sorted(rng.randrange(SENTINEL_KEY) for _ in range(records - 1))
+            run = bytearray()
+            for key in keys:
+                run += struct.pack("<I", key)
+                run += rng.randbytes(TUPLE_BYTES - 4 - PAYLOAD_BYTES)
+                run += rng.randbytes(PAYLOAD_BYTES)
+            run += SENTINEL_RECORD
+            runs.append(bytes(run))
+        return runs
+
+    # -- shared codegen ------------------------------------------------------------
+
+    def _emit_selection(self, a: Asm, keys: List[str]) -> None:
+        """Champion chain: branch to ``emit_<argmin>`` (ties: lowest index)."""
+        for i in range(1, self.k + 1):
+            for champ in range(i):
+                a.label(f"sel_{champ}_{i}")
+                if i == self.k:
+                    a.j(f"emit_{champ}")
+                else:
+                    a.bltu(keys[i], keys[champ], f"sel_{i}_{i + 1}")
+                    a.j(f"sel_{champ}_{i + 1}")
+
+    # -- programs --------------------------------------------------------------------
+
+    def _build_stream_program(self, state_base: int) -> Program:
+        a = Asm("merge-stream")
+        keys = [f"s{2 + s}" for s in range(self.k)]  # s2..s5
+        a.li("t6", state_base)
+        for s in range(self.k):  # prime one buffered record per run
+            a.sload("t0", s, 4)
+            a.mv(keys[s], "t0")
+            a.sw("t0", "t6", s * TUPLE_BYTES)
+            for w in range(1, _WORDS):
+                a.sload("t0", s, 4)
+                a.sw("t0", "t6", s * TUPLE_BYTES + 4 * w)
+        a.label("loop")
+        self._emit_selection(a, keys)
+        for s in range(self.k):
+            a.label(f"emit_{s}")
+            for w in range(_WORDS):  # emit the buffered minimum
+                a.lw("t0", "t6", s * TUPLE_BYTES + 4 * w)
+                a.sstore("t0", 0, 4)
+            # Refill from the winning run; EOS here finishes the program.
+            a.sload("t0", s, 4)
+            a.mv(keys[s], "t0")
+            a.sw("t0", "t6", s * TUPLE_BYTES)
+            for w in range(1, _WORDS):
+                a.sload("t0", s, 4)
+                a.sw("t0", "t6", s * TUPLE_BYTES + 4 * w)
+            a.j("loop")
+        return a.build()
+
+    def _build_memory_program(self, state_base: int) -> Program:
+        # Memory-form caveat (like raid6): the merge is per staged chunk, so
+        # functional equivalence with the reference holds when the runs fit
+        # one chunk — the tests and the compaction planner size them so.
+        a = Asm("merge-memory")
+        ptrs = [f"s{2 + s}" for s in range(self.k)]  # s2..s5
+        ends = [f"s{6 + s}" for s in range(self.k)]  # s6..s9
+        keys = [f"a{4 + s}" for s in range(self.k)]  # a4..a7
+        out_ptr = "s0"
+        a.mv(ptrs[0], "a0")
+        for s in range(1, self.k):
+            a.add(ptrs[s], ptrs[s - 1], "a3")
+        for s in range(self.k):
+            a.add(ends[s], ptrs[s], "a1")
+        a.mv(out_ptr, "a2")
+        a.beq(ptrs[0], ends[0], "done")  # empty chunk
+        a.label("loop")
+        for s in range(self.k):  # peek the head key of every run
+            a.lw(keys[s], ptrs[s], 0)
+        self._emit_selection(a, keys)
+        for s in range(self.k):
+            a.label(f"emit_{s}")
+            for w in range(_WORDS):
+                a.lw("t0", ptrs[s], 4 * w)
+                a.sw("t0", out_ptr, 4 * w)
+            a.addi(ptrs[s], ptrs[s], TUPLE_BYTES)
+            a.addi(out_ptr, out_ptr, TUPLE_BYTES)
+            a.bltu(ptrs[s], ends[s], "loop")
+            a.j("done")  # this run exhausted: stop, like the stream form
+        a.label("done")
+        a.sub("a0", out_ptr, "a2")
+        a.halt()
+        return a.build()

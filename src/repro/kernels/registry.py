@@ -15,6 +15,7 @@ from repro.kernels.extensions import (
     StatsSummaryKernel,
 )
 from repro.kernels.filter_ import FilterKernel
+from repro.kernels.merge import MergeKernel
 from repro.kernels.ml_graph import GraphDegreeKernel, NNInferenceKernel
 from repro.kernels.parse import ParseKernel
 from repro.kernels.psf import PSFKernel
@@ -33,6 +34,8 @@ _FACTORIES: Dict[str, Callable[..., Kernel]] = {
     "select": SelectKernel,
     "parse": ParseKernel,
     "psf": PSFKernel,
+    # LSM compaction offload (repro.zns): k-way sorted-run merge.
+    "merge": MergeKernel,
     # Table II extensions beyond the paper's evaluated set:
     "replicate": ReplicateKernel,
     "dedup": DedupKernel,

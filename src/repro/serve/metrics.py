@@ -136,6 +136,11 @@ class ServeReport:
     #: clean runs) and the latency of every RAID reconstruction performed.
     faults: Dict[str, int] = field(default_factory=dict)
     reconstruction_ns: List[float] = field(default_factory=list)
+    #: Events processed by the shared simulation kernel for this run —
+    #: the denominator-free cost of the simulation itself, which the
+    #: benchmark suite gates as events/sec of wall time. Not part of the
+    #: fingerprint: it measures the simulator, not the workload outcome.
+    sim_events: int = 0
 
     @property
     def total_completed(self) -> int:

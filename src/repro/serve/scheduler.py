@@ -360,4 +360,5 @@ class ServingLayer:
             reconstruction_ns=list(self.recovery.reconstruction_ns)
             if self.recovery
             else [],
+            sim_events=self.events.processed,
         )

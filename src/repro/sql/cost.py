@@ -32,6 +32,10 @@ from typing import Optional
 from repro.analytics.cost import HostCostModel, StaticCostSource
 from repro.ssd.host_interface import ScompCommand
 
+#: Rows sampled (evenly strided) for the pushed-predicate selectivity
+#: estimate; enough for the placement decision, cheap enough per query.
+SELECTIVITY_SAMPLE_ROWS = 256
+
 
 class LiveCostSource(StaticCostSource):
     """Telemetry-backed placement costs over one :class:`ServingLayer`."""
@@ -62,6 +66,7 @@ class LiveCostSource(StaticCostSource):
         self._g_page = registry.gauge("sql.cost.scomp_ns_per_page")
         self._g_device = registry.gauge("sql.cost.device_scan_ns")
         self._g_host = registry.gauge("sql.cost.host_scan_ns")
+        self._g_selectivity = registry.gauge("sql.cost.scan_selectivity")
         self._c_seen = registry.counter("sql.cost.observations")
         layer.add_completion_observer(self._observe)
 
@@ -144,6 +149,36 @@ class LiveCostSource(StaticCostSource):
         return self.collectible_invalid_pages() * per_page
 
     # -- placement estimates ---------------------------------------------------
+
+    def scan_selectivity(self, table, predicate, at_ns: float = 0.0) -> float:
+        """Sampled-predicate selectivity: evaluate the pushed predicate on
+        an evenly-strided row sample of the actual table.
+
+        The static bound prices a device scan's output by column fraction
+        alone, which wildly over-states what a highly selective filter
+        ships back up the link — enough to flip the placement the wrong
+        way. Sampling the real rows (the session holds the table the
+        device would scan) fixes the estimate for the price of a few
+        hundred predicate evaluations. Un-evaluable predicates (e.g.
+        scalar-subquery references) fall back to the conservative 1.0;
+        the estimate is floored at one surviving sample row so a
+        zero-match sample never prices the output at exactly nothing.
+        """
+        nrows = getattr(table, "nrows", 0)
+        if predicate is None or nrows <= 0:
+            return 1.0
+        stride = max(1, nrows // SELECTIVITY_SAMPLE_ROWS)
+        sampled = survived = 0
+        for i in range(0, nrows, stride):
+            sampled += 1
+            try:
+                if predicate(table.row(i)):
+                    survived += 1
+            except Exception:
+                return 1.0  # no estimate beats a wrong one
+        estimate = max(survived, 1) / sampled
+        self._g_selectivity.set(estimate)
+        return estimate
 
     def device_scan_ns(
         self, pages: int, kernel: str = "psf", at_ns: float = 0.0

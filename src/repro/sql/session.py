@@ -52,8 +52,9 @@ from repro.serve.scheduler import ServingLayer
 from repro.serve.workload import TenantSpec
 from repro.sql.cost import LiveCostSource
 from repro.sql.executor import ScanExecution, SqlExecutor, SqlResult
+from repro.sql.exprs import compile_expr
 from repro.sql.parser import parse_sql
-from repro.sql.planner import PlannedStatement, ScanNode, plan_statement
+from repro.sql.planner import PlannedStatement, ScanNode, and_fold, plan_statement
 from repro.ssd.device import ComputationalSSD
 from repro.ssd.host_interface import ReadCommand, ScompCommand
 
@@ -102,6 +103,9 @@ class ScanPlacement:
     est_host_ns: float
     est_device_ns: float
     decided_at_ns: float
+    #: Sampled-predicate selectivity folded into the device estimate
+    #: (1.0 for unfiltered scans or sources without row data).
+    est_selectivity: float = 1.0
 
 
 @dataclass
@@ -274,10 +278,20 @@ class SqlSession:
         kernel = "psf" if node.predicates else "parse"
         now = self.layer.events.now
         est_host = self.cost.host_scan_ns(extent.text_bytes, at_ns=now)
-        # Device scans ship back filtered/projected binary tuples; without
-        # a selectivity estimate the column fraction alone bounds them.
+        # Device scans ship back filtered/projected binary tuples: the
+        # column fraction bounds the width, the sampled-predicate
+        # selectivity (live sources; 1.0 from static ones) the row count.
         fraction = len(node.columns) / len(SCHEMA[node.table].columns)
-        out_bytes = extent.text_bytes * fraction * BINARY_DENSITY
+        selectivity = 1.0
+        if node.predicates:
+            try:
+                predicate = compile_expr(and_fold(node.predicates), {})
+            except Exception:
+                predicate = None  # scalar-subquery refs etc.: no estimate
+            selectivity = self.cost.scan_selectivity(
+                self.db[node.table], predicate, at_ns=now
+            )
+        out_bytes = extent.text_bytes * fraction * BINARY_DENSITY * selectivity
         est_device = (
             self.cost.device_scan_ns(extent.pages, kernel, at_ns=now)
             + out_bytes / self.cost.link_bytes_per_ns
@@ -292,6 +306,7 @@ class SqlSession:
                 table=node.table, site=site, kernel=kernel, pages=extent.pages,
                 pushdown=bool(node.predicates), est_host_ns=est_host,
                 est_device_ns=est_device, decided_at_ns=now,
+                est_selectivity=selectivity,
             )
         )
         return site

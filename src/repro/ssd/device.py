@@ -37,6 +37,7 @@ DEFAULT_SAMPLE_BYTES = 64 * 1024
 _SAMPLE_BYTES_BY_KERNEL = {
     # Heavier interpreted kernels get smaller (still representative) windows.
     "aes": 4 * 1024,
+    "merge": 16 * 1024,
     "parse": 16 * 1024,
     "psf": 16 * 1024,
     "raid6": 32 * 1024,
@@ -51,13 +52,26 @@ class ComputationalSSD:
         config: SSDConfig,
         layout_skew: float = 0.0,
         telemetry: Optional[Telemetry] = None,
+        zoned: bool = False,
+        max_open_zones: int = 8,
     ) -> None:
         self.config = config
         #: Tracer + counter registry shared by every component of this
         #: device; defaults to a NullTracer bundle (zero observable effect).
         self.telemetry = telemetry or Telemetry()
         self.array = FlashArray(config.flash, telemetry=self.telemetry)
-        self.ftl = PageMapFTL(config.flash, skew=layout_skew)
+        #: ZNS mode swaps the page-map FTL for the zoned variant: appends at
+        #: per-zone write pointers, whole-zone resets instead of page GC
+        #: (``repro.zns`` drives it through the zone commands).
+        self.zoned = zoned
+        if zoned:
+            if layout_skew:
+                raise DeviceError("layout skew applies to the page-map FTL only")
+            from repro.ftl.zoned import ZonedFTL
+
+            self.ftl = ZonedFTL(config.flash, max_open_zones=max_open_zones)
+        else:
+            self.ftl = PageMapFTL(config.flash, skew=layout_skew)
         self.crossbar = Crossbar(
             config.flash.channels, config.num_cores, enabled=config.crossbar
         )

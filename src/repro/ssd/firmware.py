@@ -29,7 +29,6 @@ The result captures, mechanically:
 from __future__ import annotations
 
 import itertools
-import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -363,21 +362,6 @@ class Firmware:
             core_sample=sample,
             flash_stall_ns=total_stall,
         )
-
-    def run_concurrent(self, requests: Sequence[tuple]) -> List[OffloadResult]:
-        """Deprecated alias for :meth:`simulate_concurrent`.
-
-        Kept for callers written against the pre-kernel firmware; the
-        behaviour is identical (same partitioning, same timelines).
-        """
-        warnings.warn(
-            "Firmware.run_concurrent is deprecated; use "
-            "Firmware.simulate_concurrent, which runs each engine's command "
-            "flow as a process on the shared repro.sim.Simulator kernel",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.simulate_concurrent(requests)
 
     def simulate_concurrent(
         self, requests: Sequence[tuple], sim: Optional[Simulator] = None

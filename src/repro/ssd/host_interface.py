@@ -53,6 +53,30 @@ class ScompCommand(NVMeCommand):
 
 
 @dataclass(frozen=True)
+class ZoneAppendCommand(NVMeCommand):
+    """ZNS Zone Append: sequential-write ``npages`` at the zone's write
+    pointer; the completion carries the assigned LBA (``repro.zns``)."""
+
+    zone_id: int = 0
+    npages: int = 1
+
+
+@dataclass(frozen=True)
+class ZoneResetCommand(NVMeCommand):
+    """ZNS Zone Reset: rewind the write pointer, erase the block group."""
+
+    zone_id: int = 0
+
+
+@dataclass(frozen=True)
+class ZoneReportCommand(NVMeCommand):
+    """ZNS Zone Management Receive: report zone descriptors to the host."""
+
+    first_zone: int = 0
+    count: int = 0  # 0 = all zones
+
+
+@dataclass(frozen=True)
 class Completion:
     """Completion-queue entry."""
 

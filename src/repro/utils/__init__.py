@@ -1,4 +1,8 @@
-"""Shared utilities: units, bit operations, statistics, event queue."""
+"""Shared utilities: units, bit operations, statistics.
+
+The discrete-event machinery that once lived here (``utils.events``) is
+gone: import :class:`repro.sim.Simulator` directly.
+"""
 
 from repro.utils.units import (
     KIB,
@@ -26,7 +30,6 @@ from repro.utils.bitops import (
     to_unsigned32,
 )
 from repro.utils.stats import Accumulator, geomean, weighted_mean
-from repro.utils.events import Event, EventQueue
 
 __all__ = [
     "KIB",
@@ -53,6 +56,4 @@ __all__ = [
     "Accumulator",
     "geomean",
     "weighted_mean",
-    "Event",
-    "EventQueue",
 ]

@@ -1,0 +1,91 @@
+"""Configuration for the ZNS LSM campaign (``python -m repro zns``).
+
+The flash geometry is deliberately small-zone: a zone is one block group
+(same block index across every die/plane of one chip), so shrinking
+``blocks_per_plane`` and ``pages_per_block`` gives many small zones —
+512 zones of 32 pages (128 KiB) here — which keeps flush/compaction churn
+high enough to exercise zone allocation, resets, and the open-zone limit
+within a few simulated milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config import FlashConfig, SSDConfig, assasin_sb_config
+from repro.errors import ConfigError
+
+#: Compaction placement policies (:class:`ZnsConfig.compaction`).
+COMPACTION_POLICIES = ("host", "device", "auto")
+
+
+def zns_flash_config() -> FlashConfig:
+    """Small-zone geometry: 4ch x 2chip x (2die x 2plane) x 64blk x 8pg.
+
+    -> 512 zones, each 2*2*8 = 32 pages (128 KiB), 64 MiB total. The
+    timings are SLC-mode (small zones are how ZNS drives expose their SLC
+    region): 8 us reads, 30 us programs, 0.5 ms erases.
+    """
+    return FlashConfig(
+        channels=4,
+        chips_per_channel=2,
+        dies_per_chip=2,
+        planes_per_die=2,
+        blocks_per_plane=64,
+        pages_per_block=8,
+        read_latency_ns=8_000.0,
+        program_latency_ns=30_000.0,
+        erase_latency_ns=500_000.0,
+    )
+
+
+@dataclass(frozen=True)
+class ZnsConfig:
+    """One seeded ZNS LSM campaign: tenants, tree shape, placement policy."""
+
+    seed: int = 7
+    duration_ns: float = 6_000_000.0
+    #: Closed-loop put issuers with open-loop (spawned) gets.
+    num_tenants: int = 4
+    mean_interarrival_ns: float = 400.0
+    put_fraction: float = 0.9
+    key_space: int = 20_000
+    #: Host-side latency charged to memtable hits / bloom-filter misses.
+    probe_ns: float = 250.0
+    # -- LSM tree shape --------------------------------------------------------
+    memtable_records: int = 1024
+    l0_runs_trigger: int = 4
+    fanout: int = 4
+    max_levels: int = 4
+    #: Victim runs per compaction; bounded by the merge kernel's k <= 4.
+    compaction_runs: int = 4
+    #: Cap on pages per run segment: long runs stripe across this many
+    #: pages per zone, so their appends spread over several chips.
+    run_segment_pages: int = 8
+    compaction_check_ns: float = 50_000.0
+    # -- device ----------------------------------------------------------------
+    max_open_zones: int = 8
+    #: "host" reads runs up and writes the merge back; "device" runs the
+    #: k-way merge kernel in the SSD; "auto" asks the CostSource.
+    compaction: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.compaction not in COMPACTION_POLICIES:
+            raise ConfigError(
+                f"compaction policy {self.compaction!r} not in {COMPACTION_POLICIES}"
+            )
+        if not 2 <= self.compaction_runs <= 4:
+            raise ConfigError("compaction_runs must match the merge kernel's 2..4")
+        if self.l0_runs_trigger < 2 or self.fanout < 1:
+            raise ConfigError("need l0_runs_trigger >= 2 and fanout >= 1")
+        if self.num_tenants <= 0 or self.memtable_records <= 0:
+            raise ConfigError("ZnsConfig needs tenants and a positive memtable")
+        if not 0.0 <= self.put_fraction <= 1.0:
+            raise ConfigError("put_fraction must be a fraction")
+
+    def ssd(self) -> SSDConfig:
+        """The AssasinSb device, re-geometried for small zones."""
+        return assasin_sb_config(flash=zns_flash_config())
+
+    def with_policy(self, compaction: str) -> "ZnsConfig":
+        return replace(self, compaction=compaction)

@@ -1,0 +1,145 @@
+"""ZNS firmware: zone commands serviced on the shared simulation kernel.
+
+The firmware sits between the NVMe-style host interface and the zoned FTL.
+Each command books real work on the existing device timelines — the host
+link (:class:`~repro.ssd.host_interface.HostInterface`), the flash channels
+and planes (:class:`~repro.flash.array.FlashArray`) — so zone appends,
+resets, and reports contend with everything else running on the same
+:class:`~repro.sim.Simulator` (foreground reads, compaction traffic).
+
+Two layers:
+
+* *timed primitives* (``zone_append`` / ``read_lbas`` / ``zone_reset`` /
+  ``zone_report``) book resources and return completion times, usable from
+  inside any sim process;
+* :meth:`execute` dispatches an :class:`~repro.ssd.host_interface.NVMeCommand`
+  through a primitive and posts the completion-queue entry — zone append
+  completions carry the assigned LBA, as the ZNS spec requires.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ZnsError
+from repro.ftl.zoned import ZoneDescriptor
+from repro.ssd.host_interface import (
+    NVMeCommand,
+    ReadCommand,
+    ZoneAppendCommand,
+    ZoneReportCommand,
+    ZoneResetCommand,
+)
+
+#: Wire size of one zone descriptor in a Zone Report (ZNS spec: 64 B).
+DESCRIPTOR_BYTES = 64
+
+
+class ZnsFirmware:
+    """Services zone commands against a zoned :class:`ComputationalSSD`."""
+
+    def __init__(self, device, sim) -> None:
+        if not getattr(device, "zoned", False):
+            raise ZnsError("ZnsFirmware needs a device built with zoned=True")
+        self.device = device
+        self.sim = sim
+        self.array = device.array
+        self.ftl = device.ftl
+        self.host = device.host
+        self.page_bytes = device.config.flash.page_bytes
+
+    # -- timed primitives --------------------------------------------------------
+
+    def zone_append(
+        self, zone_id: int, npages: int, issue_ns: float, from_host: bool = True
+    ) -> Tuple[int, float]:
+        """Append ``npages`` at the zone's write pointer; returns (LBA, done).
+
+        Host appends ship the data over the link first; device-internal
+        appends (compaction output) skip the link entirely.
+        """
+        ready = issue_ns
+        if from_host:
+            ready = self.host.transfer(
+                npages * self.page_bytes, issue_ns, to_host=False
+            )
+        lba, ppas = self.ftl.append(zone_id, npages)
+        done = ready
+        for ppa in ppas:
+            record = self.array.service_write(ppa, ready)
+            done = max(done, record.done_ns)
+        return lba, done
+
+    def read_lbas(
+        self, lbas: Sequence[int], issue_ns: float, to_host: bool = True
+    ) -> float:
+        """Read pages by LBA; optionally ship them up the link afterwards."""
+        done = issue_ns
+        for lba in lbas:
+            record = self.array.service_read(self.ftl.lookup(lba), issue_ns)
+            done = max(done, record.done_ns)
+        if to_host and lbas:
+            done = self.host.transfer(len(lbas) * self.page_bytes, done, to_host=True)
+        return done
+
+    def zone_reset(self, zone_id: int, issue_ns: float) -> float:
+        """Reset a zone: erase its block group (this *is* the GC here)."""
+        done = issue_ns
+        for ppa in self.ftl.reset_zone(zone_id):
+            done = max(done, self.array.erase(ppa, issue_ns))
+        return done
+
+    def zone_report(
+        self, issue_ns: float, first: int = 0, count: Optional[int] = None
+    ) -> Tuple[List[ZoneDescriptor], float]:
+        """Zone Management Receive: descriptors plus their link transfer."""
+        descriptors = self.ftl.zone_report(first, count)
+        done = self.host.transfer(
+            DESCRIPTOR_BYTES * len(descriptors), issue_ns, to_host=True
+        )
+        return descriptors, done
+
+    # -- command dispatch --------------------------------------------------------
+
+    def submit(self, command: NVMeCommand) -> NVMeCommand:
+        self.host.submit(command)
+        return command
+
+    def execute(self, command: NVMeCommand, issue_ns: float):
+        """Run one zone/read command; returns ``(result, done_ns)``.
+
+        Posts the completion-queue entry. The *result* is the assigned LBA
+        for appends, the descriptor list for reports, ``None`` otherwise.
+        """
+        if isinstance(command, ZoneAppendCommand):
+            lba, done = self.zone_append(command.zone_id, command.npages, issue_ns)
+            nbytes = command.npages * self.page_bytes
+            self.host.complete(command, issue_ns, done, nbytes)
+            return lba, done
+        if isinstance(command, ZoneResetCommand):
+            done = self.zone_reset(command.zone_id, issue_ns)
+            self.host.complete(command, issue_ns, done, 0)
+            return None, done
+        if isinstance(command, ZoneReportCommand):
+            descriptors, done = self.zone_report(
+                issue_ns, command.first_zone, command.count or None
+            )
+            self.host.complete(
+                command, issue_ns, done, DESCRIPTOR_BYTES * len(descriptors)
+            )
+            return descriptors, done
+        if isinstance(command, ReadCommand):
+            done = self.read_lbas(command.lpas, issue_ns)
+            self.host.complete(
+                command, issue_ns, done, len(command.lpas) * self.page_bytes
+            )
+            return None, done
+        raise ZnsError(f"ZNS firmware cannot service {type(command).__name__}")
+
+    def process(self, command: NVMeCommand, on_complete=None):
+        """Generator form of :meth:`execute` for :meth:`Simulator.spawn`."""
+        self.submit(command)
+        result, done = self.execute(command, self.sim.now)
+        yield self.sim.wait_until(done)
+        if on_complete is not None:
+            on_complete(result, done)

@@ -82,3 +82,71 @@ def test_live_pressure_terms_are_nonnegative():
     assert live.core_backlog_ns(now) >= 0.0
     assert live.queue_pressure_ns() >= 0.0
     assert live.gc_backlog_ns() >= 0.0
+
+
+# -- sampled-predicate selectivity ---------------------------------------------
+
+#: Full-width scan with one highly selective pushed predicate: l_quantity is
+#: uniform on 1..50, so ~4% of rows survive. With the column fraction at 1.0
+#: the static bound prices the device output at full table width.
+SELECTIVE_SQL = "SELECT * FROM lineitem WHERE l_quantity <= 2"
+
+#: Cost constants chosen so the fraction-only bound and the sampled estimate
+#: land on opposite sides of the host rate. With text_bytes T, fraction 1.0
+#: and BINARY_DENSITY 0.6: host = 0.30*T; device(sel=1.0) ~= 0.35*T (loses);
+#: device(sel~0.04) ~= 0.13*T (wins). The placement flip below is exactly
+#: the sampled estimate doing its job.
+FLIP_HOST = HostCostModel(text_parse_ns_per_byte=0.30)
+FLIP_DEVICE_RATES = {"psf": 4000.0, "parse": 4000.0}
+
+
+def _auto_session():
+    session = SqlSession(gen_scale_factor=0.002, duration_ns=5e6, policy="auto")
+    live = session.cost
+    assert isinstance(live, LiveCostSource)
+    live.host = FLIP_HOST
+    live.device_ns_per_page = dict(FLIP_DEVICE_RATES)
+    return session, live
+
+
+def test_sampled_selectivity_estimates_the_surviving_fraction():
+    session, live = _auto_session()
+    table = session.db["lineitem"]
+    estimate = live.scan_selectivity(table, lambda row: row["l_quantity"] <= 2)
+    assert 0.0 < estimate < 0.15  # ~4% of a uniform 1..50 column
+    gauge = session.layer.telemetry.counters.gauge("sql.cost.scan_selectivity")
+    assert gauge.value == pytest.approx(estimate)
+    # Conservative fallbacks: no predicate, un-evaluable predicate.
+    assert live.scan_selectivity(table, None) == 1.0
+
+    def explodes(row):
+        raise KeyError("no such column")
+
+    assert live.scan_selectivity(table, explodes) == 1.0
+    # Floored at one surviving sample row, never exactly zero.
+    assert live.scan_selectivity(table, lambda row: False) > 0.0
+
+
+def test_static_source_keeps_the_conservative_bound():
+    src = StaticCostSource(host=FLIP_HOST, device_ns_per_page=FLIP_DEVICE_RATES)
+    assert src.scan_selectivity(object(), lambda row: False) == 1.0
+
+
+def test_sampled_selectivity_flips_placement_on_selective_filter():
+    # Fraction-only pricing (selectivity forced to 1.0) keeps the scan on
+    # the host: the full-width output looks too expensive to ship up.
+    session, live = _auto_session()
+    live.scan_selectivity = lambda table, predicate, at_ns=0.0: 1.0
+    record = session.drain(session.submit(SELECTIVE_SQL))
+    (bound,) = record.placements
+    assert bound.est_selectivity == 1.0
+    assert bound.site == "host"
+
+    # The sampled estimate sees ~4% survivors and flips the scan down.
+    session, live = _auto_session()
+    record = session.drain(session.submit(SELECTIVE_SQL))
+    (sampled,) = record.placements
+    assert sampled.pushdown and sampled.kernel == "psf"
+    assert 0.0 < sampled.est_selectivity < 0.15
+    assert sampled.site == "device"
+    assert sampled.est_device_ns < sampled.est_host_ns

@@ -65,21 +65,22 @@ def test_concurrent_rejects_too_many_requests():
         device.firmware.simulate_concurrent([])
 
 
-def test_run_concurrent_shim_warns_and_matches():
-    """The pre-kernel `run_concurrent` signature still works, with a warning."""
+def test_pre_kernel_shims_are_gone():
+    """The deprecation window is closed: the pre-kernel names no longer exist.
+
+    `Firmware.run_concurrent` (alias of `simulate_concurrent`) and the
+    `repro.utils.events.EventQueue` alias of `repro.sim.Simulator` shipped
+    one release as deprecated shims; both are now removed so stale callers
+    fail loudly instead of drifting.
+    """
     device = ComputationalSSD(assasin_sb_config())
-    kernel = get_kernel("scan")
-    sample = device.sample_kernel(kernel)
-    lpas = device.mount_dataset(4 << 20)
-    requests = [(kernel, sample, lpas)]
-    with pytest.warns(DeprecationWarning, match="simulate_concurrent"):
-        legacy = device.firmware.run_concurrent(requests)
-    fresh = ComputationalSSD(assasin_sb_config())
-    modern = fresh.firmware.simulate_concurrent(
-        [(kernel, fresh.sample_kernel(kernel), fresh.mount_dataset(4 << 20))]
-    )
-    assert legacy[0].completion_ns == modern[0].completion_ns
-    assert legacy[0].bytes_in == modern[0].bytes_in
+    assert not hasattr(device.firmware, "run_concurrent")
+    with pytest.raises(ImportError):
+        from repro.utils.events import EventQueue  # noqa: F401
+    import repro.utils
+
+    assert not hasattr(repro.utils, "EventQueue")
+    assert not hasattr(repro.utils, "Event")
 
 
 def test_background_io_coexists_with_offload():

@@ -1,12 +1,12 @@
-"""Tests for the discrete-event queue."""
+"""Tests for the discrete-event simulation kernel (scheduling semantics)."""
 
 import pytest
 
-from repro.utils.events import EventQueue
+from repro.sim import Simulator
 
 
 def test_events_run_in_time_order():
-    q = EventQueue()
+    q = Simulator()
     fired = []
     q.schedule(30, lambda: fired.append("c"))
     q.schedule(10, lambda: fired.append("a"))
@@ -17,7 +17,7 @@ def test_events_run_in_time_order():
 
 
 def test_ties_break_by_insertion_order():
-    q = EventQueue()
+    q = Simulator()
     fired = []
     for name in "abc":
         q.schedule(5, lambda n=name: fired.append(n))
@@ -26,7 +26,7 @@ def test_ties_break_by_insertion_order():
 
 
 def test_events_can_schedule_more_events():
-    q = EventQueue()
+    q = Simulator()
     fired = []
 
     def chain(n):
@@ -41,7 +41,7 @@ def test_events_can_schedule_more_events():
 
 
 def test_run_until_stops_and_advances_clock():
-    q = EventQueue()
+    q = Simulator()
     fired = []
     q.schedule(10, lambda: fired.append(1))
     q.schedule(100, lambda: fired.append(2))
@@ -53,7 +53,7 @@ def test_run_until_stops_and_advances_clock():
 
 
 def test_cannot_schedule_into_the_past():
-    q = EventQueue()
+    q = Simulator()
     q.schedule(10, lambda: None)
     q.run()
     with pytest.raises(ValueError):
@@ -63,7 +63,7 @@ def test_cannot_schedule_into_the_past():
 
 
 def test_len_and_bool():
-    q = EventQueue()
+    q = Simulator()
     assert not q
     q.schedule(1, lambda: None)
     assert q and len(q) == 1
@@ -73,7 +73,7 @@ def test_interleaved_schedule_and_schedule_at_equal_timestamps():
     # Mixing relative and absolute scheduling at one timestamp must still
     # fire in global insertion order — the determinism the serving layer
     # and firmware rely on.
-    q = EventQueue()
+    q = Simulator()
     fired = []
     q.schedule(50, lambda: fired.append("rel-a"))
     q.schedule_at(50, lambda: fired.append("abs-b"))
@@ -85,7 +85,7 @@ def test_interleaved_schedule_and_schedule_at_equal_timestamps():
 
 
 def test_equal_timestamp_events_scheduled_from_actions_run_last():
-    q = EventQueue()
+    q = Simulator()
     fired = []
     q.schedule_at(10, lambda: (fired.append("first"), q.schedule(0, lambda: fired.append("nested"))))
     q.schedule_at(10, lambda: fired.append("second"))
@@ -97,7 +97,7 @@ def test_equal_timestamp_events_scheduled_from_actions_run_last():
 
 def test_identical_schedules_replay_identically():
     def drive():
-        q = EventQueue()
+        q = Simulator()
         fired = []
         q.schedule(5, lambda: fired.append("a"))
         q.schedule_at(5, lambda: fired.append("b"))
@@ -109,7 +109,7 @@ def test_identical_schedules_replay_identically():
 
 
 def test_run_until_exactly_at_event_time_fires_event():
-    q = EventQueue()
+    q = Simulator()
     fired = []
     q.schedule(10, lambda: fired.append(1))
     q.schedule(20, lambda: fired.append(2))
@@ -119,7 +119,7 @@ def test_run_until_exactly_at_event_time_fires_event():
 
 
 def test_run_until_advances_clock_on_empty_queue():
-    q = EventQueue()
+    q = Simulator()
     q.run(until_ns=40)
     assert q.now == 40
     # A later run with an earlier bound must not rewind the clock.
@@ -128,7 +128,7 @@ def test_run_until_advances_clock_on_empty_queue():
 
 
 def test_run_until_advances_clock_past_last_event():
-    q = EventQueue()
+    q = Simulator()
     q.schedule(10, lambda: None)
     q.run(until_ns=100)
     assert q.now == 100
@@ -136,7 +136,7 @@ def test_run_until_advances_clock_past_last_event():
 
 
 def test_run_max_events_budget():
-    q = EventQueue()
+    q = Simulator()
     fired = []
     for i in range(5):
         q.schedule(i + 1, lambda i=i: fired.append(i))
@@ -151,7 +151,7 @@ def test_schedule_labels_surface_as_tracer_instants():
     from repro.telemetry import Tracer
 
     tracer = Tracer()
-    q = EventQueue(tracer=tracer)
+    q = Simulator(tracer=tracer)
     q.schedule(10, lambda: None, label="arrive:hot")
     q.schedule_at(25, lambda: None, label="complete:hot")
     q.run()
@@ -163,7 +163,7 @@ def test_unlabeled_schedule_falls_back_to_anonymous_instant():
     from repro.telemetry import Tracer
 
     tracer = Tracer()
-    q = EventQueue(tracer=tracer)
+    q = Simulator(tracer=tracer)
     q.schedule(5, lambda: None)
     q.run()
     assert [name for _, _, name in tracer.events_on("scheduler")] == ["event"]
@@ -173,7 +173,7 @@ def test_instants_fire_only_when_events_run():
     from repro.telemetry import Tracer
 
     tracer = Tracer()
-    q = EventQueue(tracer=tracer)
+    q = Simulator(tracer=tracer)
     q.schedule(10, lambda: None, label="early")
     q.schedule(50, lambda: None, label="late")
     q.run(until_ns=20)

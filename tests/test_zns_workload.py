@@ -1,0 +1,146 @@
+"""Tier-1 tests for the ZNS stack: firmware commands, LSM model, campaign."""
+
+import pytest
+
+from repro.errors import ConfigError, ZnsError
+from repro.ftl.zoned import ZoneState
+from repro.sim import Simulator
+from repro.ssd.device import ComputationalSSD
+from repro.ssd.host_interface import (
+    ScompCommand,
+    ZoneAppendCommand,
+    ZoneReportCommand,
+    ZoneResetCommand,
+)
+from repro.zns import ZnsCampaign, ZnsConfig, ZnsFirmware, run_zns
+from repro.zns.lsm import LsmTree
+
+DURATION_NS = 1_500_000.0
+
+
+def _run(policy, **kwargs):
+    return run_zns(ZnsConfig(duration_ns=DURATION_NS, compaction=policy, **kwargs))
+
+
+# -- firmware ----------------------------------------------------------------------
+
+
+def _firmware():
+    device = ComputationalSSD(ZnsConfig().ssd(), zoned=True, max_open_zones=4)
+    return ZnsFirmware(device, Simulator()), device
+
+
+def test_zone_commands_execute_and_complete():
+    fw, device = _firmware()
+    append = ZoneAppendCommand(device.host.next_id(), zone_id=0, npages=4)
+    fw.submit(append)
+    lba, done = fw.execute(append, 0.0)
+    assert lba == device.ftl.zone_slba(0) == 0  # completion carries the LBA
+    assert done > 0
+    assert device.ftl.write_pointer(0) == 4
+
+    report_cmd = ZoneReportCommand(device.host.next_id(), first_zone=0, count=2)
+    fw.submit(report_cmd)
+    descriptors, _ = fw.execute(report_cmd, done)
+    assert [d.zone_id for d in descriptors] == [0, 1]
+    assert descriptors[0].write_pointer == 4
+
+    reset = ZoneResetCommand(device.host.next_id(), zone_id=0)
+    fw.submit(reset)
+    _, reset_done = fw.execute(reset, done)
+    assert reset_done > done  # the erase is booked on the plane timelines
+    assert device.ftl.state(0) is ZoneState.EMPTY
+    assert len(device.host.completions) == 3
+
+
+def test_firmware_rejects_non_zoned_device_and_foreign_commands():
+    plain = ComputationalSSD(ZnsConfig().ssd())
+    with pytest.raises(ZnsError):
+        ZnsFirmware(plain, Simulator())
+    fw, device = _firmware()
+    with pytest.raises(ZnsError):
+        fw.execute(ScompCommand(device.host.next_id(), kernel="merge"), 0.0)
+
+
+# -- LSM model ---------------------------------------------------------------------
+
+
+def test_lsm_flush_locate_and_newest_wins_merge():
+    tree = LsmTree(
+        memtable_records=4, l0_runs_trigger=2, fanout=2, max_levels=3,
+        records_per_page=2,
+    )
+    for key, seq in [(3, 1), (1, 2), (7, 3)]:
+        assert not tree.put(key, seq)
+    assert tree.put(5, 4)  # memtable ripe
+    older = tree.new_run(0, tree.take_memtable())
+    tree.add_run(older, 0)
+    newer = tree.new_run(0, [(1, 5), (9, 6)])  # overwrites key 1
+    tree.add_run(newer, 0)
+
+    kind, found = tree.locate(1)
+    assert (kind, found) == ("run", newer)  # newest run wins
+    assert tree.locate(4) == ("miss", None)
+
+    pick = tree.pick_compaction()
+    assert pick is not None and pick.level == 0 and pick.target == 1
+    assert pick.victims == (older, newer)  # oldest first
+    merged = tree.merge_entries(pick.victims)
+    assert merged == [(1, 5), (3, 1), (5, 4), (7, 3), (9, 6)]
+    new_run = tree.new_run(1, merged)
+    tree.apply_compaction(pick, new_run)
+    assert tree.levels[0] == [] and tree.levels[1] == [new_run]
+    assert tree.locate(1) == ("run", new_run)
+
+
+# -- campaign ----------------------------------------------------------------------
+
+
+def test_campaign_report_is_coherent():
+    report = _run("auto")
+    assert report.puts > 1000 and report.gets > 100
+    assert report.get_run_hits > 0 and report.flushes > 0
+    assert report.compactions == report.compactions_host + report.compactions_device
+    assert report.compactions >= 1
+    assert report.zone_appends > 0 and report.zone_resets > 0
+    assert report.wear_total > 0  # resets feed the wear tracker
+    assert report.get_p99_ns >= report.get_p50_ns > 0
+    # Gets still in flight at the horizon never record a latency.
+    assert 0 < len(report.get_latencies_ns) <= report.gets
+    assert sum(report.levels_runs) >= 1
+    assert report.sim_events > 0
+
+
+def test_same_seed_campaigns_are_byte_identical():
+    assert _run("auto").fingerprint_hex() == _run("auto").fingerprint_hex()
+
+
+def test_device_side_compaction_spares_the_host_link():
+    host = _run("host")
+    device = _run("device")
+    assert host.compactions >= 1 and device.compactions >= 1
+    assert host.compaction_link_bytes >= 2 * max(device.compaction_link_bytes, 1)
+
+
+def test_auto_placement_follows_the_cost_source():
+    campaign = ZnsCampaign(ZnsConfig(duration_ns=DURATION_NS, compaction="auto"))
+    pages, data_in, data_out = 40, 40 * 4096, 32 * 4096
+    link = campaign.cost.link_bytes_per_ns
+    host_ns = data_in / link + campaign.cost.ingest_binary_ns(data_in) + data_out / link
+    device_ns = campaign.cost.device_scan_ns(pages, kernel="merge") + 64 / link
+    expected = "device" if device_ns <= host_ns else "host"
+    assert campaign._choose_site(pages, data_in, data_out) == expected
+    # Forced policies ignore the estimate.
+    forced = ZnsCampaign(ZnsConfig(duration_ns=DURATION_NS, compaction="host"))
+    assert forced._choose_site(pages, data_in, data_out) == "host"
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        ZnsConfig(compaction="gpu")
+    with pytest.raises(ConfigError):
+        ZnsConfig(compaction_runs=9)
+    with pytest.raises(ConfigError):
+        ZnsConfig(l0_runs_trigger=1)
+    flash = ZnsConfig().ssd().flash
+    assert flash.channels * flash.chips_per_channel * flash.blocks_per_plane == 512
