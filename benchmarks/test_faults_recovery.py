@@ -22,12 +22,11 @@ Set ``FAULTS_SMOKE=1`` to shrink the campaign to a seconds-long CI smoke
 run (fewer pages, shorter horizon, same assertions).
 """
 
-import json
 import os
 import time
 
 import pytest
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.config import FaultConfig, ServeConfig, assasin_sb_config
 from repro.faults import clean_baseline, run_campaign
@@ -134,8 +133,6 @@ def _emit_bench(campaign, clean, wall_seconds):
     total_commands = sum(r.total_completed for r in runs.values())
     total_sim_ns = sum(r.horizon_ns for r in runs.values())
     commands_simulated = total_commands / (total_sim_ns * 1e-9)
-    total_events = sum(r.sim_events for r in runs.values())
-    events_wall = total_events / max(wall_seconds, 1e-9)
     payload = {
         "benchmark": "faults_recovery",
         "smoke": SMOKE,
@@ -155,13 +152,17 @@ def _emit_bench(campaign, clean, wall_seconds):
         },
         "recovery_counters": dict(campaign.recovery_counters),
         "commands_per_sec_simulated": round(commands_simulated, 2),
-        "sim_events_per_sec_wall": round(events_wall, 2),
-        "wall_seconds": round(wall_seconds, 3),
     }
-    with open("BENCH_faults.json", "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-    assert commands_simulated >= MIN_COMMANDS_PER_SEC_SIMULATED
-    assert events_wall >= MIN_SIM_EVENTS_PER_SEC_WALL
+    emit_bench(
+        "BENCH_faults.json",
+        payload,
+        sim_events=sum(r.sim_events for r in runs.values()),
+        wall_seconds=wall_seconds,
+        min_events_per_sec_wall=MIN_SIM_EVENTS_PER_SEC_WALL,
+        rate_floors=[
+            ("commands/sec simulated", commands_simulated, MIN_COMMANDS_PER_SEC_SIMULATED)
+        ],
+    )
 
 
 @pytest.mark.faults

@@ -22,12 +22,11 @@ Set ``FLEET_SMOKE=1`` to shrink the horizon for a seconds-long CI run
 (same assertions).
 """
 
-import json
 import os
 import time
 
 import pytest
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.config import assasin_sb_config
 from repro.fleet import FleetConfig, simulate_fleet
@@ -149,8 +148,6 @@ def test_fleet_fingerprint_is_reproducible(benchmark):
 
 def _emit_bench(report, trio, wall_seconds):
     """Write BENCH_fleet.json and gate on conservative throughput floors."""
-    total_events = sum(r.sim_events for r in trio)
-    sim_events_per_sec = total_events / wall_seconds if wall_seconds > 0 else 0.0
     payload = {
         "benchmark": "fleet_scale",
         "smoke": SMOKE,
@@ -159,15 +156,22 @@ def _emit_bench(report, trio, wall_seconds):
         "duration_ns": DURATION_NS,
         "completed_commands": report.completed,
         "fleet_commands_per_sec_simulated": report.commands_per_second,
-        "sim_events": total_events,
-        "wall_seconds": round(wall_seconds, 3),
-        "sim_events_per_sec_wall": round(sim_events_per_sec, 1),
         "p99_latency_us": round(report.p99_latency_ns / 1e3, 1),
         "p999_latency_us": round(report.p999_latency_ns / 1e3, 1),
         "hedge_win_rate": round(report.hedge_win_rate, 3),
         "fingerprint": report.fingerprint_hex(),
     }
-    with open("BENCH_fleet.json", "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-    assert report.commands_per_second >= MIN_FLEET_COMMANDS_PER_SEC
-    assert sim_events_per_sec >= MIN_SIM_EVENTS_PER_SEC
+    emit_bench(
+        "BENCH_fleet.json",
+        payload,
+        sim_events=sum(r.sim_events for r in trio),
+        wall_seconds=wall_seconds,
+        min_events_per_sec_wall=MIN_SIM_EVENTS_PER_SEC,
+        rate_floors=[
+            (
+                "fleet commands/sec simulated",
+                report.commands_per_second,
+                MIN_FLEET_COMMANDS_PER_SEC,
+            )
+        ],
+    )

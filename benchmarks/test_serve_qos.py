@@ -12,10 +12,9 @@ sim events/sec of wall time) with conservative regression floors so the
 serve-smoke CI job catches a simulator-throughput collapse.
 """
 
-import json
 import time
 
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.config import ServeConfig, assasin_sb_config
 from repro.kernels import get_kernel
@@ -106,8 +105,6 @@ def _emit_bench(reports, wall_seconds):
     total_commands = sum(r.total_completed for r in reports.values())
     total_sim_ns = sum(r.horizon_ns for r in reports.values())
     commands_simulated = total_commands / (total_sim_ns * 1e-9)
-    total_events = sum(r.sim_events for r in reports.values())
-    events_wall = total_events / max(wall_seconds, 1e-9)
     payload = {
         "benchmark": "serve_qos",
         "seed": SEED,
@@ -125,13 +122,17 @@ def _emit_bench(reports, wall_seconds):
             for policy, report in reports.items()
         },
         "commands_per_sec_simulated": round(commands_simulated, 2),
-        "sim_events_per_sec_wall": round(events_wall, 2),
-        "wall_seconds": round(wall_seconds, 3),
     }
-    with open("BENCH_serve.json", "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-    assert commands_simulated >= MIN_COMMANDS_PER_SEC_SIMULATED
-    assert events_wall >= MIN_SIM_EVENTS_PER_SEC_WALL
+    emit_bench(
+        "BENCH_serve.json",
+        payload,
+        sim_events=sum(r.sim_events for r in reports.values()),
+        wall_seconds=wall_seconds,
+        min_events_per_sec_wall=MIN_SIM_EVENTS_PER_SEC_WALL,
+        rate_floors=[
+            ("commands/sec simulated", commands_simulated, MIN_COMMANDS_PER_SEC_SIMULATED)
+        ],
+    )
 
 
 def test_qos_preserves_aggregate_throughput(benchmark):

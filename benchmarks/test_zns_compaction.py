@@ -23,12 +23,11 @@ conservative floors so CI catches a simulator-throughput collapse.
 Set ``ZNS_SMOKE=1`` to halve the horizon for CI (same assertions).
 """
 
-import json
 import os
 import time
 
 import pytest
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.zns import ZnsConfig, run_zns
 
@@ -93,8 +92,6 @@ def _emit_bench(runs, cut, p99_ratio, wall_seconds):
     total_ops = sum(r.puts + r.gets for r in runs.values())
     total_sim_ns = sum(r.horizon_ns for r in runs.values())
     ops_simulated = total_ops / (total_sim_ns * 1e-9)
-    total_events = sum(r.sim_events for r in runs.values())
-    events_wall = total_events / max(wall_seconds, 1e-9)
     payload = {
         "benchmark": "zns_compaction",
         "smoke": SMOKE,
@@ -104,13 +101,17 @@ def _emit_bench(runs, cut, p99_ratio, wall_seconds):
         "get_p99_host_over_device": round(p99_ratio, 4),
         "policies": {name: report.to_dict() for name, report in runs.items()},
         "ops_per_sec_simulated": round(ops_simulated, 2),
-        "sim_events_per_sec_wall": round(events_wall, 2),
-        "wall_seconds": round(wall_seconds, 3),
     }
-    with open("BENCH_zns.json", "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-    assert ops_simulated >= MIN_OPS_PER_SEC_SIMULATED
-    assert events_wall >= MIN_SIM_EVENTS_PER_SEC_WALL
+    emit_bench(
+        "BENCH_zns.json",
+        payload,
+        sim_events=sum(r.sim_events for r in runs.values()),
+        wall_seconds=wall_seconds,
+        min_events_per_sec_wall=MIN_SIM_EVENTS_PER_SEC_WALL,
+        rate_floors=[
+            ("ops/sec simulated", ops_simulated, MIN_OPS_PER_SEC_SIMULATED)
+        ],
+    )
 
 
 @pytest.mark.zns

@@ -1,0 +1,448 @@
+"""Sharded fleet execution: independent devices in worker processes.
+
+A shardable fleet campaign has **zero cross-device events**: with hash
+placement every command is served whole by its shard's ring home, and with
+hedging, fault shaping, and closed-loop tenants off, no code path ever
+touches a second device (no degraded rebuilds, no hedge duplicates, no
+kill re-routing, no completion-driven resubmission coupling tenants to
+devices). Each device's queueing evolution then depends only on its own
+arrival stream — which every worker can replay bit-exactly, because the
+tenant generators and the fleet-wide command-id source are deterministic
+functions of the seed.
+
+The executor therefore:
+
+1. partitions devices round-robin over ``SimConfig.shard_workers`` workers;
+2. each worker builds a *restricted* :class:`~repro.fleet.campaign.FleetCampaign`
+   (``device_subset``) — full placement/preload bookkeeping, real devices
+   only where owned — and replays **all** arrivals through a
+   :class:`_ShardRouter` that drops commands routed to devices it does not
+   own, recording ``(command_id, dispatched_ns, done_ns, status, bytes)``
+   for every command it serves;
+3. the parent advances all workers in conservative synchronisation windows
+   (``SimConfig.shard_window_ns``): a worker may not pass a window barrier
+   until every worker has reached it. With no cross-shard traffic the
+   lookahead is infinite and the windows are pure pacing, but the barrier
+   is the seam where future cross-shard events (fleet rebalancing, remote
+   rebuild reads) would exchange messages;
+4. the parent then replays the *full* event structure — every arrival,
+   dispatch, and completion on one skeleton
+   :class:`~repro.fleet.router.FleetRouter` over config-only device stubs —
+   taking each command's service outcome from the worker-recorded stream
+   (:class:`_PlaybackRouter`). This rebuilds the reference run's exact
+   completion order, per-device stats, fleet latency list, and
+   ``sim_events`` count, so :meth:`FleetReport.fingerprint_hex` is
+   byte-identical to the shared-loop run. A worker and the skeleton
+   disagreeing on any dispatch instant or command id raises
+   :class:`~repro.errors.FleetError` rather than silently diverging.
+
+Per-device telemetry counters are snapshotted in the owning worker and
+merged (sorted by device index) into ``FleetReport.device_counters``.
+
+Workers are forked processes talking over pipes; set
+``REPRO_SHARD_INPROCESS=1`` (or run on a platform without ``fork``) to run
+every worker in-process — same code path minus the processes, used by the
+coverage-instrumented tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SimConfig, SSDConfig
+from repro.errors import FleetError
+from repro.fleet.campaign import FleetCampaign, default_fleet_tenants
+from repro.fleet.config import FleetConfig
+from repro.fleet.metrics import FleetReport
+from repro.fleet.router import FleetRouter
+from repro.serve.queues import ServeCommand
+from repro.serve.workload import TenantSpec
+
+#: Post-admission windows to try before giving up on windowed pacing and
+#: sending one unbounded drain (a pathological completion tail).
+_MAX_DRAIN_WINDOWS = 64
+
+
+# -- eligibility ---------------------------------------------------------------
+
+
+def shardable_reasons(
+    fleet_config: FleetConfig, tenants: Sequence[TenantSpec]
+) -> List[str]:
+    """Why this campaign cannot shard (empty list = shardable).
+
+    Each reason names a feature that creates cross-device events, which the
+    infinite-lookahead window protocol cannot express.
+    """
+    reasons: List[str] = []
+    if fleet_config.placement != "hash":
+        reasons.append(
+            f"placement {fleet_config.placement!r} consults live cross-device "
+            "load (only 'hash' routes from the seed alone)"
+        )
+    if fleet_config.hedging:
+        reasons.append("hedging issues cross-device duplicate requests")
+    if fleet_config.fault is not None:
+        reasons.append("media faults escalate to cross-device reconstruction")
+    if fleet_config.slow_device >= 0 and fleet_config.slow_read_rate > 0.0:
+        reasons.append("a slow device implies fault-shaped cross-device rescue")
+    if fleet_config.kill_device >= 0:
+        reasons.append("a killed device re-routes its queue across the fleet")
+    for spec in tenants:
+        if spec.closed_loop:
+            reasons.append(
+                f"closed-loop tenant {spec.name!r} couples submissions to "
+                "completions on other devices"
+            )
+    return reasons
+
+
+def assert_shardable(
+    fleet_config: FleetConfig, tenants: Sequence[TenantSpec]
+) -> None:
+    reasons = shardable_reasons(fleet_config, tenants)
+    if reasons:
+        raise FleetError(
+            "fleet campaign is not shardable: " + "; ".join(reasons)
+        )
+
+
+# -- routers -------------------------------------------------------------------
+
+
+class _ShardRouter(FleetRouter):
+    """Worker-side router: replays all arrivals, serves only owned devices.
+
+    Routing runs for every command (it is pure under hash placement), but
+    commands whose target is not owned are dropped before touching any
+    queue — per-device queueing dynamics are independent, so the owned
+    devices evolve exactly as in the shared loop. Every served command is
+    recorded for the parent's playback pass.
+    """
+
+    def __init__(self, *args, owned: Sequence[int] = (), **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.owned = frozenset(owned)
+        self.records: Dict[int, List[tuple]] = {d: [] for d in sorted(self.owned)}
+
+    def _enqueue(self, cmd: ServeCommand) -> None:
+        target = self._route(cmd)
+        if target is None:
+            self.dropped += 1
+            return
+        if target not in self.owned:
+            return
+        self.stats[target].submitted += 1
+        self.pending[target].append(cmd)
+        self._pump(target)
+
+    def _serve_primary(self, device: int, cmd: ServeCommand, now: float) -> float:
+        done = super()._serve_primary(device, cmd, now)
+        self.records[device].append(
+            (cmd.command.command_id, now, done, cmd.status, cmd.bytes_in, cmd.bytes_out)
+        )
+        return done
+
+
+class _PlaybackRouter(FleetRouter):
+    """Parent-side skeleton: full event structure, recorded service outcomes.
+
+    Drives the complete arrival/dispatch/completion event set over
+    config-only device stubs; where the real router would enter a device's
+    timelines, this one pops the next worker-recorded outcome for that
+    device instead. The pop is checked — command id and dispatch instant
+    must match bit-exactly — so any divergence between a worker's view and
+    the skeleton's is an error, never a silently wrong report.
+    """
+
+    def __init__(self, *args, playback: Optional[Dict[int, List[tuple]]] = None,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.playback: Dict[int, deque] = {
+            d: deque(records) for d, records in (playback or {}).items()
+        }
+
+    def _serve_primary(self, device: int, cmd: ServeCommand, now: float) -> float:
+        queue = self.playback.get(device)
+        if not queue:
+            raise FleetError(
+                f"shard playback underrun: no record on device {device} for "
+                f"command {cmd.command.command_id} at t={now}ns"
+            )
+        cid, dispatched, done, status, bytes_in, bytes_out = queue.popleft()
+        if cid != cmd.command.command_id or dispatched != now:
+            raise FleetError(
+                f"shard playback diverged on device {device}: skeleton "
+                f"dispatched command {cmd.command.command_id} at t={now}ns, "
+                f"worker recorded command {cid} at t={dispatched}ns"
+            )
+        cmd.status = status
+        cmd.bytes_in = bytes_in
+        cmd.bytes_out = bytes_out
+        return done
+
+    def leftover_records(self) -> Dict[int, int]:
+        return {d: len(q) for d, q in self.playback.items() if q}
+
+
+# -- worker --------------------------------------------------------------------
+
+
+class _ShardWorker:
+    """One worker's campaign + router + message handler (lane-agnostic)."""
+
+    def __init__(
+        self,
+        config: SSDConfig,
+        fleet_config: FleetConfig,
+        tenants: List[TenantSpec],
+        duration_ns: float,
+        seed: int,
+        owned: Sequence[int],
+    ) -> None:
+        self.owned = sorted(owned)
+        self.campaign = FleetCampaign(
+            config,
+            fleet_config=fleet_config,
+            tenants=tenants,
+            duration_ns=duration_ns,
+            seed=seed,
+            verify_integrity=False,
+            device_subset=self.owned,
+        )
+        recoveries = self.campaign.prepare()
+        self.router = _ShardRouter(
+            self.campaign.fleet,
+            self.campaign.devices,
+            self.campaign.services,
+            self.campaign.ring,
+            self.campaign.page_map,
+            self.campaign.raid_map,
+            self.campaign.golden,
+            self.campaign.generators,
+            recoveries=recoveries,
+            seed=seed,
+            config_name=config.name,
+            owned=self.owned,
+        )
+        self.router.begin(duration_ns)
+
+    def handle(self, msg: tuple) -> tuple:
+        kind = msg[0]
+        if kind == "advance":
+            # Conservative barrier: run everything up to the window end,
+            # then stop and wait for the next barrier.
+            self.router.sim.run(until_ns=msg[1])
+            return ("ack", len(self.router.sim), self.router.sim.now)
+        if kind == "drain":
+            self.router.sim.run()
+            return ("ack", 0, self.router.sim.now)
+        if kind == "collect":
+            counters = {
+                d: dict(self.campaign.devices[d].telemetry.counters.snapshot())
+                for d in self.owned
+            }
+            return ("result", self.router.records, counters, self.router.sim.processed)
+        raise FleetError(f"unknown shard worker message {msg!r}")
+
+
+def _worker_main(conn, sim: SimConfig, worker_args: tuple) -> None:
+    try:
+        with sim.activated():
+            worker = _ShardWorker(*worker_args)
+            conn.send(("ready",))
+            while True:
+                msg = conn.recv()
+                if msg[0] == "quit":
+                    return
+                conn.send(worker.handle(msg))
+    except EOFError:
+        return
+    except BaseException as err:  # ship the traceback to the parent
+        try:
+            conn.send(("error", repr(err), traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+# -- lanes ---------------------------------------------------------------------
+
+
+class _ProcessLane:
+    """A forked worker process behind a pipe."""
+
+    def __init__(self, sim: SimConfig, worker_args: tuple) -> None:
+        ctx = multiprocessing.get_context("fork")
+        self.conn, child = ctx.Pipe()
+        self.proc = ctx.Process(
+            target=_worker_main, args=(child, sim, worker_args), daemon=True
+        )
+        self.proc.start()
+        child.close()
+        self._check(self.conn.recv(), expect="ready")
+
+    def _check(self, reply: tuple, expect: str) -> tuple:
+        if reply[0] == "error":
+            raise FleetError(f"shard worker failed: {reply[1]}\n{reply[2]}")
+        if reply[0] != expect:
+            raise FleetError(f"shard worker protocol error: {reply[0]!r}")
+        return reply
+
+    def post(self, msg: tuple) -> None:
+        self.conn.send(msg)
+
+    def wait(self, expect: str = "ack") -> tuple:
+        return self._check(self.conn.recv(), expect)
+
+    def ask(self, msg: tuple, expect: str = "ack") -> tuple:
+        self.post(msg)
+        return self.wait(expect)
+
+    def close(self) -> None:
+        try:
+            self.conn.send(("quit",))
+        except (OSError, BrokenPipeError):
+            pass
+        self.proc.join(timeout=10)
+        if self.proc.is_alive():  # pragma: no cover - hang backstop
+            self.proc.terminate()
+        self.conn.close()
+
+
+class _InProcessLane:
+    """Same protocol, no process: for tests, coverage, and fork-less hosts."""
+
+    def __init__(self, sim: SimConfig, worker_args: tuple) -> None:
+        self.worker = _ShardWorker(*worker_args)
+        self._reply: tuple = ()
+
+    def post(self, msg: tuple) -> None:
+        self._reply = self.worker.handle(msg)
+
+    def wait(self, expect: str = "ack") -> tuple:
+        return self._reply
+
+    def ask(self, msg: tuple, expect: str = "ack") -> tuple:
+        self.post(msg)
+        return self.wait(expect)
+
+    def close(self) -> None:
+        pass
+
+
+def _use_processes() -> bool:
+    if os.environ.get("REPRO_SHARD_INPROCESS") == "1":
+        return False
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# -- executor ------------------------------------------------------------------
+
+
+def simulate_fleet_sharded(
+    config: SSDConfig,
+    fleet_config: Optional[FleetConfig] = None,
+    tenants: Optional[Sequence[TenantSpec]] = None,
+    duration_ns: float = 400_000.0,
+    seed: int = 0,
+    sim: Optional[SimConfig] = None,
+) -> FleetReport:
+    """Run a shardable fleet campaign across worker processes.
+
+    Byte-identical to the shared-loop :func:`~repro.fleet.campaign.simulate_fleet`
+    for any campaign :func:`shardable_reasons` accepts; raises
+    :class:`~repro.errors.FleetError` (listing every violation) otherwise.
+    """
+    sim = sim or SimConfig(shard_workers=2)
+    if sim.shard_workers <= 0:
+        raise FleetError("sharded execution needs SimConfig(shard_workers >= 1)")
+    fleet = fleet_config or FleetConfig()
+    tenant_list = list(tenants) if tenants is not None else default_fleet_tenants()
+    assert_shardable(fleet, tenant_list)
+
+    workers = min(sim.shard_workers, fleet.num_devices)
+    partitions = [
+        [d for d in range(fleet.num_devices) if d % workers == w]
+        for w in range(workers)
+    ]
+    lane_cls = _ProcessLane if _use_processes() else _InProcessLane
+    lanes = [
+        lane_cls(sim, (config, fleet, tenant_list, duration_ns, seed, part))
+        for part in partitions
+    ]
+
+    records: Dict[int, List[tuple]] = {}
+    counters: Dict[int, dict] = {}
+    try:
+        # Conservative time-window synchronisation: all workers reach each
+        # barrier before any passes it. Admission windows first, then keep
+        # windowing until every worker's queue is empty (one unbounded
+        # drain if a completion tail outlives the window budget).
+        window = float(sim.shard_window_ns)
+        barrier_ns = 0.0
+        drain_windows = 0
+        while True:
+            barrier_ns += window
+            for lane in lanes:
+                lane.post(("advance", barrier_ns))
+            pending = sum(lane.wait()[1] for lane in lanes)
+            if pending == 0:
+                # Arrivals are self-scheduling events: an empty queue means
+                # nothing can ever fire again, on any worker.
+                break
+            if barrier_ns >= duration_ns:
+                drain_windows += 1
+                if drain_windows >= _MAX_DRAIN_WINDOWS:
+                    for lane in lanes:
+                        lane.post(("drain",))
+                    for lane in lanes:
+                        lane.wait()
+                    break
+        for lane in lanes:
+            _, lane_records, lane_counters, _ = lane.ask(("collect",), expect="result")
+            records.update(lane_records)
+            counters.update(lane_counters)
+    finally:
+        for lane in lanes:
+            lane.close()
+
+    # Skeleton replay: full event structure, zero owned devices, service
+    # outcomes taken from the workers' records.
+    skeleton = FleetCampaign(
+        config,
+        fleet_config=fleet,
+        tenants=tenant_list,
+        duration_ns=duration_ns,
+        seed=seed,
+        verify_integrity=False,
+        device_subset=[],
+    )
+    skeleton.prepare()
+    router = _PlaybackRouter(
+        skeleton.fleet,
+        skeleton.devices,
+        skeleton.services,
+        skeleton.ring,
+        skeleton.page_map,
+        skeleton.raid_map,
+        skeleton.golden,
+        skeleton.generators,
+        recoveries={},
+        seed=seed,
+        config_name=config.name,
+        playback=records,
+    )
+    report = router.run(duration_ns)
+    leftovers = router.leftover_records()
+    if leftovers:
+        raise FleetError(
+            f"shard playback left unconsumed records per device: {leftovers}"
+        )
+    report.device_counters = {d: counters[d] for d in sorted(counters)}
+    return report

@@ -1,0 +1,122 @@
+"""Memoized cycles-per-byte pricing for stream kernels.
+
+ASSASIN's streaming kernels are size-linear by construction (DESIGN.md
+§2): the core phase prices a kernel by running it once over a
+representative window and extrapolating ``cycles_per_byte``.  That sampled
+run is a full functional ISA simulation — by far the most expensive single
+step of every campaign — and it is **deterministic** per
+``(device config, kernel, sample size)``: same config, same generated
+inputs, same cycle count.  So one sampled run can price every same-shape
+scomp in the process.
+
+:class:`KernelPricingCache` memoizes exactly that triple.  The key embeds
+a digest of the *full device config repr*, so any config change (a
+different core, cache geometry, flash timing…) misses the cache by
+construction — there is no stale-entry hazard to invalidate around, and
+:meth:`KernelPricingCache.clear` exists mainly for tests and long-lived
+sessions.  The cache is **off by default**; campaigns opt in through
+``SimConfig(memoize_pricing=True)`` (or :func:`use_pricing_cache`), and
+the differential suite proves cached and uncached campaigns byte-identical.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+from typing import Dict, Optional, Tuple
+
+
+class KernelPricingCache:
+    """Process-wide memo of sampled kernel runs, keyed by config digest.
+
+    Entries map ``(config_digest, kernel_name, sample_bytes)`` to the
+    :class:`~repro.core.core.CoreRunResult` of the sampled run.  Cached
+    samples are shared objects and must be treated as immutable — the
+    same convention the fleet layer already uses when it samples once on
+    device 0 and shares the result across all devices.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str, int], object] = {}
+        self._digests: Dict[int, Tuple[object, str]] = {}
+        self.enabled = False
+        self.hits = 0
+        self.misses = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop all entries and counters (the enabled flag is untouched)."""
+        self._entries.clear()
+        self._digests.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- keys -----------------------------------------------------------------
+
+    def config_digest(self, config) -> str:
+        """Digest of the device config's full repr.
+
+        Frozen dataclass reprs are value-deterministic, so two configs
+        with equal fields share a digest and any changed field produces a
+        new one — config changes invalidate by construction.  A small
+        ``id()``-keyed memo avoids re-hashing the (large, immutable)
+        config object on every lookup; the held reference keeps the id
+        from being recycled.
+        """
+        memo = self._digests.get(id(config))
+        if memo is not None and memo[0] is config:
+            return memo[1]
+        digest = hashlib.sha256(repr(config).encode()).hexdigest()
+        self._digests[id(config)] = (config, digest)
+        return digest
+
+    # -- the memo -------------------------------------------------------------
+
+    def get(self, config, kernel_name: str, sample_bytes: int):
+        """The cached sample, or None on miss / when disabled."""
+        if not self.enabled:
+            return None
+        key = (self.config_digest(config), kernel_name, sample_bytes)
+        sample = self._entries.get(key)
+        if sample is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return sample
+
+    def put(self, config, kernel_name: str, sample_bytes: int, sample) -> None:
+        if not self.enabled:
+            return
+        self._entries[(self.config_digest(config), kernel_name, sample_bytes)] = sample
+
+
+#: The process-wide cache consulted by ``ComputationalSSD.sample_kernel``.
+PRICING_CACHE = KernelPricingCache()
+
+
+@contextlib.contextmanager
+def use_pricing_cache(clear: bool = True):
+    """Context manager: enable the pricing memo for a block.
+
+    Restores the previous enabled state on exit; with ``clear`` (the
+    default) the entries are dropped too, so tests never leak samples
+    across blocks.
+    """
+    previous = PRICING_CACHE.enabled
+    PRICING_CACHE.enable()
+    try:
+        yield PRICING_CACHE
+    finally:
+        PRICING_CACHE.enabled = previous
+        if clear:
+            PRICING_CACHE.clear()

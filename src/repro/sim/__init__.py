@@ -26,16 +26,32 @@ coexist on one coherent timeline (the Gem5+MQSim composition of the
 paper's evaluation).
 """
 
-from repro.sim.kernel import Event, Process, SimTimeError, Simulator, as_ns
+from repro.sim.kernel import (
+    ENGINES,
+    Event,
+    Process,
+    SimProcessError,
+    SimTimeError,
+    Simulator,
+    as_ns,
+    default_engine,
+    set_default_engine,
+    use_engine,
+)
 from repro.sim.resources import FifoResource, Grant, PooledResource
 
 __all__ = [
+    "ENGINES",
     "Event",
     "FifoResource",
     "Grant",
     "PooledResource",
     "Process",
+    "SimProcessError",
     "SimTimeError",
     "Simulator",
     "as_ns",
+    "default_engine",
+    "set_default_engine",
+    "use_engine",
 ]

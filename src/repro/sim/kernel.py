@@ -11,21 +11,84 @@ Determinism rules (relied on by the same-seed trace-diff tests):
    the same schedule calls therefore dispatch in the same order.
 3. Scheduling a non-finite instant (NaN/inf) raises immediately instead of
    silently corrupting the heap order.
+
+Two interchangeable engines implement that contract:
+
+* ``"reference"`` — the original single ``heapq`` ordered by
+  ``(time_ns, priority, seq)``.  Simple, obviously correct, and the
+  baseline every optimisation is differentially tested against.
+* ``"fast"`` — a calendar queue: a dict of per-instant *buckets* plus a
+  small heap of distinct pending times.  A bucket is a plain list of
+  payloads (an :class:`Event`, or the :class:`Process` handle itself for
+  resumes — no per-entry tuple, seq draw, or closure is allocated on the
+  hot path).  All events of one instant dispatch as a batch by plain
+  iteration with **zero** comparisons or heap traffic.  Dispatch order is
+  bit-identical to the reference: appends occur in global insertion
+  order, so a bucket is already in ``(priority, seq)`` order unless an
+  append carried a lower priority than its tail, in which case one lazy
+  *stable* sort by priority restores it (stability supplies the seq
+  tie-break).
+
+Engine choice is per-:class:`Simulator` (the ``engine=`` argument) with a
+module-level default so campaign code that constructs simulators
+internally inherits it — see :func:`set_default_engine` /
+:func:`use_engine`.  Cancellation (:meth:`Event.cancel`) is honoured by
+both engines via lazy deletion: a cancelled event stays queued until its
+instant but is skipped without being counted, traced, or dispatched.
 """
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Generator, List, Optional, Tuple, Union
+import operator
+from typing import Callable, Generator, List, Optional, Set, Tuple, Union
 
 from repro.errors import ReproError
+
+ENGINES = ("reference", "fast")
+
+_default_engine = "reference"
+
+
+def default_engine() -> str:
+    """The engine newly constructed :class:`Simulator` instances use."""
+    return _default_engine
+
+
+def set_default_engine(name: str) -> str:
+    """Set the module-wide default engine; returns the previous default.
+
+    Campaign layers (serve, faults, fleet, zns, firmware) construct their
+    own ``Simulator()`` internally; this is how a CLI flag or test reaches
+    them without threading an argument through every layer.
+    """
+    global _default_engine
+    if name not in ENGINES:
+        raise ValueError(f"unknown sim engine {name!r}; expected one of {ENGINES}")
+    previous = _default_engine
+    _default_engine = name
+    return previous
+
+
+@contextlib.contextmanager
+def use_engine(name: str):
+    """Context manager: run a block under a different default engine."""
+    previous = set_default_engine(name)
+    try:
+        yield
+    finally:
+        set_default_engine(previous)
 
 
 class SimTimeError(ReproError, ValueError):
     """An invalid simulation instant (non-finite, or in the past)."""
+
+
+class SimProcessError(ReproError, RuntimeError):
+    """A process body raised; the original exception is the ``__cause__``."""
 
 
 def as_ns(value: Union[int, float]) -> int:
@@ -37,15 +100,47 @@ def as_ns(value: Union[int, float]) -> int:
     return int(round(value))
 
 
-@dataclass(frozen=True)
 class Event:
-    """A scheduled callback at an absolute simulation time (integer ns)."""
+    """A scheduled callback at an absolute simulation time (integer ns).
 
-    time_ns: int
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    priority: int = 0
+    The returned handle supports :meth:`cancel`; cancellation is lazy —
+    the entry stays queued until its instant comes up and is then skipped
+    (not dispatched, not counted in ``processed``, not traced).
+    """
+
+    __slots__ = ("time_ns", "seq", "action", "label", "priority", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time_ns: int,
+        seq: int,
+        action: Callable[[], None],
+        label: str = "",
+        priority: int = 0,
+    ) -> None:
+        self.time_ns = time_ns
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.priority = priority
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> bool:
+        """Revoke the event; returns False if it already fired (or was
+        cancelled before).  Safe to call from any callback, including one
+        running at the same instant the event is scheduled for."""
+        if self.fired or self.cancelled:
+            return False
+        self.cancelled = True
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return (
+            f"Event(time_ns={self.time_ns}, seq={self.seq}, "
+            f"priority={self.priority}, label={self.label!r}, {state})"
+        )
 
 
 class Process:
@@ -60,6 +155,11 @@ class Process:
 
     __slots__ = ("label", "alive", "_gen")
 
+    #: Process resumes always dispatch at the default priority; exposing it
+    #: as a class attribute lets the fast engine sort mixed Event/Process
+    #: buckets with one shared ``attrgetter("priority")`` key.
+    priority = 0
+
     def __init__(self, gen: Generator, label: str) -> None:
         self._gen = gen
         self.label = label
@@ -70,6 +170,14 @@ class Process:
 _WAIT_DELAY = "delay"
 _WAIT_UNTIL = "until"
 
+#: Internal marker: the generator finished (distinct from any yieldable value).
+_STOPPED = object()
+
+#: Stable-sort key for calendar buckets.  Entries are appended in global
+#: seq order, so a *stable* sort by priority alone reproduces the full
+#: (priority, seq) order without materialising per-entry seq tuples.
+_PRIORITY_OF = operator.attrgetter("priority")
+
 
 class Simulator:
     """Deterministic event loop shared by every timed subsystem.
@@ -78,16 +186,48 @@ class Simulator:
     gets one instant event per dispatched callback on the ``scheduler``
     track, named by the event's label — telemetry only observes, it never
     changes ordering or timing.
+
+    ``engine`` selects the dispatch implementation (``"reference"`` or
+    ``"fast"``); both produce bit-identical dispatch order, clock values
+    and ``processed`` counts.  ``None`` uses the module default
+    (:func:`set_default_engine`).
     """
 
-    def __init__(self, tracer=None) -> None:
-        if tracer is None:
-            from repro.telemetry.tracer import NULL_TRACER
+    def __init__(self, tracer=None, engine: Optional[str] = None) -> None:
+        from repro.telemetry.tracer import NULL_TRACER
 
+        if tracer is None:
             tracer = NULL_TRACER
+        if engine is None:
+            engine = _default_engine
+        if engine not in ENGINES:
+            raise ValueError(f"unknown sim engine {engine!r}; expected one of {ENGINES}")
+        self.engine = engine
+        self._fast = engine == "fast"
+        # Reference state: one heap of (time, priority, seq, Event).
         self._heap: List[Tuple[int, int, int, Event]] = []
+        # Fast state: calendar buckets keyed by instant.  Each bucket is a
+        # plain list of payloads — an Event or, for process resumes, the
+        # Process handle itself; no per-entry tuple or seq is allocated.
+        # Appends happen in global insertion (seq) order, so list order is
+        # (priority, seq) order until an append carries a *lower* priority
+        # than the tail; ``_unsorted`` marks such buckets for one lazy
+        # stable sort by priority (stability restores the seq tie-break).
+        # ``_times`` is a heap of the distinct instants owning a bucket.
+        self._buckets: dict = {}
+        self._times: List[int] = []
+        self._unsorted: Set[int] = set()
+        self._size = 0
+        # While the fast loop dispatches the bucket at ``_active_time``,
+        # same-instant insertions append straight to ``_active_bucket``;
+        # ``_active_dirty`` triggers a re-sort of the not-yet-dispatched
+        # tail if such an append broke (priority, seq) order.
+        self._active_time = -1
+        self._active_bucket: Optional[list] = None
+        self._active_dirty = False
         self._counter = itertools.count()
         self._tracer = tracer
+        self._null_tracer = tracer is NULL_TRACER
         self.now: int = 0
         self.processed: int = 0
 
@@ -118,15 +258,31 @@ class Simulator:
         when = as_ns(time_ns)
         if when < self.now:
             raise ValueError(f"cannot schedule at {time_ns} before now={self.now}")
-        event = Event(
-            time_ns=when,
-            seq=next(self._counter),
-            action=action,
-            label=label,
-            priority=priority,
-        )
-        heapq.heappush(self._heap, (event.time_ns, event.priority, event.seq, event))
+        seq = next(self._counter)
+        event = Event(when, seq, action, label, priority)
+        if self._fast:
+            self._push_fast(when, priority, event)
+        else:
+            heapq.heappush(self._heap, (when, priority, seq, event))
         return event
+
+    def _push_fast(self, when: int, priority: int, payload) -> None:
+        """Insert a payload into the calendar queue (fast engine only)."""
+        if when == self._active_time:
+            bucket = self._active_bucket
+            if bucket and priority < bucket[-1].priority:
+                self._active_dirty = True
+            bucket.append(payload)
+        else:
+            bucket = self._buckets.get(when)
+            if bucket is None:
+                self._buckets[when] = [payload]
+                heapq.heappush(self._times, when)
+            else:
+                if priority < bucket[-1].priority:
+                    self._unsorted.add(when)
+                bucket.append(payload)
+        self._size += 1
 
     # -- processes ------------------------------------------------------------
 
@@ -146,7 +302,13 @@ class Simulator:
     def spawn(self, gen: Generator, label: str = "process") -> Process:
         """Run ``gen`` as a process, starting at the current instant."""
         process = Process(gen, label)
-        self.schedule(0, lambda: self._resume(process), label=label)
+        if self._fast:
+            # No seq is drawn: bucket append order carries the tie-break,
+            # and pushes happen in the same program order as the reference
+            # engine's counter draws.
+            self._push_fast(self.now, 0, process)
+        else:
+            self.schedule(0, lambda: self._resume(process), label=label)
         return process
 
     def _resume(self, process: Process) -> None:
@@ -155,6 +317,13 @@ class Simulator:
         except StopIteration:
             process.alive = False
             return
+        except Exception as err:
+            # A crashed process must not look schedulable, and the traceback
+            # must say *which* process died and when.
+            process.alive = False
+            raise SimProcessError(
+                f"process {process.label!r} raised at t={self.now}ns: {err!r}"
+            ) from err
         if isinstance(request, tuple) and len(request) == 2 and request[0] in (
             _WAIT_DELAY,
             _WAIT_UNTIL,
@@ -166,24 +335,97 @@ class Simulator:
             when = self.now + as_ns(value)
         else:
             when = max(self.now, as_ns(value))
-        self.schedule_at(when, lambda: self._resume(process), label=process.label)
+        if self._fast:
+            if when < self.now:
+                raise ValueError(f"cannot schedule at {when} before now={self.now}")
+            self._push_fast(when, 0, process)
+        else:
+            self.schedule_at(when, lambda: self._resume(process), label=process.label)
 
     # -- the loop -------------------------------------------------------------
 
     def peek_time(self) -> Optional[int]:
-        """Time of the next pending event, or None if the queue is empty."""
-        return self._heap[0][0] if self._heap else None
+        """Time of the next pending live event, or None if the queue is empty."""
+        if self._fast:
+            times, buckets = self._times, self._buckets
+            while times:
+                when = times[0]
+                bucket = buckets.get(when)
+                live = [
+                    payload
+                    for payload in bucket
+                    if payload.__class__ is Process or not payload.cancelled
+                ] if bucket else []
+                if live:
+                    if len(live) != len(bucket):
+                        self._size -= len(bucket) - len(live)
+                        buckets[when] = live
+                    return when
+                self._size -= len(bucket) if bucket else 0
+                heapq.heappop(times)
+                buckets.pop(when, None)
+            return None
+        heap = self._heap
+        while heap:
+            event = heap[0][3]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            return heap[0][0]
+        return None
 
     def step(self) -> bool:
-        """Run the next event; returns False when the queue is empty."""
-        if not self._heap:
-            return False
-        _, _, _, event = heapq.heappop(self._heap)
-        self.now = event.time_ns
-        self.processed += 1
-        self._tracer.instant("scheduler", event.label or "event", event.time_ns)
-        event.action()
-        return True
+        """Run the next live event; returns False when none remain.
+
+        Cancelled entries encountered on the way are discarded without
+        advancing the clock or counting toward ``processed``.
+        """
+        if self._fast:
+            return self._step_fast()
+        while self._heap:
+            _, _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            event.fired = True
+            self.now = event.time_ns
+            self.processed += 1
+            self._tracer.instant("scheduler", event.label or "event", event.time_ns)
+            event.action()
+            return True
+        return False
+
+    def _step_fast(self) -> bool:
+        times, buckets = self._times, self._buckets
+        while times:
+            when = times[0]
+            bucket = buckets.get(when)
+            if not bucket:
+                heapq.heappop(times)
+                buckets.pop(when, None)
+                continue
+            if when in self._unsorted:
+                self._unsorted.discard(when)
+                bucket.sort(key=_PRIORITY_OF)
+            payload = bucket.pop(0)
+            self._size -= 1
+            if not bucket:
+                heapq.heappop(times)
+                del buckets[when]
+            if payload.__class__ is Process:
+                self.now = when
+                self.processed += 1
+                self._tracer.instant("scheduler", payload.label or "event", when)
+                self._resume(payload)
+                return True
+            if payload.cancelled:
+                continue
+            payload.fired = True
+            self.now = when
+            self.processed += 1
+            self._tracer.instant("scheduler", payload.label or "event", when)
+            payload.action()
+            return True
+        return False
 
     def run(
         self,
@@ -192,10 +434,17 @@ class Simulator:
     ) -> None:
         """Drain the queue, optionally stopping at a time or event budget."""
         bound = None if until_ns is None else as_ns(until_ns)
+        if self._fast:
+            self._run_fast(bound, max_events)
+            return
         executed = 0
-        while self._heap:
-            next_time = self._heap[0][0]
-            if bound is not None and next_time > bound:
+        heap = self._heap
+        while heap:
+            top = heap[0]
+            if top[3].cancelled:
+                heapq.heappop(heap)
+                continue
+            if bound is not None and top[0] > bound:
                 self.now = bound
                 return
             if max_events is not None and executed >= max_events:
@@ -205,8 +454,229 @@ class Simulator:
         if bound is not None and bound > self.now:
             self.now = bound
 
+    def _process_error(self, process: Process, err: BaseException) -> None:
+        """Cold path: a process body raised — mark it dead, add context."""
+        process.alive = False
+        raise SimProcessError(
+            f"process {process.label!r} raised at t={self.now}ns: {err!r}"
+        ) from err
+
+    def _wake_time(self, request, now: int) -> int:
+        """Decode a wait request yielded by a process into an absolute ns."""
+        if isinstance(request, tuple) and len(request) == 2 and request[0] in (
+            _WAIT_DELAY,
+            _WAIT_UNTIL,
+        ):
+            kind, value = request
+            if kind == _WAIT_DELAY:
+                when = now + as_ns(value)
+            else:
+                when = max(now, as_ns(value))
+        else:
+            when = now + as_ns(request)
+        if when < now:
+            raise ValueError(f"cannot schedule at {when} before now={now}")
+        return when
+
+    def _run_fast(self, bound: Optional[int], max_events: Optional[int]) -> None:
+        """Batched calendar-queue dispatch (bit-identical to the reference).
+
+        Pops one *instant* at a time and dispatches its whole bucket by
+        index iteration; same-instant insertions made by the callbacks
+        land in the live bucket (re-sorting the undispatched tail only if
+        an append actually broke (priority, seq) order, which the common
+        homogeneous-priority batch never does).  Process resumes are fully
+        inlined: no per-wait ``Event``/closure allocation, no method-call
+        round trip — the dominant cost left is the process body itself.
+        """
+        times = self._times
+        buckets = self._buckets
+        buckets_get = buckets.get
+        unsorted_times = self._unsorted
+        tracer = self._tracer
+        tracing = not self._null_tracer
+        pop_time = heapq.heappop
+        push_time = heapq.heappush
+        processed = self.processed
+        executed = 0
+        unbounded = bound is None
+        no_budget = max_events is None
+        if no_budget and not tracing:
+            # Tight variant for the campaign hot case (null tracer, no
+            # event budget): per-entry work is one FOR_ITER, a class test,
+            # and the payload itself.  Semantics are identical to the
+            # generic loop below — appends made by callbacks land on the
+            # live bucket and are picked up by the same ``for`` iteration.
+            while times:
+                when = times[0]
+                if not unbounded and when > bound:
+                    self.now = bound
+                    self.processed = processed
+                    return
+                pop_time(times)
+                bucket = buckets.pop(when)
+                if when in unsorted_times:
+                    unsorted_times.discard(when)
+                    bucket.sort(key=_PRIORITY_OF)
+                previous_now = self.now
+                before = processed
+                self.now = when
+                self._active_time = when
+                self._active_bucket = bucket
+                self._active_dirty = False
+                pos = 0
+                pushed = 0
+                for payload in bucket:
+                    pos += 1
+                    if payload.__class__ is Process:
+                        processed += 1
+                        try:
+                            request = next(payload._gen)
+                        except StopIteration:
+                            payload.alive = False
+                            request = _STOPPED
+                        except Exception as err:
+                            self._size += pushed - pos
+                            self.processed = processed
+                            self._process_error(payload, err)
+                        if request is not _STOPPED:
+                            if request.__class__ is int and request >= 0:
+                                wake = when + request
+                            else:
+                                wake = self._wake_time(request, when)
+                            pushed += 1
+                            if wake == when:
+                                if bucket[-1].priority > 0:
+                                    self._active_dirty = True
+                                bucket.append(payload)
+                            else:
+                                target = buckets_get(wake)
+                                if target is None:
+                                    buckets[wake] = [payload]
+                                    push_time(times, wake)
+                                else:
+                                    if target[-1].priority > 0:
+                                        unsorted_times.add(wake)
+                                    target.append(payload)
+                    elif not payload.cancelled:
+                        payload.fired = True
+                        processed += 1
+                        self.processed = processed
+                        payload.action()
+                    if self._active_dirty:
+                        self._active_dirty = False
+                        tail = bucket[pos:]
+                        tail.sort(key=_PRIORITY_OF)
+                        bucket[pos:] = tail
+                self._size += pushed - pos
+                self._active_time = -1
+                self._active_bucket = None
+                if processed == before:
+                    # Every entry at this instant was cancelled: the
+                    # reference discards them without advancing the clock.
+                    self.now = previous_now
+            self.processed = processed
+            if not unbounded and bound > self.now:
+                self.now = bound
+            return
+        while times:
+            when = times[0]
+            if not unbounded and when > bound:
+                self.now = bound
+                self.processed = processed
+                return
+            pop_time(times)
+            bucket = buckets.pop(when)
+            if when in unsorted_times:
+                unsorted_times.discard(when)
+                bucket.sort(key=_PRIORITY_OF)
+            previous_now = self.now
+            before = processed
+            self.now = when
+            self._active_time = when
+            self._active_bucket = bucket
+            self._active_dirty = False
+            pos = 0
+            pushed = 0
+            while pos < len(bucket):
+                if self._active_dirty:
+                    tail = bucket[pos:]
+                    tail.sort(key=_PRIORITY_OF)
+                    bucket[pos:] = tail
+                    self._active_dirty = False
+                if not no_budget and executed >= max_events:
+                    # Re-shelve the undispatched (sorted) tail and stop.
+                    rest = bucket[pos:]
+                    self._active_time = -1
+                    self._active_bucket = None
+                    if rest:
+                        buckets[when] = rest
+                        push_time(times, when)
+                    self._size += pushed - pos
+                    self.processed = processed
+                    if processed == before:
+                        self.now = previous_now
+                    return
+                payload = bucket[pos]
+                pos += 1
+                if payload.__class__ is Process:
+                    processed += 1
+                    executed += 1
+                    if tracing:
+                        tracer.instant("scheduler", payload.label or "event", when)
+                    # Inlined process resume + calendar push.
+                    try:
+                        request = next(payload._gen)
+                    except StopIteration:
+                        payload.alive = False
+                        continue
+                    except Exception as err:
+                        self._size += pushed - pos
+                        self.processed = processed
+                        self._process_error(payload, err)
+                    req_cls = request.__class__
+                    if req_cls is int:
+                        wake = when + request
+                        if request < 0:
+                            wake = self._wake_time(request, when)  # raises
+                    else:
+                        wake = self._wake_time(request, when)
+                    pushed += 1
+                    if wake == when:
+                        if bucket[-1].priority > 0:
+                            self._active_dirty = True
+                        bucket.append(payload)
+                    else:
+                        target = buckets_get(wake)
+                        if target is None:
+                            buckets[wake] = [payload]
+                            push_time(times, wake)
+                        else:
+                            if target[-1].priority > 0:
+                                unsorted_times.add(wake)
+                            target.append(payload)
+                elif not payload.cancelled:
+                    payload.fired = True
+                    processed += 1
+                    executed += 1
+                    self.processed = processed
+                    if tracing:
+                        tracer.instant("scheduler", payload.label or "event", when)
+                    payload.action()
+            self._size += pushed - pos
+            self._active_time = -1
+            self._active_bucket = None
+            if processed == before:
+                # A fully-cancelled instant must not advance the clock.
+                self.now = previous_now
+        self.processed = processed
+        if not unbounded and bound > self.now:
+            self.now = bound
+
     def __len__(self) -> int:
-        return len(self._heap)
+        """Pending entries, *including* not-yet-reaped cancelled ones
+        (cancellation is lazy; see :meth:`Event.cancel`)."""
+        return self._size if self._fast else len(self._heap)
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return self.__len__() > 0

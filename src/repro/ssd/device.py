@@ -27,6 +27,7 @@ from repro.core.udp import UDPLaneModel
 from repro.errors import DeviceError
 from repro.flash.array import FlashArray
 from repro.ftl.mapping import PageMapFTL
+from repro.kernels.pricing import PRICING_CACHE
 from repro.ssd.crossbar import Crossbar
 from repro.ssd.dram_buffer import DRAMBuffer
 from repro.ssd.firmware import Firmware, OffloadResult
@@ -138,10 +139,21 @@ class ComputationalSSD:
     # -- computational path ------------------------------------------------------
 
     def sample_kernel(self, kernel, sample_bytes: Optional[int] = None) -> CoreRunResult:
-        """Core phase: run the kernel on a representative window."""
+        """Core phase: run the kernel on a representative window.
+
+        The sampled run is deterministic per (config, kernel, size), so
+        when the process-wide :data:`~repro.kernels.pricing.PRICING_CACHE`
+        is enabled (``SimConfig(memoize_pricing=True)``) one run prices
+        every same-shape scomp; a config change misses by construction.
+        """
         size = sample_bytes or _SAMPLE_BYTES_BY_KERNEL.get(kernel.name, DEFAULT_SAMPLE_BYTES)
+        cached = PRICING_CACHE.get(self.config, kernel.name, size)
+        if cached is not None:
+            return cached
         inputs = kernel.make_inputs(size)
-        return self.engine.run(kernel, inputs)
+        sample = self.engine.run(kernel, inputs)
+        PRICING_CACHE.put(self.config, kernel.name, size, sample)
+        return sample
 
     def offload(
         self,

@@ -1,0 +1,160 @@
+"""Unit tests for sharded fleet execution (`repro.fleet.sharded`).
+
+The byte-identical differential against the shared loop lives in
+test_sim_differential.py; these tests pin the machinery around it —
+eligibility rules, device-subset campaign restriction, the worker
+protocol, and the checked playback that refuses to diverge silently.
+"""
+
+import pytest
+
+from repro.config import FaultConfig, SimConfig, assasin_sb_config
+from repro.errors import FleetError
+from repro.fleet import (
+    FleetConfig,
+    FleetCampaign,
+    assert_shardable,
+    shardable_reasons,
+    simulate_fleet,
+    simulate_fleet_sharded,
+)
+from repro.fleet.campaign import default_fleet_tenants
+from repro.serve import TenantSpec
+
+DURATION_NS = 120_000.0
+SEED = 7
+
+
+def _shardable_config(devices=3):
+    return FleetConfig(num_devices=devices, hedging=False)
+
+
+def test_default_fleet_config_is_not_shardable_and_reasons_accumulate():
+    # The stock config hedges, so it is ineligible out of the box...
+    assert shardable_reasons(FleetConfig(), default_fleet_tenants())
+    # ... and every violating feature contributes its own reason.
+    config = FleetConfig(
+        num_devices=4,
+        placement="load",
+        hedging=True,
+        fault=FaultConfig(),
+        slow_device=1,
+        slow_read_rate=0.2,
+        kill_device=2,
+        kill_at_ns=1.0,
+    )
+    tenants = list(default_fleet_tenants()) + [
+        TenantSpec(name="closed", kind="read", closed_loop=True, outstanding=2)
+    ]
+    reasons = " | ".join(shardable_reasons(config, tenants))
+    for needle in ("placement", "hedging", "fault", "slow", "killed", "closed-loop"):
+        assert needle in reasons, needle
+    with pytest.raises(FleetError, match="not shardable"):
+        assert_shardable(config, tenants)
+
+
+def test_shardable_config_has_no_reasons():
+    assert shardable_reasons(_shardable_config(), default_fleet_tenants()) == []
+
+
+def test_sharded_run_rejects_ineligible_campaigns():
+    with pytest.raises(FleetError, match="hedging"):
+        simulate_fleet_sharded(
+            assasin_sb_config(), FleetConfig(num_devices=2, hedging=True),
+            duration_ns=DURATION_NS, seed=SEED,
+        )
+
+
+def test_sharded_run_requires_workers():
+    with pytest.raises(FleetError, match="shard_workers"):
+        simulate_fleet_sharded(
+            assasin_sb_config(), _shardable_config(),
+            duration_ns=DURATION_NS, seed=SEED, sim=SimConfig(shard_workers=0),
+        )
+
+
+def test_device_subset_validates_indices():
+    with pytest.raises(FleetError):
+        FleetCampaign(
+            assasin_sb_config(), fleet_config=_shardable_config(3),
+            duration_ns=DURATION_NS, seed=SEED, device_subset=[0, 3],
+        )
+
+
+def test_restricted_campaign_cannot_run_directly():
+    campaign = FleetCampaign(
+        assasin_sb_config(), fleet_config=_shardable_config(3),
+        duration_ns=DURATION_NS, seed=SEED, device_subset=[0],
+    )
+    with pytest.raises(FleetError, match="device_subset"):
+        campaign.run()
+
+
+def test_more_workers_than_devices_collapses(monkeypatch):
+    """Worker count is clamped to the device count; the report still
+    matches the shared loop."""
+    monkeypatch.setenv("REPRO_SHARD_INPROCESS", "1")
+    reference = simulate_fleet(
+        assasin_sb_config(), _shardable_config(2),
+        duration_ns=DURATION_NS, seed=SEED,
+    )
+    sharded = simulate_fleet_sharded(
+        assasin_sb_config(), _shardable_config(2),
+        duration_ns=DURATION_NS, seed=SEED, sim=SimConfig(shard_workers=8),
+    )
+    assert sharded.fingerprint_hex() == reference.fingerprint_hex()
+
+
+def test_simulate_fleet_dispatches_to_sharded(monkeypatch):
+    """`simulate_fleet(sim=SimConfig(shard_workers>0))` is the one public
+    entry point; it must route through the sharded executor."""
+    monkeypatch.setenv("REPRO_SHARD_INPROCESS", "1")
+    from repro.fleet import sharded as sharded_mod
+
+    calls = []
+    original = sharded_mod.simulate_fleet_sharded
+
+    def spy(*args, **kwargs):
+        calls.append(1)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(sharded_mod, "simulate_fleet_sharded", spy)
+    simulate_fleet(
+        assasin_sb_config(), _shardable_config(2),
+        duration_ns=DURATION_NS, seed=SEED,
+        sim=SimConfig(engine="fast", shard_workers=2),
+    )
+    assert calls == [1]
+
+
+@pytest.mark.parametrize("tamper", ["drop", "extra"])
+def test_playback_divergence_raises_not_silently_wrong(monkeypatch, tamper):
+    """Corrupt one worker's record stream: the checked playback must raise
+    (underrun on a lost record, unconsumed-leftover on an invented one)."""
+    monkeypatch.setenv("REPRO_SHARD_INPROCESS", "1")
+    from repro.fleet import sharded as sharded_mod
+
+    original = sharded_mod._ShardWorker.handle
+
+    def corrupted(self, msg):
+        reply = original(self, msg)
+        if msg[0] == "collect":
+            kind, records, counters, processed = reply
+            for recs in records.values():
+                if recs:
+                    if tamper == "drop":
+                        recs.pop()
+                    else:
+                        last = recs[-1]
+                        recs.append((last[0] + 1_000_000,) + last[1:])
+                    break
+            return (kind, records, counters, processed)
+        return reply
+
+    monkeypatch.setattr(sharded_mod._ShardWorker, "handle", corrupted)
+    expected = "underrun" if tamper == "drop" else "unconsumed"
+    with pytest.raises(FleetError, match=expected):
+        simulate_fleet_sharded(
+            assasin_sb_config(), _shardable_config(2),
+            duration_ns=DURATION_NS, seed=SEED, sim=SimConfig(shard_workers=2),
+        )

@@ -1,0 +1,93 @@
+"""Unit tests for the memoized kernel-pricing cache (`repro.kernels.pricing`).
+
+The campaign-level proof that memoized pricing changes nothing observable
+lives in test_sim_differential.py; these tests pin the cache mechanics —
+off by default, hit/miss accounting, config-digest invalidation, and the
+scoping context managers.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import SimConfig, assasin_sb_config
+from repro.kernels import get_kernel
+from repro.kernels.pricing import (
+    PRICING_CACHE,
+    KernelPricingCache,
+    use_pricing_cache,
+)
+from repro.ssd.device import ComputationalSSD
+
+
+@pytest.fixture(autouse=True)
+def _pristine_cache():
+    """Tests must never leak enabled state or entries into the suite."""
+    PRICING_CACHE.disable()
+    PRICING_CACHE.clear()
+    yield
+    PRICING_CACHE.disable()
+    PRICING_CACHE.clear()
+
+
+def test_cache_is_off_by_default():
+    cache = KernelPricingCache()
+    assert not cache.enabled
+    config = assasin_sb_config()
+    cache.put(config, "stat", 4096, object())
+    assert len(cache) == 0
+    assert cache.get(config, "stat", 4096) is None
+    assert cache.hits == 0 and cache.misses == 0
+
+
+def test_sample_kernel_hits_after_one_miss():
+    config = assasin_sb_config()
+    with use_pricing_cache() as cache:
+        first = ComputationalSSD(config).sample_kernel(get_kernel("stat"))
+        assert cache.misses == 1 and cache.hits == 0 and len(cache) == 1
+        second = ComputationalSSD(config).sample_kernel(get_kernel("stat"))
+        assert cache.misses == 1 and cache.hits == 1
+        # The memo shares the sampled run object itself.
+        assert second is first
+
+
+def test_distinct_kernels_and_sizes_are_distinct_entries():
+    config = assasin_sb_config()
+    with use_pricing_cache() as cache:
+        device = ComputationalSSD(config)
+        device.sample_kernel(get_kernel("stat"))
+        device.sample_kernel(get_kernel("scan"))
+        device.sample_kernel(get_kernel("stat"), sample_bytes=8192)
+        assert cache.misses == 3 and cache.hits == 0 and len(cache) == 3
+
+
+def test_config_change_invalidates_by_construction():
+    base = assasin_sb_config()
+    changed = dataclasses.replace(base, name=base.name + "-variant")
+    cache = KernelPricingCache()
+    cache.enable()
+    assert cache.config_digest(base) != cache.config_digest(changed)
+    # Equal-valued configs share a digest even as distinct objects.
+    assert cache.config_digest(base) == cache.config_digest(assasin_sb_config())
+    cache.put(base, "stat", 4096, "sample-a")
+    assert cache.get(changed, "stat", 4096) is None
+    assert cache.get(base, "stat", 4096) == "sample-a"
+
+
+def test_use_pricing_cache_restores_and_clears():
+    assert not PRICING_CACHE.enabled
+    with use_pricing_cache():
+        assert PRICING_CACHE.enabled
+        PRICING_CACHE.put(assasin_sb_config(), "stat", 4096, "sample")
+        assert len(PRICING_CACHE) == 1
+    assert not PRICING_CACHE.enabled
+    assert len(PRICING_CACHE) == 0
+
+
+def test_sim_config_activated_scopes_the_cache():
+    with SimConfig(memoize_pricing=True).activated():
+        assert PRICING_CACHE.enabled
+    assert not PRICING_CACHE.enabled
+    # And the flag itself defaults to off.
+    with SimConfig().activated():
+        assert not PRICING_CACHE.enabled

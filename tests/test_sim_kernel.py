@@ -297,3 +297,171 @@ def test_gc_process_contends_with_offload_on_shared_kernel():
     # GC relocations stole plane/bus slots from the offload's reads.
     assert shared.completion_ns >= solo.completion_ns
     assert shared.flash_stall_ns >= solo.flash_stall_ns
+
+
+# -- engine parity: crashes and cancellation --------------------------------
+#
+# Both engines must agree on the cold paths too: a crashed process is marked
+# dead and re-raised with its label and instant, and lazily-cancelled events
+# are skipped without being dispatched, counted, or allowed to move the
+# clock.  (The hypothesis suite in test_sim_property.py sweeps the hot
+# paths; test_sim_differential.py pins the campaign-level equivalence.)
+
+ENGINE_CASES = pytest.mark.parametrize("engine", ["reference", "fast"])
+
+
+@ENGINE_CASES
+def test_crashed_process_is_marked_dead_and_chained(engine):
+    from repro.sim import SimProcessError
+
+    sim = Simulator(engine=engine)
+
+    def body():
+        yield 25
+        raise RuntimeError("flash went sideways")
+
+    process = sim.spawn(body(), label="victim")
+    with pytest.raises(SimProcessError) as err:
+        sim.run()
+    assert not process.alive
+    assert "victim" in str(err.value)
+    assert "t=25ns" in str(err.value)
+    assert isinstance(err.value.__cause__, RuntimeError)
+    # The crash happened *at* the resume instant, and the dispatch that
+    # crashed was still counted — the clock and counters stay coherent.
+    assert sim.now == 25
+    assert sim.processed == 2
+
+
+@ENGINE_CASES
+def test_crashed_process_chains_under_event_budget(engine):
+    """The budgeted loop (distinct code path in the fast engine) applies
+    the same crash protocol."""
+    from repro.sim import SimProcessError
+
+    sim = Simulator(engine=engine)
+
+    def body():
+        raise RuntimeError("dead on arrival")
+        yield  # pragma: no cover - unreachable
+
+    process = sim.spawn(body(), label="doa")
+    with pytest.raises(SimProcessError) as err:
+        sim.run(max_events=10)
+    assert not process.alive
+    assert isinstance(err.value.__cause__, RuntimeError)
+
+
+@ENGINE_CASES
+def test_cancelled_event_is_skipped_not_dispatched(engine):
+    sim = Simulator(engine=engine)
+    fired = []
+    keep = sim.schedule(10, lambda: fired.append("keep"))
+    drop = sim.schedule(10, lambda: fired.append("drop"))
+    assert drop.cancel() is True
+    assert drop.cancel() is False  # second cancel is a no-op
+    sim.run()
+    assert fired == ["keep"]
+    assert sim.processed == 1
+    assert keep.fired and not drop.fired
+
+
+@ENGINE_CASES
+def test_cancel_after_firing_returns_false(engine):
+    sim = Simulator(engine=engine)
+    event = sim.schedule(5, lambda: None)
+    sim.run()
+    assert event.fired
+    assert event.cancel() is False
+
+
+@ENGINE_CASES
+def test_cancel_at_the_same_instant_is_honoured(engine):
+    """An action cancelling a later event scheduled for the *same* instant:
+    the fast engine has already batched both into the live bucket."""
+    sim = Simulator(engine=engine)
+    fired = []
+    victim = sim.schedule(10, lambda: fired.append("victim"))
+    sim.schedule(10, lambda: victim.cancel(), priority=-1)  # runs first
+    sim.run()
+    assert fired == []
+    assert sim.processed == 1
+
+
+@ENGINE_CASES
+def test_fully_cancelled_instant_does_not_advance_the_clock(engine):
+    sim = Simulator(engine=engine)
+    sim.schedule(10, lambda: None).cancel()
+    sim.run()
+    assert sim.now == 0
+    assert sim.processed == 0
+    assert sim.peek_time() is None
+
+
+@ENGINE_CASES
+def test_len_counts_unreaped_cancelled_entries(engine):
+    sim = Simulator(engine=engine)
+    live = sim.schedule(10, lambda: None)
+    dead = sim.schedule(20, lambda: None)
+    dead.cancel()
+    # Cancellation is lazy: the entry stays queued until its instant.
+    assert len(sim) == 2 and bool(sim)
+    sim.run()
+    assert len(sim) == 0 and not bool(sim)
+    assert live.fired and not dead.fired
+
+
+@ENGINE_CASES
+def test_single_stepping_matches_run_semantics(engine):
+    """`step()` (the SQL session's incremental drain) dispatches exactly
+    one live event per call, skipping cancelled entries, on both engines."""
+    sim = Simulator(engine=engine)
+    order = []
+    sim.schedule(10, lambda: order.append("a"))
+    sim.schedule(10, lambda: order.append("b"), priority=-1)
+    sim.schedule(20, lambda: order.append("late")).cancel()
+    sim.schedule(30, lambda: order.append("c"))
+
+    def spinner():
+        order.append("proc")
+        yield 15
+        order.append("proc-again")
+
+    sim.spawn(spinner(), label="spinner")
+
+    steps = []
+    while sim.step():
+        steps.append((sim.now, sim.processed, tuple(order)))
+    assert order == ["proc", "b", "a", "proc-again", "c"]
+    assert steps[-1] == (30, 5, tuple(order))
+    assert sim.step() is False  # drained: further steps are no-ops
+    assert sim.now == 30
+
+
+@ENGINE_CASES
+def test_peek_time_skips_cancelled_entries(engine):
+    sim = Simulator(engine=engine)
+    first = sim.schedule(10, lambda: None)
+    sim.schedule(10, lambda: None).cancel()
+    later = sim.schedule(20, lambda: None)
+    assert sim.peek_time() == 10
+    first.cancel()
+    # The whole t=10 instant is cancelled now: peek reaps past it.
+    assert sim.peek_time() == 20
+    later.cancel()
+    assert sim.peek_time() is None
+    sim.run()
+    assert sim.now == 0 and sim.processed == 0
+
+
+@ENGINE_CASES
+def test_peek_time_sees_process_resumes(engine):
+    sim = Simulator(engine=engine)
+
+    def body():
+        yield 40
+
+    sim.spawn(body(), label="p")
+    assert sim.peek_time() == 0  # the spawn resume itself
+    sim.step()
+    assert sim.peek_time() == 40
