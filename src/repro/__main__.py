@@ -8,6 +8,7 @@ Commands:
 * ``faults``                    — seeded fault campaign with RAID recovery
 * ``fleet``                     — rack-scale multi-device fleet simulation
 * ``zns``                       — zoned-namespace LSM campaign (compaction offload)
+* ``dse``                       — design-space sweep with Pareto-frontier report
 * ``trace``                     — serve run with tracing on; Chrome/Perfetto JSON out
 * ``profile``                   — ISA-level cycle-attribution profile of one kernel
 * ``figure {5,13,14,15,16,19,20,21,22}`` — regenerate a paper figure
@@ -239,6 +240,34 @@ def _cmd_zns(args) -> int:
     )
     report = run_zns(config)
     print(report.render())
+    return 0
+
+
+def _cmd_dse(args) -> int:
+    from repro.dse import FULL_KERNELS, SweepSpec, render_table, report_json, run_sweep
+
+    kernels = tuple(args.kernels) if args.kernels else None
+    if kernels is None and args.full_suite:
+        kernels = FULL_KERNELS
+    kwargs = dict(
+        cores=tuple(args.cores),
+        geometries=tuple(args.geometries),
+        pipeline_models=tuple(args.pipeline_models),
+        arbitrations=tuple(args.arbitrations),
+        data_bytes=args.data_mib << 20,
+        sample_bytes=args.sample_kib << 10,
+        seed=args.seed,
+        serve_probe_ns=args.serve_probe_us * 1e3,
+    )
+    if kernels is not None:
+        kwargs["kernels"] = kernels
+    spec = SweepSpec(**kwargs)
+    result = run_sweep(spec)
+    print(render_table(result))
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report_json(result))
+        print(f"report written to {args.json}")
     return 0
 
 
@@ -534,6 +563,50 @@ def build_parser() -> argparse.ArgumentParser:
     zns.add_argument("--memtable-records", type=int, default=1024)
     zns.add_argument("--max-open-zones", type=int, default=8)
     zns.set_defaults(fn=_cmd_zns)
+
+    dse = sub.add_parser(
+        "dse", help="design-space sweep with Pareto-frontier report"
+    )
+    dse.add_argument(
+        "--cores", type=int, nargs="+", default=[4, 8], help="engine counts to sweep"
+    )
+    dse.add_argument(
+        "--geometries",
+        nargs="+",
+        default=["sb-S8P2", "sb-S8P4", "sp"],
+        help="data-path geometries: 'sp' or 'sb-S<streams>P<pages>'",
+    )
+    dse.add_argument(
+        "--pipeline-models",
+        nargs="+",
+        default=["static", "predictive"],
+        choices=["static", "predictive"],
+        help="core timing models to sweep",
+    )
+    dse.add_argument(
+        "--arbitrations",
+        nargs="+",
+        default=["wrr"],
+        choices=["rr", "wrr", "drr"],
+        help="arbitration policies (>1 turns on the serving probe)",
+    )
+    dse.add_argument(
+        "--kernels", nargs="+", default=[], help="kernel suite (default: stat raid4 psf)"
+    )
+    dse.add_argument(
+        "--full-suite", action="store_true", help="use the full fig13/fig14 suite"
+    )
+    dse.add_argument("--data-mib", type=int, default=8, help="offload size per kernel")
+    dse.add_argument("--sample-kib", type=int, default=16, help="pricing-sample window")
+    dse.add_argument("--seed", type=int, default=7)
+    dse.add_argument(
+        "--serve-probe-us",
+        type=float,
+        default=0.0,
+        help="serving-probe duration per point (0: only when >1 arbitration)",
+    )
+    dse.add_argument("--json", default="", help="also write the JSON report here")
+    dse.set_defaults(fn=_cmd_dse)
 
     trace = sub.add_parser(
         "trace", help="serve run with tracing on; writes Chrome/Perfetto JSON"

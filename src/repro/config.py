@@ -59,6 +59,13 @@ class EngineKind(enum.Enum):
 #: conformance suite locked the two together.
 EXEC_ENGINES: Tuple[str, ...] = ("reference", "fast")
 
+#: Cycle-costing timing models for the core pipeline (``repro.core.coster``).
+#: ``"static"`` is the historical fixed-latency model and the default;
+#: ``"predictive"`` adds BTB + tournament branch prediction, load-use hazard
+#: bubbles and operand-dependent multi-cycle mul/div. Architectural results
+#: are identical across models — only cycle accounting changes.
+PIPELINE_MODELS: Tuple[str, ...] = ("static", "predictive")
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -145,6 +152,10 @@ class CoreConfig:
     #: "reference" (per-instruction interpreter). Architecturally identical;
     #: see docs/ARCHITECTURE.md "Execution engines".
     exec_engine: str = "fast"
+    #: Cycle-costing timing model: "static" (fixed latencies) or
+    #: "predictive" (branch predictor + hazards + operand-dependent mul/div).
+    #: See docs/ARCHITECTURE.md "Core timing models".
+    pipeline_model: str = "static"
 
     def __post_init__(self) -> None:
         if self.frequency_ghz <= 0:
@@ -152,6 +163,10 @@ class CoreConfig:
         if self.exec_engine not in EXEC_ENGINES:
             raise ConfigError(
                 f"unknown exec engine {self.exec_engine!r}; known: {EXEC_ENGINES}"
+            )
+        if self.pipeline_model not in PIPELINE_MODELS:
+            raise ConfigError(
+                f"unknown pipeline model {self.pipeline_model!r}; known: {PIPELINE_MODELS}"
             )
         if self.stream_isa and self.streambuffer is None:
             raise ConfigError("stream ISA requires a stream buffer")
@@ -517,6 +532,10 @@ class SSDConfig:
     def with_exec_engine(self, exec_engine: str) -> "SSDConfig":
         """A copy whose cores use the given functional execution engine."""
         return replace(self, core=replace(self.core, exec_engine=exec_engine))
+
+    def with_pipeline_model(self, pipeline_model: str) -> "SSDConfig":
+        """A copy whose cores use the given cycle-costing timing model."""
+        return replace(self, core=replace(self.core, pipeline_model=pipeline_model))
 
 
 # ---------------------------------------------------------------------------

@@ -1,12 +1,17 @@
 """In-order 5-stage pipeline timing model (ibex-class RV32IM core).
 
-Every instruction costs one base cycle; the model adds:
+Every instruction costs one base cycle; extras come from the pluggable
+:mod:`repro.core.coster` timing model selected by
+``CoreConfig.pipeline_model``:
 
-* multiplier/divider occupancy for M-extension ops,
-* a taken-branch redirect penalty (branch resolved in EX),
-* data-side stalls from the memory hierarchy for loads/stores,
-* stream-head FIFO latency for stream instructions (0 extra when the
-  prefetched head FIFO has the data, which is the common case).
+* ``"static"`` — the historical fixed-latency model: multiplier/divider
+  occupancy for M-extension ops, a flat taken-branch redirect penalty
+  (branch resolved in EX), data-side stalls from the memory hierarchy for
+  loads/stores, and stream-head FIFO latency for stream instructions
+  (0 extra when the prefetched head FIFO has the data, the common case).
+* ``"predictive"`` — realistic microarchitectural timing: BTB + tournament
+  branch prediction, load-use hazard bubbles with forwarding, and
+  operand-dependent multi-cycle mul/div (see ``coster.PredictiveCoster``).
 
 The model is deliberately scalar and in-order: that is the compute-engine
 class every configuration in Table IV uses (8x in-order RISC-V @ 1 GHz).
@@ -17,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.core.coster import instr_reads, make_coster
 from repro.isa.instructions import InstrKind
 from repro.isa.interpreter import StepInfo
 from repro.mem.hierarchy import AccessType, MemoryHierarchy
@@ -24,13 +30,34 @@ from repro.mem.hierarchy import AccessType, MemoryHierarchy
 
 @dataclass(frozen=True)
 class PipelineParams:
-    """Latency knobs of the in-order pipeline."""
+    """Latency knobs of the in-order pipeline.
+
+    The first block parameterises the ``"static"`` timing model (and the
+    predictive model's fallbacks); the second block only takes effect under
+    ``pipeline_model="predictive"``, one knob per feature so ablations
+    compose (e.g. predictor on / hazards off).
+    """
 
     mul_extra_cycles: int = 2  # 3-cycle multiplier
     div_extra_cycles: int = 11  # 12-cycle iterative divider
     taken_branch_penalty: int = 1  # redirect bubble
     jump_penalty: int = 1
     stream_head_extra: int = 0  # prefetched head FIFO: no stall when ready
+
+    # -- predictive-model knobs ----------------------------------------------
+    branch_predictor: str = "tournament"  # "tournament" | "none" (flat penalty)
+    mispredict_penalty: int = 2  # redirect on a wrong fetch direction/target
+    btb_entries: int = 64
+    bimodal_entries: int = 256
+    gshare_entries: int = 256
+    chooser_entries: int = 256
+    history_bits: int = 8
+    hazard_detection: bool = True
+    load_use_bubble: int = 1  # dependent op right after a load (forwarded)
+    mul_cycles: int = 1  # 2-cycle pipelined Wallace-tree multiplier
+    div_base_cycles: int = 2  # divider pre/post-processing
+    div_bits_per_cycle: int = 4  # radix-16 iterative quotient retirement
+    div_early_exit: bool = True  # operand-dependent early termination
 
 
 @dataclass
@@ -40,20 +67,36 @@ class PipelineStats:
     cycles_by_kind: Dict[InstrKind, float] = field(default_factory=dict)
     branch_penalty_cycles: float = 0.0
     muldiv_extra_cycles: float = 0.0
+    hazard_stall_cycles: float = 0.0
+    branch_mispredicts: int = 0
 
     def add(self, kind: InstrKind, cycles: float) -> None:
         self.cycles_by_kind[kind] = self.cycles_by_kind.get(kind, 0.0) + cycles
 
 
 class PipelineModel:
-    """Charges cycles for interpreter steps through a memory hierarchy."""
+    """Charges cycles for interpreter steps through a memory hierarchy.
 
-    def __init__(self, hierarchy: MemoryHierarchy, params: PipelineParams = PipelineParams()) -> None:
+    ``cost`` dispatches to the costing path of the selected timing model;
+    the coster object carries any per-run microarchitectural state
+    (predictor tables, hazard latch) and lives exactly as long as the
+    stats, so retimed chunked runs keep warm predictor state.
+    """
+
+    def __init__(
+        self,
+        hierarchy: MemoryHierarchy,
+        params: PipelineParams = PipelineParams(),
+        model: str = "static",
+    ) -> None:
         self.hierarchy = hierarchy
         self.params = params
+        self.model = model
+        self.coster = make_coster(model, params)
         self.stats = PipelineStats()
+        self.cost = self._cost_static if self.coster.is_static else self._cost_predictive
 
-    def cost(self, info: StepInfo, cycle: float) -> float:
+    def _cost_static(self, info: StepInfo, cycle: float) -> float:
         """Cycles consumed by this step (>= 1 for executed instructions)."""
         p = self.params
         cycles = 1.0
@@ -87,4 +130,63 @@ class PipelineModel:
             # Occupancy/redirect bubbles are compute-side cycles, not memory.
             self.hierarchy.add_compute_cycles(non_mem_extra)
         self.stats.add(kind, cycles)
+        return cycles
+
+    def _cost_predictive(self, info: StepInfo, cycle: float) -> float:
+        """Predictive-model costing: same protocol, stateful coster."""
+        c = self.coster
+        stats = self.stats
+        kind = info.kind
+        instr = info.instr
+        reads = instr_reads(instr)
+        cycles = 1.0
+        mem_stall = 0.0
+        stream_extra = 0.0
+        if kind is InstrKind.MUL:
+            extra, hz = c.mul(reads)
+            cycles += extra + hz
+            stats.muldiv_extra_cycles += extra
+        elif kind is InstrKind.DIV:
+            a, b = info.operands
+            extra, hz = c.div(reads, a, b, instr.op in ("div", "rem"))
+            cycles += extra + hz
+            stats.muldiv_extra_cycles += extra
+        elif kind is InstrKind.BRANCH:
+            penalty, hz, mispredicted = c.branch(
+                info.pc, reads, info.branch_taken, instr.imm
+            )
+            cycles += penalty + hz
+            stats.branch_penalty_cycles += penalty
+            if mispredicted:
+                stats.branch_mispredicts += 1
+        elif kind is InstrKind.JUMP:
+            penalty, hz = c.jump(info.pc, reads, info.branch_target)
+            cycles += penalty + hz
+            stats.branch_penalty_cycles += penalty
+        elif kind in (InstrKind.LOAD, InstrKind.STORE) and info.mem_addr is not None:
+            hz = c.mem(reads, 0 if info.mem_is_write else instr.rd)
+            access = AccessType.STORE if info.mem_is_write else AccessType.LOAD
+            result = self.hierarchy.access(
+                pc=info.pc, addr=info.mem_addr, size=info.mem_size, access=access, cycle=cycle
+            )
+            mem_stall = result.stall_cycles
+            cycles += hz + mem_stall
+        elif kind is InstrKind.STREAM_LOAD:
+            hz = c.stream_load(reads, instr.rd if instr.op == "sload" else 0)
+            stream_extra = self.params.stream_head_extra
+            cycles += hz + stream_extra
+        elif kind is InstrKind.STREAM_STORE:
+            hz = c.simple(reads)
+            stream_extra = self.params.stream_head_extra
+            cycles += hz + stream_extra
+        else:  # ALU / UPPER / STREAM_CTRL / SYSTEM
+            hz = c.simple(reads)
+            cycles += hz
+        if hz:
+            stats.hazard_stall_cycles += hz
+        # Hazard bubbles, unit occupancy and redirect penalties are
+        # compute-side; memory stalls were booked by the hierarchy and the
+        # stream-head extra stays a memory-structure cost, as in static mode.
+        self.hierarchy.add_compute_cycles(cycles - mem_stall - stream_extra)
+        stats.add(kind, cycles)
         return cycles

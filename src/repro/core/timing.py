@@ -20,6 +20,7 @@ Paper findings reproduced here:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict
 
@@ -108,19 +109,36 @@ def _scratchpad_cycles(core: CoreConfig, period_ns: float) -> int:
     if pad is None:
         return 1
     access = sram_access_time_ns(scratchpad_spec(pad.size_bytes, pad.port_width_bytes))
-    return max(1, -(-int(access * 1000) // int(period_ns * 1000)))
+    return cycles_for_access(access, period_ns)
+
+
+def cycles_for_access(access_ns: float, period_ns: float) -> int:
+    """Whole cycles an ``access_ns`` structure access occupies at ``period_ns``.
+
+    Exact ceiling with a relative epsilon: an access that overshoots a cycle
+    boundary by less than one part in 1e9 still fits (float noise from the
+    cacti-lite model must not buy a spurious extra cycle). The former
+    ``int(x * 1000)`` milli-ns fixed-point trick truncated non-integer
+    periods (e.g. the ~0.89 ns AssasinSb point) and could over-count.
+    """
+    return max(1, math.ceil(access_ns / period_ns - 1e-9))
 
 
 class ClockModel:
-    """Per-config clock results, memoised."""
+    """Per-config clock results, memoised.
+
+    Keyed by the (frozen, hashable) ``CoreConfig`` value itself: DSE sweeps
+    legitimately produce many variants, and a name-keyed memo would alias
+    distinct geometries that share a label.
+    """
 
     def __init__(self) -> None:
-        self._cache: Dict[str, ClockResult] = {}
+        self._cache: Dict[CoreConfig, ClockResult] = {}
 
     def result(self, core: CoreConfig) -> ClockResult:
-        if core.name not in self._cache:
-            self._cache[core.name] = clock_period_ns(core)
-        return self._cache[core.name]
+        if core not in self._cache:
+            self._cache[core] = clock_period_ns(core)
+        return self._cache[core]
 
     def frequency_ghz(self, core: CoreConfig) -> float:
         return 1.0 / self.result(core).period_ns

@@ -1,0 +1,50 @@
+"""Design-space exploration: sweep a grid of device designs, report Pareto.
+
+``python -m repro dse`` drives :func:`run_sweep` over cores × data-path
+geometry × pipeline timing model × arbitration policy, pricing every point
+on throughput (kernel suite at the per-config clock), power and area
+(``repro.power``), then marks the Pareto frontier and renders a table
+and/or byte-stable JSON report.
+"""
+
+from repro.dse.sweep import (
+    DEFAULT_KERNELS,
+    FULL_KERNELS,
+    GEOMETRY_NAMES,
+    PointResult,
+    SweepResult,
+    SweepSpec,
+    evaluate_point,
+    point_config,
+    point_core,
+    run_sweep,
+)
+from repro.dse.pareto import (
+    OBJECTIVES,
+    dominates,
+    mark_pareto,
+    point_record,
+    render_table,
+    report_json,
+    sweep_report,
+)
+
+__all__ = [
+    "DEFAULT_KERNELS",
+    "FULL_KERNELS",
+    "GEOMETRY_NAMES",
+    "PointResult",
+    "SweepResult",
+    "SweepSpec",
+    "evaluate_point",
+    "point_config",
+    "point_core",
+    "run_sweep",
+    "OBJECTIVES",
+    "dominates",
+    "mark_pareto",
+    "point_record",
+    "render_table",
+    "report_json",
+    "sweep_report",
+]

@@ -1,0 +1,129 @@
+"""Pareto-frontier selection and report rendering for DSE sweeps.
+
+A design point dominates another when it is at least as good on every
+objective (throughput up, power down, area down) and strictly better on
+at least one. The frontier is the set of non-dominated points — the only
+designs a rational architect would pick from.
+
+Reports are deterministic by construction: dict keys are sorted, floats
+are rounded to fixed precision before serialisation, and point order is
+the (deterministic) sweep enumeration order. Two runs of the same spec
+therefore emit byte-identical JSON, which CI exploits with a double-run
+``cmp``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.dse.sweep import PointResult, SweepResult
+
+#: (attribute, maximise?) triples defining the objective space.
+OBJECTIVES = (("perf_gbps", True), ("power_mw", False), ("area_mm2", False))
+
+
+def dominates(a: PointResult, b: PointResult) -> bool:
+    """True when ``a`` Pareto-dominates ``b`` on the objective space."""
+    strictly_better = False
+    for attr, maximise in OBJECTIVES:
+        av, bv = getattr(a, attr), getattr(b, attr)
+        if not maximise:
+            av, bv = -av, -bv
+        if av < bv:
+            return False
+        if av > bv:
+            strictly_better = True
+    return strictly_better
+
+
+def mark_pareto(points: Sequence[PointResult]) -> None:
+    """Set ``point.pareto`` on every non-dominated point, in place."""
+    for p in points:
+        p.pareto = not any(dominates(q, p) for q in points if q is not p)
+
+
+def _round(value: float, digits: int = 6) -> float:
+    return round(value, digits)
+
+
+def point_record(point: PointResult) -> Dict[str, object]:
+    record: Dict[str, object] = {
+        "label": point.label,
+        "num_cores": point.num_cores,
+        "geometry": point.geometry,
+        "pipeline_model": point.pipeline_model,
+        "arbitration": point.arbitration,
+        "period_ns": _round(point.period_ns),
+        "frequency_ghz": _round(point.frequency_ghz),
+        "perf_gbps": _round(point.perf_gbps),
+        "power_mw": _round(point.power_mw),
+        "area_mm2": _round(point.area_mm2),
+        "throughput_gbps": {
+            k: _round(v) for k, v in sorted(point.throughput_gbps.items())
+        },
+        "instructions": point.instructions,
+        "sample_cycles": _round(point.sample_cycles),
+        "branch_mispredicts": point.branch_mispredicts,
+        "hazard_stall_cycles": _round(point.hazard_stall_cycles),
+        "pareto": point.pareto,
+    }
+    if point.serve_p99_us is not None:
+        record["serve_p99_us"] = _round(point.serve_p99_us)
+    return record
+
+
+def sweep_report(result: SweepResult) -> Dict[str, object]:
+    """JSON-serialisable report of one sweep (stable key order)."""
+    spec = result.spec
+    return {
+        "spec": {
+            "cores": list(spec.cores),
+            "geometries": list(spec.geometries),
+            "pipeline_models": list(spec.pipeline_models),
+            "arbitrations": list(spec.arbitrations),
+            "kernels": list(spec.kernels),
+            "data_bytes": spec.data_bytes,
+            "sample_bytes": spec.sample_bytes,
+            "seed": spec.seed,
+        },
+        "num_points": len(result.points),
+        "points": [point_record(p) for p in result.points],
+        "pareto": [p.label for p in result.pareto_points],
+    }
+
+
+def report_json(result: SweepResult) -> str:
+    """The canonical byte-stable serialisation of a sweep report."""
+    return json.dumps(sweep_report(result), indent=2, sort_keys=True) + "\n"
+
+
+def render_table(result: SweepResult) -> str:
+    """Fixed-width text table of all points, frontier rows starred."""
+    headers = ["point", "GB/s", "mW", "mm^2", "GHz", "mispred", "hazard"]
+    rows: List[List[str]] = []
+    for p in result.points:
+        rows.append([
+            ("* " if p.pareto else "  ") + p.label,
+            f"{p.perf_gbps:.3f}",
+            f"{p.power_mw:.1f}",
+            f"{p.area_mm2:.3f}",
+            f"{p.frequency_ghz:.3f}",
+            str(p.branch_mispredicts),
+            f"{p.hazard_stall_cycles:.0f}",
+        ])
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in rows:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(headers))))
+    lines.append("")
+    frontier = ", ".join(p.label for p in result.pareto_points)
+    lines.append(f"Pareto frontier ({len(result.pareto_points)} of "
+                 f"{len(result.points)} points): {frontier}")
+    return "\n".join(lines)

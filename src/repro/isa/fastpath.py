@@ -46,7 +46,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ExecutionError, StreamError
-from repro.isa.instructions import InstrKind, kind_of
+from repro.isa.instructions import InstrKind, instr_reads, kind_of
 from repro.isa.interpreter import Interpreter
 from repro.isa.program import Program
 from repro.mem.hierarchy import AccessType
@@ -94,6 +94,7 @@ class _Ctx:
         "clock",
         "hierarchy",
         "stats",
+        "coster",
         "region",
         "first_touch",
         "taken",
@@ -124,12 +125,19 @@ class FastEngine:
     (the :meth:`run` ``pipeline``/``clock`` arguments must then be omitted).
     """
 
-    def __init__(self, program: Program, params=None) -> None:
+    def __init__(self, program: Program, params=None, model: str = "static") -> None:
         self.program = program
         self.params = params
+        self.model = model
+        if model not in ("static", "predictive"):
+            raise ExecutionError(f"unknown pipeline model {model!r}")
+        # Predictive timing depends on run-time predictor/hazard state, so
+        # every op prices itself live through the run's coster instead of
+        # folding compile-time constants.
+        self._dyncost = model == "predictive"
         n = len(program.instrs)
         self.n = n
-        if params is not None:
+        if params is not None and not self._dyncost:
             self._mul_extra = _require_int("mul_extra_cycles", params.mul_extra_cycles)
             self._div_extra = _require_int("div_extra_cycles", params.div_extra_cycles)
             self._taken_pen = _require_int(
@@ -152,9 +160,14 @@ class FastEngine:
         ]
         self._sfn: List[Optional[Callable]] = [None] * n
         self._dfn: List[Optional[Callable]] = [None] * n
+        self._pfn: List[Optional[Callable]] = [None] * n
         for pc, instr in enumerate(program.instrs):
             if self.static[pc]:
                 self._sfn[pc] = self._compile_static(instr)
+                if self._dyncost:
+                    self._pfn[pc] = self._compile_costed(pc, instr)
+            elif self._dyncost:
+                self._dfn[pc] = self._compile_dynamic_predictive(pc, instr)
             else:
                 self._dfn[pc] = self._compile_dynamic(pc, instr)
         # Lazily-built superblock runs: entry pc -> (body, cost, nbody, dyn_pc).
@@ -463,6 +476,360 @@ class FastEngine:
             return _seos
         raise FastpathUnsupported(f"no dynamic decoder for opcode {op!r}")
 
+    # ------------------------------------------------- predictive compile --
+
+    def _compile_costed(self, pc: int, i) -> Callable:
+        """Predictive-mode wrapper for a static-kind op: exec + live pricing.
+
+        Superblocks still batch execution (one dispatcher round per
+        straight-line run) but each op prices its own cycles through the
+        run's coster — costs depend on predictor/hazard state, so there is
+        no compile-time constant to fold. The expressions mirror
+        ``PipelineModel._cost_predictive`` term for term, including
+        float-addition order, so both engines stay bit-identical even
+        under fractional parameters.
+        """
+        exec_fn = self._sfn[pc]
+        kind = self.kinds[pc]
+        reads = instr_reads(i)
+        if kind is InstrKind.MUL:
+
+            def _mul(ctx):
+                exec_fn(ctx.regs)
+                st = ctx.stats
+                if st is None:
+                    return
+                extra, hz = ctx.coster.mul(reads)
+                cost = 1.0 + (extra + hz)
+                st.cycles_by_kind[kind] = st.cycles_by_kind.get(kind, 0.0) + cost
+                st.muldiv_extra_cycles += extra
+                if hz:
+                    st.hazard_stall_cycles += hz
+                ctx.hierarchy.add_compute_cycles(cost)
+                ctx.clock.cycle += cost
+
+            return _mul
+        if kind is InstrKind.DIV:
+            rs1, rs2 = i.rs1, i.rs2
+            signed = i.op in ("div", "rem")
+
+            def _divop(ctx):
+                R = ctx.regs
+                a, b = R[rs1], R[rs2]
+                exec_fn(R)
+                st = ctx.stats
+                if st is None:
+                    return
+                extra, hz = ctx.coster.div(reads, a, b, signed)
+                cost = 1.0 + (extra + hz)
+                st.cycles_by_kind[kind] = st.cycles_by_kind.get(kind, 0.0) + cost
+                st.muldiv_extra_cycles += extra
+                if hz:
+                    st.hazard_stall_cycles += hz
+                ctx.hierarchy.add_compute_cycles(cost)
+                ctx.clock.cycle += cost
+
+            return _divop
+
+        def _alu(ctx):
+            exec_fn(ctx.regs)
+            st = ctx.stats
+            if st is None:
+                return
+            hz = ctx.coster.simple(reads)
+            cost = 1.0 + hz
+            st.cycles_by_kind[kind] = st.cycles_by_kind.get(kind, 0.0) + cost
+            if hz:
+                st.hazard_stall_cycles += hz
+            ctx.hierarchy.add_compute_cycles(cost)
+            ctx.clock.cycle += cost
+
+        return _alu
+
+    def _compile_dynamic_predictive(self, pc: int, i) -> Callable:
+        """Predictive-mode block terminators with live coster-priced costing.
+
+        Execution semantics are identical to :meth:`_compile_dynamic`; only
+        the accounting differs. Aborted outcomes (stream stall/EOS, traps)
+        return before any coster call, keeping predictor/hazard state
+        identical to the reference, which never costs aborted steps.
+        """
+        op, rd, rs1, rs2, imm = i.op, i.rd, i.rs1, i.rs2, i.imm
+        kind = self.kinds[pc]
+        pcp1 = pc + 1
+        reads = instr_reads(i)
+        params = self.params
+        stream_extra = params.stream_head_extra if params is not None else 0
+        if op in _LOAD_SIZES:
+            size, is_signed = _LOAD_SIZES[op]
+
+            def _load(ctx):
+                R = ctx.regs
+                addr = (R[rs1] + imm) & _MASK32
+                value = int.from_bytes(
+                    ctx.memory.load_bytes(addr, size), "little", signed=is_signed
+                )
+                if rd:
+                    R[rd] = value & _MASK32
+                h = ctx.hierarchy
+                if h is not None:
+                    hz = ctx.coster.mem(reads, rd)
+                    result = h.access(
+                        pc=pc, addr=addr, size=size,
+                        access=AccessType.LOAD, cycle=ctx.clock.cycle,
+                    )
+                    mem_stall = result.stall_cycles
+                    cost = 1.0 + (hz + mem_stall)
+                    st = ctx.stats
+                    st.cycles_by_kind[kind] = st.cycles_by_kind.get(kind, 0.0) + cost
+                    if hz:
+                        st.hazard_stall_cycles += hz
+                    h.add_compute_cycles(cost - mem_stall)
+                    ctx.clock.cycle += cost
+                    region = ctx.region
+                    if region is not None and region.start <= addr < region.stop:
+                        page_addr = addr - (addr - region.start) % _PAGE_BYTES
+                        if page_addr not in ctx.first_touch:
+                            ctx.first_touch[page_addr] = ctx.clock.cycle
+                return pcp1
+
+            return _load
+        if op in _STORE_SIZES:
+            size = _STORE_SIZES[op]
+            mask = (1 << (8 * size)) - 1
+
+            def _store(ctx):
+                R = ctx.regs
+                addr = (R[rs1] + imm) & _MASK32
+                ctx.memory.store_bytes(addr, (R[rs2] & mask).to_bytes(size, "little"))
+                h = ctx.hierarchy
+                if h is not None:
+                    hz = ctx.coster.mem(reads, 0)
+                    result = h.access(
+                        pc=pc, addr=addr, size=size,
+                        access=AccessType.STORE, cycle=ctx.clock.cycle,
+                    )
+                    mem_stall = result.stall_cycles
+                    cost = 1.0 + (hz + mem_stall)
+                    st = ctx.stats
+                    st.cycles_by_kind[kind] = st.cycles_by_kind.get(kind, 0.0) + cost
+                    if hz:
+                        st.hazard_stall_cycles += hz
+                    h.add_compute_cycles(cost - mem_stall)
+                    ctx.clock.cycle += cost
+                return pcp1
+
+            return _store
+        if kind is InstrKind.BRANCH:
+            if op == "beq":
+                cond = lambda a, b: a == b  # noqa: E731
+            elif op == "bne":
+                cond = lambda a, b: a != b  # noqa: E731
+            elif op == "blt":
+                cond = lambda a, b: _signed(a) < _signed(b)  # noqa: E731
+            elif op == "bge":
+                cond = lambda a, b: _signed(a) >= _signed(b)  # noqa: E731
+            elif op == "bltu":
+                cond = lambda a, b: a < b  # noqa: E731
+            else:  # bgeu
+                cond = lambda a, b: a >= b  # noqa: E731
+
+            def _branch(ctx):
+                R = ctx.regs
+                t = cond(R[rs1], R[rs2])
+                st = ctx.stats
+                if st is not None:
+                    pen, hz, mispredicted = ctx.coster.branch(pc, reads, t, imm)
+                    cost = 1.0 + (pen + hz)
+                    st.cycles_by_kind[kind] = st.cycles_by_kind.get(kind, 0.0) + cost
+                    st.branch_penalty_cycles += pen
+                    if mispredicted:
+                        st.branch_mispredicts += 1
+                    if hz:
+                        st.hazard_stall_cycles += hz
+                    ctx.hierarchy.add_compute_cycles(cost)
+                    ctx.clock.cycle += cost
+                return imm if t else pcp1
+
+            return _branch
+        if op == "jal":
+
+            def _jal(ctx):
+                if rd:
+                    ctx.regs[rd] = pcp1
+                st = ctx.stats
+                if st is not None:
+                    pen, hz = ctx.coster.jump(pc, reads, imm)
+                    cost = 1.0 + (pen + hz)
+                    st.cycles_by_kind[kind] = st.cycles_by_kind.get(kind, 0.0) + cost
+                    st.branch_penalty_cycles += pen
+                    if hz:
+                        st.hazard_stall_cycles += hz
+                    ctx.hierarchy.add_compute_cycles(cost)
+                    ctx.clock.cycle += cost
+                return imm
+
+            return _jal
+        if op == "jalr":
+
+            def _jalr(ctx):
+                R = ctx.regs
+                target = (R[rs1] + imm) & _MASK32
+                if rd:
+                    R[rd] = pcp1
+                st = ctx.stats
+                if st is not None:
+                    pen, hz = ctx.coster.jump(pc, reads, target)
+                    cost = 1.0 + (pen + hz)
+                    st.cycles_by_kind[kind] = st.cycles_by_kind.get(kind, 0.0) + cost
+                    st.branch_penalty_cycles += pen
+                    if hz:
+                        st.hazard_stall_cycles += hz
+                    ctx.hierarchy.add_compute_cycles(cost)
+                    ctx.clock.cycle += cost
+                return target
+
+            return _jalr
+        if op == "halt":
+
+            def _halt(ctx):
+                st = ctx.stats
+                if st is not None:
+                    hz = ctx.coster.simple(reads)
+                    cost = 1.0 + hz
+                    st.cycles_by_kind[kind] = st.cycles_by_kind.get(kind, 0.0) + cost
+                    if hz:
+                        st.hazard_stall_cycles += hz
+                    ctx.hierarchy.add_compute_cycles(cost)
+                    ctx.clock.cycle += cost
+                return _HALT
+
+            return _halt
+        sid, width = i.sid, i.width
+        if op == "sload":
+
+            def _sload(ctx):
+                ins = ctx.in_streams
+                if ins is None:
+                    raise ExecutionError(
+                        "program uses input streams but none attached"
+                    )
+                stream = ins[sid]
+                data = stream.consume(width)
+                if data is None:
+                    ctx.aborted[pc] += 1
+                    return _EOS if stream.exhausted else _STALL
+                if rd:
+                    ctx.regs[rd] = int.from_bytes(data, "little")
+                st = ctx.stats
+                if st is not None:
+                    hz = ctx.coster.stream_load(reads, rd)
+                    cost = 1.0 + (hz + stream_extra)
+                    st.cycles_by_kind[kind] = st.cycles_by_kind.get(kind, 0.0) + cost
+                    if hz:
+                        st.hazard_stall_cycles += hz
+                    ctx.hierarchy.add_compute_cycles(cost - stream_extra)
+                    ctx.clock.cycle += cost
+                return pcp1
+
+            return _sload
+        if op == "sskip":
+
+            def _sskip(ctx):
+                ins = ctx.in_streams
+                if ins is None:
+                    raise ExecutionError(
+                        "program uses input streams but none attached"
+                    )
+                stream = ins[sid]
+                if stream.consume(imm) is None:
+                    ctx.aborted[pc] += 1
+                    return _EOS if stream.exhausted else _STALL
+                st = ctx.stats
+                if st is not None:
+                    hz = ctx.coster.stream_load(reads, 0)
+                    cost = 1.0 + (hz + stream_extra)
+                    st.cycles_by_kind[kind] = st.cycles_by_kind.get(kind, 0.0) + cost
+                    if hz:
+                        st.hazard_stall_cycles += hz
+                    ctx.hierarchy.add_compute_cycles(cost - stream_extra)
+                    ctx.clock.cycle += cost
+                return pcp1
+
+            return _sskip
+        if op == "sstore":
+            mask = (1 << (8 * width)) - 1
+
+            def _sstore(ctx):
+                outs = ctx.out_streams
+                if outs is None:
+                    raise ExecutionError(
+                        "program uses output streams but none attached"
+                    )
+                value = ctx.regs[rs2] & mask
+                try:
+                    outs[sid].push(value.to_bytes(width, "little"))
+                except StreamError:
+                    ctx.aborted[pc] += 1
+                    return _STALL
+                st = ctx.stats
+                if st is not None:
+                    hz = ctx.coster.simple(reads)
+                    cost = 1.0 + (hz + stream_extra)
+                    st.cycles_by_kind[kind] = st.cycles_by_kind.get(kind, 0.0) + cost
+                    if hz:
+                        st.hazard_stall_cycles += hz
+                    ctx.hierarchy.add_compute_cycles(cost - stream_extra)
+                    ctx.clock.cycle += cost
+                return pcp1
+
+            return _sstore
+        if op == "savail":
+
+            def _savail(ctx):
+                ins = ctx.in_streams
+                if ins is None:
+                    raise ExecutionError(
+                        "program uses input streams but none attached"
+                    )
+                if rd:
+                    ctx.regs[rd] = ins[sid].available
+                st = ctx.stats
+                if st is not None:
+                    hz = ctx.coster.simple(reads)
+                    cost = 1.0 + hz
+                    st.cycles_by_kind[kind] = st.cycles_by_kind.get(kind, 0.0) + cost
+                    if hz:
+                        st.hazard_stall_cycles += hz
+                    ctx.hierarchy.add_compute_cycles(cost)
+                    ctx.clock.cycle += cost
+                return pcp1
+
+            return _savail
+        if op == "seos":
+
+            def _seos(ctx):
+                ins = ctx.in_streams
+                if ins is None:
+                    raise ExecutionError(
+                        "program uses input streams but none attached"
+                    )
+                if rd:
+                    ctx.regs[rd] = int(ins[sid].exhausted)
+                st = ctx.stats
+                if st is not None:
+                    hz = ctx.coster.simple(reads)
+                    cost = 1.0 + hz
+                    st.cycles_by_kind[kind] = st.cycles_by_kind.get(kind, 0.0) + cost
+                    if hz:
+                        st.hazard_stall_cycles += hz
+                    ctx.hierarchy.add_compute_cycles(cost)
+                    ctx.clock.cycle += cost
+                return pcp1
+
+            return _seos
+        raise FastpathUnsupported(f"no dynamic decoder for opcode {op!r}")
+
     def _build_run(self, entry_pc: int) -> Tuple[tuple, float, int, int]:
         """Superblock from ``entry_pc``: statics up to the next dynamic op.
 
@@ -473,10 +840,17 @@ class FastEngine:
         cost = 0
         pc = entry_pc
         n = self.n
-        while pc < n and self.static[pc]:
-            body.append(self._sfn[pc])
-            cost += self._static_cost[pc]
-            pc += 1
+        if self._dyncost:
+            # Predictive mode: the body closures price themselves live, so
+            # the batched run cost is identically zero.
+            while pc < n and self.static[pc]:
+                body.append(self._pfn[pc])
+                pc += 1
+        else:
+            while pc < n and self.static[pc]:
+                body.append(self._sfn[pc])
+                cost += self._static_cost[pc]
+                pc += 1
         run = (tuple(body), float(cost), len(body), pc)
         self._runs[entry_pc] = run
         return run
@@ -515,6 +889,12 @@ class FastEngine:
         ctx.clock = clock if clock is not None else _NullClock()
         ctx.hierarchy = pipeline.hierarchy if pipeline is not None else None
         ctx.stats = pipeline.stats if pipeline is not None else None
+        ctx.coster = pipeline.coster if pipeline is not None else None
+        if ctx.coster is not None and ctx.coster.is_static == self._dyncost:
+            raise ExecutionError(
+                f"engine compiled for pipeline model {self.model!r} but the "
+                "pipeline's coster uses the other timing model"
+            )
         ctx.region = input_region
         ctx.first_touch = {}
         entry = [0] * n
@@ -522,6 +902,7 @@ class FastEngine:
         ctx.aborted = aborted = [0] * n
         runs = self._runs
         dfn = self._dfn
+        dyncost = self._dyncost
         clk = ctx.clock
         pc = interp.pc
         live_steps = interp.steps
@@ -540,10 +921,14 @@ class FastEngine:
                 if run is None:
                     run = self._build_run(pc)
                 body, cost, nbody, dyn_pc = run
-                for fn in body:
-                    fn(ctx.regs)
-                if cost:
-                    clk.cycle += cost
+                if dyncost:
+                    for fn in body:
+                        fn(ctx)
+                else:
+                    for fn in body:
+                        fn(ctx.regs)
+                    if cost:
+                        clk.cycle += cost
                 live_steps += nbody
                 if dyn_pc == n:
                     pc = n
@@ -639,7 +1024,9 @@ class FastEngine:
         interp.steps += total
         interp.stream_bytes_in += bytes_in
         interp.stream_bytes_out += bytes_out
-        if pipeline is None:
+        if pipeline is None or self._dyncost:
+            # Predictive runs account every cycle live at the op closures;
+            # only retirement counts and stream bytes needed folding.
             return
         stats = pipeline.stats
         by_kind = stats.cycles_by_kind

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import FrozenSet, Optional
+from typing import FrozenSet, Optional, Tuple
 
 from repro.errors import AssemblyError
 
@@ -157,6 +157,31 @@ def kind_of(op: str) -> InstrKind:
         return _KIND_TABLE[op]
     except KeyError:
         raise AssemblyError(f"unknown opcode {op!r}") from None
+
+
+_READS_RS1_RS2 = ALU_R_OPS | MUL_OPS | DIV_OPS | STORE_OPS | BRANCH_OPS
+_READS_RS1 = ALU_I_OPS | LOAD_OPS | frozenset(["jalr"])
+_READS_RS2 = STREAM_STORE_OPS
+
+
+def instr_reads(instr: "Instr") -> Tuple[int, ...]:
+    """Architectural registers an instruction reads (x0 excluded).
+
+    This is the read set the predictive timing model's load-use hazard
+    latch is checked against; ``lui``/``jal``/``halt`` and the
+    stream-control ops read no register.
+    """
+    op = instr.op
+    if op in _READS_RS1_RS2:
+        rs1, rs2 = instr.rs1, instr.rs2
+        if rs1 and rs2:
+            return (rs1, rs2) if rs1 != rs2 else (rs1,)
+        return (rs1,) if rs1 else ((rs2,) if rs2 else ())
+    if op in _READS_RS1:
+        return (instr.rs1,) if instr.rs1 else ()
+    if op in _READS_RS2:
+        return (instr.rs2,) if instr.rs2 else ()
+    return ()
 
 
 _IMM12_MIN, _IMM12_MAX = -(1 << 11), (1 << 11) - 1

@@ -48,6 +48,11 @@ class StepInfo:
     stream_bytes: int = 0
     stream_is_output: bool = False
     branch_taken: bool = False
+    #: (rs1, rs2) architectural values for DIV-kind ops — the predictive
+    #: timing model's iterative divider latency is operand-dependent.
+    operands: Optional[tuple] = None
+    #: Resolved target PC for jal/jalr — feeds the predictive model's BTB.
+    branch_target: Optional[int] = None
 
 
 @dataclass
@@ -190,10 +195,21 @@ class Interpreter:
             m = abs(a) % abs(b)
             return -m if a < 0 else m
 
-        d["div"] = make_alu_r(_div)
-        d["divu"] = make_alu_r(lambda a, b: 0xFFFFFFFF if b == 0 else a // b)
-        d["rem"] = make_alu_r(_rem)
-        d["remu"] = make_alu_r(lambda a, b: a if b == 0 else a % b)
+        # DIV-kind ops record their operands (before any rd aliasing) so the
+        # predictive timing model can price the iterative divider exactly.
+        def make_div(fn):
+            def handler(i: Instr, info: StepInfo) -> None:
+                a, b = r.read(i.rs1), r.read(i.rs2)
+                info.operands = (a, b)
+                r.write(i.rd, fn(a, b))
+                advance()
+
+            return handler
+
+        d["div"] = make_div(_div)
+        d["divu"] = make_div(lambda a, b: 0xFFFFFFFF if b == 0 else a // b)
+        d["rem"] = make_div(_rem)
+        d["remu"] = make_div(lambda a, b: a if b == 0 else a % b)
 
         # ALU immediate ---------------------------------------------------------
         def make_alu_i(fn):
@@ -272,12 +288,14 @@ class Interpreter:
         def jal(i: Instr, info: StepInfo) -> None:
             r.write(i.rd, self.pc + 1)
             info.branch_taken = True
+            info.branch_target = i.imm
             self.pc = i.imm
 
         def jalr(i: Instr, info: StepInfo) -> None:
             target = to_unsigned32(r.read(i.rs1) + i.imm)
             r.write(i.rd, self.pc + 1)
             info.branch_taken = True
+            info.branch_target = target
             self.pc = target
 
         d["jal"] = jal

@@ -38,7 +38,7 @@ class KernelPricingCache:
 
     def __init__(self) -> None:
         self._entries: Dict[Tuple[str, str, int], object] = {}
-        self._digests: Dict[int, Tuple[object, str]] = {}
+        self._digests: Dict[Tuple[object, object], str] = {}
         self.enabled = False
         self.hits = 0
         self.misses = 0
@@ -63,30 +63,35 @@ class KernelPricingCache:
 
     # -- keys -----------------------------------------------------------------
 
-    def config_digest(self, config) -> str:
-        """Digest of the device config's full repr.
+    def config_digest(self, config, pipeline_params=None) -> str:
+        """Digest of the device config's full repr plus any pipeline params.
 
         Frozen dataclass reprs are value-deterministic, so two configs
         with equal fields share a digest and any changed field produces a
-        new one — config changes invalidate by construction.  A small
-        ``id()``-keyed memo avoids re-hashing the (large, immutable)
-        config object on every lookup; the held reference keeps the id
-        from being recycled.
+        new one — config changes invalidate by construction.  The engine's
+        ``PipelineParams`` are folded in the same way: a predictor or
+        latency knob change must reprice, even though it lives outside the
+        device config.  A value-keyed memo (configs and params are frozen,
+        hashable dataclasses) avoids re-hashing on every lookup; the
+        former ``id()``-keyed memo could alias a recycled id of a dead
+        config to a stale digest.
         """
-        memo = self._digests.get(id(config))
-        if memo is not None and memo[0] is config:
-            return memo[1]
-        digest = hashlib.sha256(repr(config).encode()).hexdigest()
-        self._digests[id(config)] = (config, digest)
+        key = (config, pipeline_params)
+        digest = self._digests.get(key)
+        if digest is None:
+            digest = hashlib.sha256(
+                f"{config!r}|{pipeline_params!r}".encode()
+            ).hexdigest()
+            self._digests[key] = digest
         return digest
 
     # -- the memo -------------------------------------------------------------
 
-    def get(self, config, kernel_name: str, sample_bytes: int):
+    def get(self, config, kernel_name: str, sample_bytes: int, pipeline_params=None):
         """The cached sample, or None on miss / when disabled."""
         if not self.enabled:
             return None
-        key = (self.config_digest(config), kernel_name, sample_bytes)
+        key = (self.config_digest(config, pipeline_params), kernel_name, sample_bytes)
         sample = self._entries.get(key)
         if sample is None:
             self.misses += 1
@@ -94,10 +99,13 @@ class KernelPricingCache:
         self.hits += 1
         return sample
 
-    def put(self, config, kernel_name: str, sample_bytes: int, sample) -> None:
+    def put(
+        self, config, kernel_name: str, sample_bytes: int, sample, pipeline_params=None
+    ) -> None:
         if not self.enabled:
             return
-        self._entries[(self.config_digest(config), kernel_name, sample_bytes)] = sample
+        key = (self.config_digest(config, pipeline_params), kernel_name, sample_bytes)
+        self._entries[key] = sample
 
 
 #: The process-wide cache consulted by ``ComputationalSSD.sample_kernel``.

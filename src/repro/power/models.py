@@ -37,6 +37,7 @@ UTILISATION = {
     "scratchpad": 0.45,
     "pingpong": 0.35,
     "streambuffer": 0.40,
+    "bpred": 0.25,  # predictor tables: touched on control-flow instructions
 }
 
 
@@ -89,6 +90,14 @@ def core_components(core: CoreConfig, crossbar: bool = True) -> List[ComponentCo
         parts.append(ComponentCost("UDP lane logic", UDP_LOGIC_AREA_MM2, UDP_LOGIC_POWER_MW))
     else:
         parts.append(ComponentCost("RV32IM core logic", CORE_LOGIC_AREA_MM2, CORE_LOGIC_POWER_MW))
+        if core.pipeline_model == "predictive":
+            # BTB (64 × 8 B tag+target) plus the tournament predictor's three
+            # 2-bit counter tables (256 entries each, byte-packed): ~1 KiB of
+            # predictor SRAM that the static model does not pay for.
+            spec = SRAMSpec(1024, 4, 1, "BPRED")
+            parts.append(
+                _sram_component("Branch predictor tables 1KB", spec, UTILISATION["bpred"])
+            )
     if core.l1d is not None:
         spec = SRAMSpec(core.l1d.size_bytes, 8, core.l1d.ways, "L1D")
         parts.append(_sram_component(f"L1D {core.l1d.size_bytes // 1024}KB", spec, UTILISATION["l1"]))

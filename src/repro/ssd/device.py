@@ -147,12 +147,13 @@ class ComputationalSSD:
         every same-shape scomp; a config change misses by construction.
         """
         size = sample_bytes or _SAMPLE_BYTES_BY_KERNEL.get(kernel.name, DEFAULT_SAMPLE_BYTES)
-        cached = PRICING_CACHE.get(self.config, kernel.name, size)
+        params = getattr(self.engine, "pipeline_params", None)
+        cached = PRICING_CACHE.get(self.config, kernel.name, size, pipeline_params=params)
         if cached is not None:
             return cached
         inputs = kernel.make_inputs(size)
         sample = self.engine.run(kernel, inputs)
-        PRICING_CACHE.put(self.config, kernel.name, size, sample)
+        PRICING_CACHE.put(self.config, kernel.name, size, sample, pipeline_params=params)
         return sample
 
     def offload(

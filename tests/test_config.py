@@ -140,6 +140,29 @@ def test_with_cores_copies():
     assert scaled.core == cfg.core
 
 
+def test_pipeline_model_validated_and_defaults_static():
+    from repro.config import PIPELINE_MODELS, CoreConfig
+
+    assert PIPELINE_MODELS == ("static", "predictive")
+    assert assasin_sb_config().core.pipeline_model == "static"
+    with pytest.raises(ConfigError, match="pipeline model"):
+        CoreConfig(name="x", pipeline_model="oracle")
+
+
+def test_with_pipeline_model_copies():
+    import dataclasses
+
+    cfg = assasin_sb_config()
+    predictive = cfg.with_pipeline_model("predictive")
+    assert predictive.core.pipeline_model == "predictive"
+    assert cfg.core.pipeline_model == "static"  # original untouched
+    assert predictive.core == dataclasses.replace(
+        cfg.core, pipeline_model="predictive"
+    )
+    with pytest.raises(ConfigError, match="pipeline model"):
+        cfg.with_pipeline_model("oracle")
+
+
 def test_scratchpad_validation():
     with pytest.raises(ConfigError):
         ScratchpadConfig(size_bytes=-1)

@@ -154,6 +154,89 @@ def test_kernel_runs_identical(config_name, kernel_name):
 
 
 # ---------------------------------------------------------------------------
+# Layer 1b: pluggable timing models — both costers x both engines (PR-10).
+#
+# The predictive coster is stateful (predictor tables, hazard latch), so
+# engine equivalence is a much stronger claim than for the static model:
+# both engines must consult the coster for exactly the same instructions in
+# exactly the same order. Any divergence (e.g. costing an aborted sload)
+# desynchronises the predictor and shows up as a cycle mismatch here.
+# ---------------------------------------------------------------------------
+
+
+def _model_result(config_name, kernel_name, engine, model):
+    cfg = (named_config(config_name)
+           .with_exec_engine(engine)
+           .with_pipeline_model(model))
+    kernel = get_kernel(kernel_name)
+    inputs = kernel.make_inputs(_KERNEL_BYTES, seed=23)
+    return CoreModel(cfg.core).run(kernel, inputs)
+
+
+@pytest.mark.parametrize("config_name", _KERNEL_CONFIGS)
+@pytest.mark.parametrize("kernel_name", KERNEL_NAMES)
+def test_predictive_kernel_runs_identical(config_name, kernel_name):
+    fast = _model_result(config_name, kernel_name, "fast", "predictive")
+    ref = _model_result(config_name, kernel_name, "reference", "predictive")
+    assert fast.cycles == ref.cycles
+    assert fast.instructions == ref.instructions
+    assert fast.outputs == ref.outputs
+    assert fast.final_state == ref.final_state
+    assert fast.final_regs == ref.final_regs
+    assert fast.buckets == ref.buckets
+    assert fast.pipeline == ref.pipeline  # incl. hazard stalls + mispredicts
+    assert fast.dram_traffic == ref.dram_traffic
+    assert fast.page_touches == ref.page_touches
+
+
+@pytest.mark.parametrize("kernel_name", KERNEL_NAMES)
+def test_predictive_changes_cpi_not_architecture(kernel_name):
+    """The predictive model reprices cycles but must not perturb execution:
+    identical outputs, registers, and retired-instruction counts, with a
+    different cycle total whenever the kernel has any priced work."""
+    static = _model_result("AssasinSb", kernel_name, "fast", "static")
+    pred = _model_result("AssasinSb", kernel_name, "fast", "predictive")
+    assert pred.outputs == static.outputs
+    assert pred.final_state == static.final_state
+    assert pred.final_regs == static.final_regs
+    assert pred.instructions == static.instructions
+    assert pred.bytes_in == static.bytes_in
+    assert pred.bytes_out == static.bytes_out
+    if pred.pipeline.hazard_stall_cycles or pred.pipeline.branch_mispredicts:
+        assert pred.cycles != static.cycles
+
+
+def test_predictive_prices_branch_heavy_kernel_differently():
+    """Acceptance pin: at least one kernel must actually exercise the
+    predictor and hazard logic (otherwise the model proves nothing)."""
+    pred = _model_result("AssasinSb", "stat", "fast", "predictive")
+    static = _model_result("AssasinSb", "stat", "fast", "static")
+    assert pred.cycles != static.cycles
+    assert pred.pipeline.hazard_stall_cycles > 0
+
+
+def test_engine_pipeline_model_mismatch_guard():
+    from repro.core.pipeline import PipelineModel, PipelineParams
+
+    program = Program("g", (Instr("halt"),))
+    interp = Interpreter(program, FlatMemory(64))
+    static_engine = FastEngine(program)
+    predictive_pipeline = PipelineModel(None, PipelineParams(), model="predictive")
+    with pytest.raises(ExecutionError, match="other timing model"):
+        static_engine.run(interp, pipeline=predictive_pipeline)
+
+    predictive_engine = FastEngine(program, model="predictive")
+    static_pipeline = PipelineModel(None, PipelineParams(), model="static")
+    with pytest.raises(ExecutionError, match="other timing model"):
+        predictive_engine.run(interp, pipeline=static_pipeline)
+
+
+def test_unknown_pipeline_model_rejected():
+    with pytest.raises(ExecutionError, match="unknown pipeline model"):
+        FastEngine(Program("u", (Instr("halt"),)), model="oracle")
+
+
+# ---------------------------------------------------------------------------
 # Layer 2: deterministic seeded corpus (>=500 random RV32IM+stream programs).
 # ---------------------------------------------------------------------------
 

@@ -74,6 +74,49 @@ def test_config_change_invalidates_by_construction():
     assert cache.get(base, "stat", 4096) == "sample-a"
 
 
+def test_pipeline_model_and_params_change_the_digest():
+    """Timing-model knobs live outside the kernel's architectural inputs but
+    change its cycle price, so they must be part of the cache key."""
+    from repro.core.pipeline import PipelineParams
+
+    base = assasin_sb_config()
+    predictive = base.with_pipeline_model("predictive")
+    cache = KernelPricingCache()
+    cache.enable()
+    assert cache.config_digest(base) != cache.config_digest(predictive)
+    default = PipelineParams()
+    tweaked = PipelineParams(mispredict_penalty=5)
+    assert (cache.config_digest(base, default)
+            != cache.config_digest(base, tweaked))
+    assert (cache.config_digest(base, default)
+            == cache.config_digest(base, PipelineParams()))
+    cache.put(base, "stat", 4096, "static-sample", pipeline_params=default)
+    assert cache.get(predictive, "stat", 4096, pipeline_params=default) is None
+    assert cache.get(base, "stat", 4096, pipeline_params=tweaked) is None
+    assert cache.get(base, "stat", 4096, pipeline_params=default) == "static-sample"
+
+
+def test_digest_memo_is_value_keyed_not_id_keyed():
+    """Regression: the digest memo was once keyed by ``id(config)``.  A dead
+    config's recycled id could then alias a *different* config to a stale
+    digest.  Value-keying makes equal configs share and unequal configs
+    miss, regardless of object identity or lifetime."""
+    cache = KernelPricingCache()
+    cache.enable()
+    digests = set()
+    for i in range(50):
+        # Fresh throwaway objects each round: with id-keying these recycle
+        # CPython ids almost immediately.
+        variant = dataclasses.replace(assasin_sb_config(), name=f"v{i}")
+        digests.add(cache.config_digest(variant))
+        del variant
+    assert len(digests) == 50
+    # Equal-valued but distinct objects share one memo entry and digest.
+    a, b = assasin_sb_config(), assasin_sb_config()
+    assert a is not b
+    assert cache.config_digest(a) == cache.config_digest(b)
+
+
 def test_use_pricing_cache_restores_and_clears():
     assert not PRICING_CACHE.enabled
     with use_pricing_cache():

@@ -9,7 +9,12 @@ from repro.config import (
     baseline_core,
     udp_core,
 )
-from repro.core.timing import BASE_PERIOD_NS, ClockModel, clock_period_ns
+from repro.core.timing import (
+    BASE_PERIOD_NS,
+    ClockModel,
+    clock_period_ns,
+    cycles_for_access,
+)
 from repro.errors import ConfigError
 from repro.power.cacti import (
     SRAMSpec,
@@ -101,6 +106,61 @@ class TestClockModel:
         b = model.result(assasin_sb_core())
         assert a is b
         assert model.frequency_ghz(assasin_sb_core()) == pytest.approx(1 / a.period_ns)
+
+    def test_clock_model_memo_is_value_keyed(self):
+        # DSE sweeps make many core variants that share a name; the memo
+        # must distinguish them by value (and share across equal values).
+        import dataclasses
+
+        model = ClockModel()
+        sb = assasin_sb_core()
+        renamed_sp = dataclasses.replace(assasin_sp_core(), name=sb.name)
+        assert model.result(sb).period_ns != model.result(renamed_sp).period_ns
+        assert model.result(dataclasses.replace(sb)) is model.result(sb)
+
+
+class TestCyclesForAccess:
+    """Satellite fix: exact ceiling replaces the milli-ns truncation."""
+
+    def test_exact_fit_is_one_cycle(self):
+        assert cycles_for_access(1.0, 1.0) == 1
+        assert cycles_for_access(0.89, 0.89) == 1
+
+    def test_overshoot_rounds_up(self):
+        assert cycles_for_access(1.12, 0.89) == 2
+        assert cycles_for_access(1.79, 0.89) == 3  # 2.011 periods
+
+    def test_epsilon_absorbs_float_noise_at_boundaries(self):
+        # 3 * (0.89/3) reconstructs to one-part-in-1e16 above 0.89; the
+        # relative epsilon must keep this a single cycle.
+        access = (0.89 / 3) * 3
+        assert access >= 0.89  # the float artefact this guards against
+        assert cycles_for_access(access, 0.89) == 1
+
+    def test_milli_ns_truncation_regression(self):
+        # The old fixed-point path computed int(0.89 * 1000) = 889 milli-ns
+        # twice and compared 890/889: a 0.8900-ns access at a 0.8900-ns
+        # period could price as 2 cycles. Sub-milli-ns periods truncated to
+        # the same integer are worse still.
+        assert cycles_for_access(0.8901, 0.89) == 2  # genuine overshoot: 2
+        assert cycles_for_access(0.0004, 0.0005) == 1  # both truncate to 0
+
+    def test_named_config_cycles_unchanged(self):
+        # Value-preservation pin: the exact ceiling reproduces the historic
+        # scratchpad cycle counts of every named core (golden fingerprints
+        # depend on these).
+        from repro.config import all_configs
+
+        expected = {
+            "Baseline": 1, "UDP": 2, "Prefetch": 1,
+            "AssasinSp": 2, "AssasinSb": 2, "AssasinSb$": 2,
+        }
+        for name, cfg in all_configs().items():
+            assert clock_period_ns(cfg.core).scratchpad_cycles == expected[name], name
+
+    def test_never_below_one_cycle(self):
+        assert cycles_for_access(0.1, 1.0) == 1
+        assert cycles_for_access(0.0, 1.0) == 1
 
 
 class TestPowerModels:
